@@ -1,0 +1,26 @@
+"""Helpers shared by the per-figure benchmark files."""
+
+from __future__ import annotations
+
+from repro.indexes import build_index
+
+
+def build_one(kind: str, source, z, ell):
+    """Build one index kind from scratch (including its z-estimation, if any).
+
+    Used as the timed payload of the construction benchmarks so that every
+    method is charged its full construction pipeline, as in the paper.
+    """
+    return build_index(source, z, kind=kind, ell=ell)
+
+
+def attach_stats(benchmark, index) -> None:
+    """Record the space-model statistics of a built index on the benchmark."""
+    stats = index.stats
+    benchmark.extra_info["index_size_mb"] = round(stats.index_size_bytes / 1e6, 4)
+    benchmark.extra_info["construction_space_mb"] = round(
+        stats.construction_space_bytes / 1e6, 4
+    )
+    for key, value in stats.counters.items():
+        if isinstance(value, (int, float)):
+            benchmark.extra_info[key] = value

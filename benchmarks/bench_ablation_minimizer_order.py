@@ -1,0 +1,71 @@
+"""Ablation — minimizer order (Karp–Rabin-style random vs lexicographic).
+
+The paper computes minimizers with Karp–Rabin fingerprints; Section 8
+discusses why a lexicographic order can degenerate (on ``abcdef...`` every
+position is selected).  This ablation builds the same MWSA index under both
+orders and records the sampled-leaf counts and index sizes, and also varies
+the k-mer length around the Lemma 1 default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexes import MinimizerWSA
+from repro.sampling.minimizers import MinimizerScheme, default_k
+
+
+@pytest.mark.parametrize("order", ("random", "lexicographic"))
+def test_ablation_minimizer_order(benchmark, bench_scale, efm_source, order):
+    z = bench_scale.default_z("EFM")
+    ell = bench_scale.default_ell
+    scheme = MinimizerScheme(ell, efm_source.sigma, order=order)
+
+    index = benchmark.pedantic(
+        MinimizerWSA.build,
+        args=(efm_source, z, ell),
+        kwargs={"scheme": scheme},
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["order"] = order
+    benchmark.extra_info["forward_leaves"] = index.stats.counters["forward_leaves"]
+    benchmark.extra_info["index_size_mb"] = round(index.stats.index_size_bytes / 1e6, 4)
+
+
+@pytest.mark.parametrize("k_offset", (-1, 0, 2))
+def test_ablation_kmer_length(benchmark, bench_scale, efm_source, k_offset):
+    z = bench_scale.default_z("EFM")
+    ell = bench_scale.default_ell
+    k = max(2, min(ell, default_k(ell, efm_source.sigma) + k_offset))
+    scheme = MinimizerScheme(ell, efm_source.sigma, k=k, order="random")
+
+    index = benchmark.pedantic(
+        MinimizerWSA.build,
+        args=(efm_source, z, ell),
+        kwargs={"scheme": scheme},
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["forward_leaves"] = index.stats.counters["forward_leaves"]
+    benchmark.extra_info["index_size_mb"] = round(index.stats.index_size_bytes / 1e6, 4)
+
+
+def test_ablation_orders_answer_queries_identically(bench_scale, efm_source):
+    """The sampling order changes the index size, never the query answers."""
+    from repro.datasets.patterns import sample_valid_patterns
+
+    z = bench_scale.default_z("EFM")
+    ell = bench_scale.default_ell
+    random_order = MinimizerWSA.build(
+        efm_source, z, ell, scheme=MinimizerScheme(ell, efm_source.sigma, order="random")
+    )
+    lexicographic = MinimizerWSA.build(
+        efm_source, z, ell,
+        scheme=MinimizerScheme(ell, efm_source.sigma, order="lexicographic"),
+    )
+    for pattern in sample_valid_patterns(efm_source, z, ell, 5, seed=9):
+        assert random_order.locate(pattern) == lexicographic.locate(pattern)

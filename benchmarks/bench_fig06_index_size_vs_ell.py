@@ -1,0 +1,40 @@
+"""Fig. 6 — index size vs ℓ (WST/MWST/MWST-G and WSA/MWSA/MWSA-G).
+
+The timed payload is the full construction of each index; the figure's
+actual metric (index size in MB under the space model) is attached as extra
+info.  The expected shape — minimizer indexes far smaller than the
+baselines, shrinking as ℓ grows — is asserted directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+
+KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("ell", (8, 32))
+def test_fig06_index_size_vs_ell(benchmark, bench_scale, genomic_sources, kind, ell):
+    source = genomic_sources["EFM"]
+    z = bench_scale.default_z("EFM")
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+
+
+@pytest.mark.parametrize("ell", (8, 16, 32))
+def test_fig06_minimizer_index_smaller_than_baseline(bench_scale, genomic_sources, ell):
+    """The paper's headline: MWSA is (much) smaller than WSA, and shrinks with ℓ."""
+    source = genomic_sources["SARS"]
+    z = bench_scale.default_z("SARS")
+    baseline = build_one("WSA", source, z, ell)
+    minimizer = build_one("MWSA", source, z, ell)
+    assert minimizer.stats.index_size_bytes < baseline.stats.index_size_bytes

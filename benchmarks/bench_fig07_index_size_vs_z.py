@@ -1,0 +1,33 @@
+"""Fig. 7 — index size vs z for the tree- and array-based index families."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+
+KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("z", (4, 16))
+def test_fig07_index_size_vs_z(benchmark, bench_scale, genomic_sources, kind, z):
+    source = genomic_sources["SARS"]
+    ell = bench_scale.default_ell
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+
+
+def test_fig07_index_size_grows_with_z(bench_scale, genomic_sources):
+    """Index sizes grow with z for both the baseline and the minimizer index."""
+    source = genomic_sources["SARS"]
+    ell = bench_scale.default_ell
+    small_z = build_one("MWSA", source, 4, ell)
+    large_z = build_one("MWSA", source, 16, ell)
+    assert large_z.stats.index_size_bytes >= small_z.stats.index_size_bytes

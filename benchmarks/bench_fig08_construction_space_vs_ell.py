@@ -1,0 +1,31 @@
+"""Fig. 8 — construction space vs ℓ (tree and array index families, EFM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+
+KINDS = ("WST", "WSA", "MWST", "MWSA")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("ell", (8, 32))
+def test_fig08_construction_space_vs_ell(benchmark, bench_scale, efm_source, kind, ell):
+    z = bench_scale.default_z("EFM")
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, efm_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+
+
+def test_fig08_array_construction_needs_less_space_than_tree(bench_scale, efm_source):
+    """WSA construction space is below WST's (the paper's array-vs-tree gap)."""
+    z = bench_scale.default_z("EFM")
+    tree = build_one("WST", efm_source, z, bench_scale.default_ell)
+    array = build_one("WSA", efm_source, z, bench_scale.default_ell)
+    assert array.stats.construction_space_bytes < tree.stats.construction_space_bytes

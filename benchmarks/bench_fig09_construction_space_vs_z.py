@@ -1,0 +1,31 @@
+"""Fig. 9 — construction space vs z (tree and array index families, EFM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+
+KINDS = ("WST", "WSA", "MWST", "MWSA")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("z", (4, 16))
+def test_fig09_construction_space_vs_z(benchmark, bench_scale, efm_source, kind, z):
+    ell = bench_scale.default_ell
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, efm_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+
+
+def test_fig09_construction_space_grows_with_z(bench_scale, efm_source):
+    """Construction space grows with z for the baseline (Θ(nz) estimation)."""
+    ell = bench_scale.default_ell
+    small_z = build_one("WSA", efm_source, 4, ell)
+    large_z = build_one("WSA", efm_source, 16, ell)
+    assert large_z.stats.construction_space_bytes > small_z.stats.construction_space_bytes

@@ -1,0 +1,41 @@
+"""Fig. 10 — average query time vs ℓ (patterns of length m = ℓ).
+
+The timed payload is the query workload (patterns sampled from the
+z-estimation, as in the paper); construction happens once per parameter
+combination outside the timer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import build_one
+from repro.datasets.patterns import sample_valid_patterns
+
+KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G")
+
+
+def _run_workload(index, patterns):
+    total = 0
+    for pattern in patterns:
+        total += len(index.locate(pattern))
+    return total
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("ell", (8, 32))
+def test_fig10_query_time_vs_ell(benchmark, bench_scale, genomic_sources, kind, ell):
+    source = genomic_sources["SARS"]
+    z = bench_scale.default_z("SARS")
+    index = build_one(kind, source, z, ell)
+    patterns = sample_valid_patterns(
+        source, z, m=ell, count=bench_scale.pattern_count, seed=0
+    )
+
+    matches = benchmark(_run_workload, index, patterns)
+
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+    benchmark.extra_info["patterns"] = len(patterns)
+    benchmark.extra_info["total_matches"] = matches
+    assert matches >= len(patterns)  # every sampled pattern has a valid occurrence

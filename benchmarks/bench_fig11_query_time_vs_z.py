@@ -1,0 +1,36 @@
+"""Fig. 11 — average query time vs z (patterns of the default length ℓ)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import build_one
+from repro.datasets.patterns import sample_valid_patterns
+
+KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G")
+
+
+def _run_workload(index, patterns):
+    total = 0
+    for pattern in patterns:
+        total += len(index.locate(pattern))
+    return total
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("z", (4, 16))
+def test_fig11_query_time_vs_z(benchmark, bench_scale, genomic_sources, kind, z):
+    source = genomic_sources["EFM"]
+    ell = bench_scale.default_ell
+    index = build_one(kind, source, z, ell)
+    patterns = sample_valid_patterns(
+        source, z, m=ell, count=bench_scale.pattern_count, seed=1
+    )
+
+    matches = benchmark(_run_workload, index, patterns)
+
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+    benchmark.extra_info["patterns"] = len(patterns)
+    benchmark.extra_info["total_matches"] = matches
+    assert matches >= len(patterns)

@@ -1,0 +1,37 @@
+"""Fig. 12 — construction time vs ℓ and vs z (EFM, tree and array families)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+
+KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("ell", (8, 32))
+def test_fig12_construction_time_vs_ell(benchmark, bench_scale, efm_source, kind, ell):
+    z = bench_scale.default_z("EFM")
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, efm_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+
+
+@pytest.mark.parametrize("kind", ("WSA", "MWSA"))
+@pytest.mark.parametrize("z", (4, 16))
+def test_fig12_construction_time_vs_z(benchmark, bench_scale, efm_source, kind, z):
+    ell = bench_scale.default_ell
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, efm_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z

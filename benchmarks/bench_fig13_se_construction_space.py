@@ -1,0 +1,48 @@
+"""Fig. 13 — construction space including MWST-SE (vs ℓ and z, EFM/HUMAN)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+
+KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-SE")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("ell", (8, 32))
+def test_fig13_se_construction_space_vs_ell(benchmark, bench_scale, efm_source, kind, ell):
+    z = bench_scale.default_z("EFM")
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, efm_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+
+
+@pytest.mark.parametrize("z", (4, 16))
+def test_fig13_se_construction_space_vs_z(benchmark, bench_scale, efm_source, z):
+    ell = bench_scale.default_ell
+
+    index = benchmark.pedantic(
+        build_one, args=("MWST-SE", efm_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info["ell"] = ell
+    benchmark.extra_info["z"] = z
+
+
+@pytest.mark.parametrize("ell", (8, 16, 32))
+def test_fig13_se_needs_less_construction_space(bench_scale, efm_source, ell):
+    """The headline of Section 7.3: MWST-SE builds in (much) less space."""
+    z = bench_scale.default_z("EFM")
+    explicit = build_one("MWSA", efm_source, z, ell)
+    space_efficient = build_one("MWST-SE", efm_source, z, ell)
+    assert (
+        space_efficient.stats.construction_space_bytes
+        < explicit.stats.construction_space_bytes
+    )

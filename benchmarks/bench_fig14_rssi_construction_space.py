@@ -1,0 +1,64 @@
+"""Fig. 14 — construction space on RSSI data: MWST-SE vs WSA (ℓ, z, σ, n)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+from repro.datasets.rssi import rssi_family
+
+KINDS = ("WSA", "MWST-SE")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("ell", (8, 16))
+def test_fig14_rssi_construction_space_vs_ell(benchmark, bench_scale, rssi_source, kind, ell):
+    z = bench_scale.default_z("RSSI")
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, rssi_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info.update({"ell": ell, "z": z, "sigma": rssi_source.sigma})
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("sigma", (16, 64))
+def test_fig14_rssi_construction_space_vs_sigma(benchmark, bench_scale, rssi_source, kind, sigma):
+    z = bench_scale.default_z("RSSI")
+    ell = bench_scale.default_ell
+    variant = rssi_family(rssi_source, sigma=sigma)
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, variant, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info.update({"ell": ell, "z": z, "sigma": sigma, "n": len(variant)})
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("length_factor", (1, 2))
+def test_fig14_rssi_construction_space_vs_n(
+    benchmark, bench_scale, rssi_source, kind, length_factor
+):
+    z = bench_scale.default_z("RSSI")
+    ell = bench_scale.default_ell
+    variant = rssi_family(rssi_source, sigma=32, length_factor=length_factor)
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, variant, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info.update({"ell": ell, "z": z, "sigma": 32, "n": len(variant)})
+
+
+def test_fig14_se_beats_wsa_on_rssi(bench_scale, rssi_source):
+    """On the sensor data, MWST-SE needs less construction space than WSA."""
+    z = bench_scale.default_z("RSSI")
+    ell = bench_scale.default_ell
+    wsa = build_one("WSA", rssi_source, z, ell)
+    se = build_one("MWST-SE", rssi_source, z, ell)
+    assert se.stats.construction_space_bytes < wsa.stats.construction_space_bytes

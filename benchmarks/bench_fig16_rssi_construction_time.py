@@ -1,0 +1,70 @@
+"""Fig. 16 — construction time on RSSI data: MWST-SE vs WSA (ℓ, z, σ, n)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import attach_stats, build_one
+from repro.datasets.rssi import rssi_family
+
+KINDS = ("WSA", "MWST-SE")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("ell", (8, 16))
+def test_fig16_rssi_construction_time_vs_ell(benchmark, bench_scale, rssi_source, kind, ell):
+    z = bench_scale.default_z("RSSI")
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, rssi_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info.update({"ell": ell, "z": z})
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("z", (2, 8))
+def test_fig16_rssi_construction_time_vs_z(benchmark, bench_scale, rssi_source, kind, z):
+    ell = bench_scale.default_ell
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, rssi_source, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info.update({"ell": ell, "z": z})
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("sigma", (16, 64))
+def test_fig16_rssi_construction_time_vs_sigma(
+    benchmark, bench_scale, rssi_source, kind, sigma
+):
+    z = bench_scale.default_z("RSSI")
+    ell = bench_scale.default_ell
+    variant = rssi_family(rssi_source, sigma=sigma)
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, variant, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info.update({"ell": ell, "z": z, "sigma": sigma})
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("length_factor", (1, 2))
+def test_fig16_rssi_construction_time_vs_n(
+    benchmark, bench_scale, rssi_source, kind, length_factor
+):
+    z = bench_scale.default_z("RSSI")
+    ell = bench_scale.default_ell
+    variant = rssi_family(rssi_source, sigma=32, length_factor=length_factor)
+
+    index = benchmark.pedantic(
+        build_one, args=(kind, variant, z, ell), rounds=1, iterations=1
+    )
+
+    attach_stats(benchmark, index)
+    benchmark.extra_info.update({"ell": ell, "z": z, "sigma": 32, "n": len(variant)})

@@ -1,0 +1,38 @@
+"""Table 2 — dataset characteristics and z-estimation construction.
+
+The timed payload is the z-estimation construction of each dataset at its
+default z; the extra info records the Table 2 columns (length, σ, Δ and the
+size of the z-estimation under the space model).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimation import build_z_estimation
+from repro.datasets.registry import DATASETS
+from repro.indexes.space import DEFAULT_SPACE_MODEL
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+def test_table2_dataset_characteristics(benchmark, bench_scale, dataset):
+    source = bench_scale.dataset(dataset)
+    z = bench_scale.default_z(dataset)
+
+    estimation = benchmark(build_z_estimation, source, z)
+
+    model = DEFAULT_SPACE_MODEL
+    benchmark.extra_info["length"] = len(source)
+    benchmark.extra_info["sigma"] = source.sigma
+    benchmark.extra_info["delta_percent"] = round(100.0 * source.delta, 2)
+    benchmark.extra_info["z"] = z
+    benchmark.extra_info["z_estimation_mb"] = round(
+        (
+            model.codes(estimation.width * estimation.length)
+            + model.words(estimation.width * estimation.length)
+        )
+        / 1e6,
+        4,
+    )
+    assert estimation.width == int(z)
+    assert estimation.length == len(source)

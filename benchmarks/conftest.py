@@ -1,0 +1,55 @@
+"""Shared fixtures of the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper at the
+``tiny`` scale (see ``repro.bench.harness.SCALES``), so that
+``pytest benchmarks/ --benchmark-only`` exercises every experiment in a few
+minutes.  The full-size sweeps are produced by ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SOURCE_ROOT = Path(__file__).resolve().parent.parent / "src"
+if str(SOURCE_ROOT) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(SOURCE_ROOT))
+
+from repro.bench.harness import SCALES  # noqa: E402
+from repro.core.estimation import build_z_estimation  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The sweep values used by every benchmark."""
+    return SCALES["tiny"]
+
+
+@pytest.fixture(scope="session")
+def genomic_sources(bench_scale):
+    """The three genomic datasets at benchmark scale."""
+    return {
+        name: load_dataset(name, bench_scale.dataset_lengths[name])
+        for name in ("SARS", "EFM", "HUMAN")
+    }
+
+
+@pytest.fixture(scope="session")
+def efm_source(genomic_sources):
+    """The EFM-like dataset (the paper's main construction benchmark input)."""
+    return genomic_sources["EFM"]
+
+
+@pytest.fixture(scope="session")
+def rssi_source(bench_scale):
+    """The RSSI-like dataset at benchmark scale."""
+    return load_dataset("RSSI", bench_scale.dataset_lengths["RSSI"])
+
+
+@pytest.fixture(scope="session")
+def efm_estimation(efm_source, bench_scale):
+    """A shared z-estimation of the EFM dataset at its default z."""
+    return build_z_estimation(efm_source, bench_scale.default_z("EFM"))

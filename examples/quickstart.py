@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: index a small uncertain string and run pattern queries.
+
+This walks through the paper's running example (Example 1): a weighted
+string over {A, B}, the threshold 1/z = 1/4, its heavy string and
+z-estimation, and pattern queries against both a baseline index (WSA) and
+the paper's minimizer-based index (MWSA).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import WeightedString, build_z_estimation
+from repro.core.heavy import HeavyString
+from repro.indexes import MinimizerWSA, WeightedSuffixArray, brute_force_occurrences
+
+
+def main() -> None:
+    # --- The paper's Example 1: a weighted string of length 6 over {A, B}. ---
+    uncertain = WeightedString.from_dicts(
+        [
+            {"A": 1.0},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.75, "B": 0.25},
+            {"A": 0.8, "B": 0.2},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.25, "B": 0.75},
+        ]
+    )
+    z = 4  # threshold 1/z = 1/4
+    print(f"weighted string: {uncertain}")
+    print(f"heavy string   : {HeavyString(uncertain).text()}")
+
+    # The occurrence probability of ABA at (1-based) position 3 is 3/40,
+    # exactly as computed in the paper's Example 1.
+    pattern = uncertain.alphabet.encode("ABA")
+    probability = uncertain.occurrence_probability(pattern, 2)
+    print(f"P(X[3..5] = ABA) = {probability:.4f}  (paper: 3/40 = 0.075)")
+
+    # --- The z-estimation (Theorem 2). --------------------------------------
+    estimation = build_z_estimation(uncertain, z)
+    print(f"\n{z}-estimation ({estimation.width} strings of length {estimation.length}):")
+    for j in range(estimation.width):
+        print(f"  S{j + 1} = {estimation.text(j)}   pi = {estimation.ends[j].tolist()}")
+
+    # --- Indexing and querying. ----------------------------------------------
+    baseline = WeightedSuffixArray.build(uncertain, z)
+    minimizer_index = MinimizerWSA.build(uncertain, z, ell=4)
+
+    for text in ("AAAA", "BAAB", "BABA", "ABAA"):
+        expected = brute_force_occurrences(uncertain, text, z)
+        from_baseline = baseline.locate(text)
+        from_minimizer = minimizer_index.locate(text)
+        print(
+            f"pattern {text}: occurrences {from_minimizer} "
+            f"(baseline {from_baseline}, brute force {expected})"
+        )
+        assert from_baseline == expected == from_minimizer
+
+    print("\nindex sizes (space model):")
+    print(f"  WSA : {baseline.stats.index_size_bytes:6d} bytes")
+    print(f"  MWSA: {minimizer_index.stats.index_size_bytes:6d} bytes")
+
+
+if __name__ == "__main__":
+    main()

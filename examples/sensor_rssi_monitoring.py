@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Sensor-stream motif search over uncertain RSSI measurements.
+
+The paper's second data domain (Section 7.1) is a signal-strength stream
+where every time step carries a distribution over discretised RSSI values
+(the fraction of radio channels reporting each value).  This example
+
+1. generates an RSSI-like weighted string (σ = 91, Δ = 100 %),
+2. builds the MWSA index for a minimum motif length ℓ,
+3. extracts high-probability motifs from the stream and searches them, and
+4. shows how the threshold 1/z controls how tolerant matching is.
+
+Run with:  python examples/sensor_rssi_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.core.heavy import HeavyString
+from repro.datasets.patterns import sample_valid_patterns
+from repro.datasets.rssi import rssi_like
+from repro.indexes import MinimizerWSA, brute_force_occurrences
+
+STREAM_LENGTH = 4_000
+MOTIF_LENGTH = 12
+Z_VALUES = (4, 16)
+
+
+def main() -> None:
+    stream = rssi_like(STREAM_LENGTH, seed=41)
+    print(f"RSSI stream: {stream}")
+    heavy = HeavyString(stream)
+    print(f"most likely signal levels (first 30 steps): {heavy.text()[:60]}...")
+
+    for z in Z_VALUES:
+        index = MinimizerWSA.build(stream, z, ell=MOTIF_LENGTH)
+        motifs = sample_valid_patterns(stream, z, MOTIF_LENGTH, count=5, seed=7)
+        print(f"\nthreshold 1/z = 1/{z}  "
+              f"(index size {index.stats.index_size_bytes / 1e6:.2f} MB, "
+              f"{index.stats.counters.get('forward_leaves', 0)} sampled factors)")
+        for motif in motifs:
+            occurrences = index.locate(motif)
+            assert occurrences == brute_force_occurrences(stream, motif, z)
+            levels = "-".join(stream.alphabet.letter(code) for code in motif[:6])
+            print(f"  motif [{levels}...] occurs at {len(occurrences)} position(s): "
+                  f"{occurrences[:8]}{'...' if len(occurrences) > 8 else ''}")
+
+    print(
+        "\nLarger z admits lower-probability matches (more occurrences) at the "
+        "price of a larger index — the trade-off the paper quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on offline machines where the
+``wheel`` package (needed by the PEP 517 build path) is unavailable; all
+project metadata lives in ``pyproject.toml`` / ``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — space-efficient indexes for uncertain (weighted) strings.
+
+A from-scratch reproduction of *"Space-Efficient Indexes for Uncertain
+Strings"* (ICDE 2024): the character-level uncertainty data model, the
+z-estimation transformation, the baseline weighted suffix tree / array
+indexes (WST, WSA), and the paper's minimizer-based indexes
+(MWST, MWSA, MWST-G, MWSA-G) together with the space-efficient
+construction MWST-SE.
+
+Quickstart
+----------
+>>> from repro import WeightedString, MinimizerWSA
+>>> ws = WeightedString.from_dicts(
+...     [{"A": 1.0}, {"A": 0.5, "B": 0.5}, {"A": 0.75, "B": 0.25},
+...      {"A": 0.8, "B": 0.2}, {"A": 0.5, "B": 0.5}, {"A": 0.25, "B": 0.75}]
+... )
+>>> index = MinimizerWSA.build(ws, z=4, ell=4)
+>>> index.locate("AAAA")
+[0]
+"""
+
+from .core import (
+    DNA,
+    PROTEIN,
+    Alphabet,
+    HeavyString,
+    PropertyArray,
+    SolidFactor,
+    WeightedString,
+    ZEstimation,
+    build_z_estimation,
+)
+from .version import __version__
+
+__all__ = [
+    "__version__",
+    "Alphabet",
+    "DNA",
+    "PROTEIN",
+    "WeightedString",
+    "HeavyString",
+    "PropertyArray",
+    "SolidFactor",
+    "ZEstimation",
+    "build_z_estimation",
+    # re-exported lazily from repro.indexes:
+    "WeightedSuffixTree",
+    "WeightedSuffixArray",
+    "MinimizerWST",
+    "MinimizerWSA",
+    "GridMinimizerWST",
+    "GridMinimizerWSA",
+    "SpaceEfficientMWST",
+    "build_index",
+]
+
+_INDEX_EXPORTS = {
+    "WeightedSuffixTree",
+    "WeightedSuffixArray",
+    "MinimizerWST",
+    "MinimizerWSA",
+    "GridMinimizerWST",
+    "GridMinimizerWSA",
+    "SpaceEfficientMWST",
+    "build_index",
+    "brute_force_occurrences",
+}
+
+
+def __getattr__(name):
+    """Lazily expose the index classes to keep ``import repro`` light."""
+    if name in _INDEX_EXPORTS:
+        from . import indexes
+
+        return getattr(indexes, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,23 @@
+"""Benchmark harness reproducing every table and figure of Section 7."""
+
+from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_all
+from .harness import SCALES, BenchScale, build_index_suite, query_workload
+from .measure import BuildMeasurement, measure_build, measure_query_time, timed
+from .report import format_series, format_table, pivot
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "run_all",
+    "SCALES",
+    "BenchScale",
+    "build_index_suite",
+    "query_workload",
+    "BuildMeasurement",
+    "measure_build",
+    "measure_query_time",
+    "timed",
+    "format_table",
+    "format_series",
+    "pivot",
+]

@@ -1,0 +1,38 @@
+"""``python -m repro.bench`` — run the paper's experiment suite and print it."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_EXPERIMENTS, run_all
+from .harness import SCALES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the tables and figures of the paper's evaluation.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="tiny",
+        help="sweep sizes: tiny (seconds), small (minutes), paper (full parameters)",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="*",
+        choices=sorted(ALL_EXPERIMENTS),
+        help="subset of experiments to run (default: all)",
+    )
+    arguments = parser.parse_args(argv)
+    results = run_all(arguments.scale, arguments.experiments)
+    for result in results:
+        print("=" * 78)
+        print(result.text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

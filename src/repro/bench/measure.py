@@ -1,0 +1,96 @@
+"""Measurement helpers: the four efficiency measures of the paper.
+
+* index size        — the space model bytes reported by each index;
+* construction space — the space model peak recorded at build time
+                        (optionally cross-checked with ``tracemalloc``);
+* construction time — wall-clock seconds of the build;
+* query time        — average microseconds per pattern over a workload.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["BuildMeasurement", "measure_build", "measure_query_time", "timed"]
+
+
+def timed(function: Callable, *args, **kwargs):
+    """Run a callable and return ``(result, seconds)``."""
+    started = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class BuildMeasurement:
+    """Everything measured while building one index."""
+
+    index: object
+    name: str
+    seconds: float
+    index_size_bytes: int
+    construction_space_bytes: int
+    tracemalloc_peak_bytes: int | None = None
+
+    def as_row(self) -> dict:
+        """Flat dictionary row used by the reports."""
+        row = {
+            "index": self.name,
+            "construction_seconds": self.seconds,
+            "index_size_mb": self.index_size_bytes / 1e6,
+            "construction_space_mb": self.construction_space_bytes / 1e6,
+        }
+        if self.tracemalloc_peak_bytes is not None:
+            row["tracemalloc_peak_mb"] = self.tracemalloc_peak_bytes / 1e6
+        return row
+
+
+def measure_build(
+    builder: Callable[[], object],
+    name: str,
+    *,
+    trace_memory: bool = False,
+) -> BuildMeasurement:
+    """Build one index and collect the paper's construction measures.
+
+    ``builder`` is a zero-argument callable returning the built index; the
+    index is expected to expose the :class:`repro.indexes.space.IndexStats`
+    protocol through its ``stats`` attribute.
+    """
+    if trace_memory:
+        tracemalloc.start()
+    started = time.perf_counter()
+    index = builder()
+    seconds = time.perf_counter() - started
+    peak = None
+    if trace_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    stats = getattr(index, "stats", None)
+    index_size = getattr(stats, "index_size_bytes", 0)
+    construction_space = getattr(stats, "construction_space_bytes", 0)
+    return BuildMeasurement(
+        index=index,
+        name=name,
+        seconds=seconds,
+        index_size_bytes=index_size,
+        construction_space_bytes=construction_space,
+        tracemalloc_peak_bytes=peak,
+    )
+
+
+def measure_query_time(index, patterns: Sequence, *, repeats: int = 1) -> float:
+    """Average query time in microseconds over a pattern workload."""
+    if not patterns:
+        return 0.0
+    total = 0.0
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        for pattern in patterns:
+            index.locate(pattern)
+        total += time.perf_counter() - started
+    queries = len(patterns) * max(1, repeats)
+    return 1e6 * total / queries

@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results (the paper's figures as tables)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "pivot", "format_series"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dictionary rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max((len(row[i]) for row in cells), default=0))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    ruler = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in cells
+    )
+    return "\n".join([header, ruler, body])
+
+
+def pivot(
+    rows: Sequence[dict],
+    index_column: str,
+    series_column: str,
+    value_column: str,
+) -> list[dict]:
+    """Pivot rows into one row per ``index_column`` value, one column per series.
+
+    This is the shape of the paper's figures: the x axis (ℓ or z) indexes the
+    rows and each curve (index kind) becomes a column.
+    """
+    series_names: list = []
+    grouped: dict = {}
+    for row in rows:
+        x = row[index_column]
+        series = row[series_column]
+        if series not in series_names:
+            series_names.append(series)
+        grouped.setdefault(x, {})[series] = row.get(value_column)
+    result = []
+    for x in sorted(grouped):
+        entry = {index_column: x}
+        for series in series_names:
+            entry[series] = grouped[x].get(series)
+        result.append(entry)
+    return result
+
+
+def format_series(
+    title: str,
+    rows: Sequence[dict],
+    index_column: str,
+    series_column: str,
+    value_column: str,
+) -> str:
+    """Render a figure-like series table with a title line."""
+    table = format_table(pivot(rows, index_column, series_column, value_column))
+    return f"{title}\n{table}\n"

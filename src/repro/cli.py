@@ -1,0 +1,115 @@
+"""Command-line interface: build indexes, run queries, inspect datasets.
+
+Installed as the ``repro-uncertain`` console script.  Three sub-commands:
+
+* ``info``    — Table 2-style characteristics of a named or PWM-file dataset;
+* ``build``   — build an index over a PWM file and report its statistics;
+* ``query``   — build an index and report the occurrences of given patterns.
+
+The CLI is intentionally small: it exposes the library's public API for shell
+pipelines and smoke tests; programmatic users should import :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.weighted_string import WeightedString
+from .datasets.registry import DATASETS, dataset_characteristics, load_dataset
+from .errors import ReproError
+from .indexes import INDEX_CLASSES, build_index
+from .io.pwm import read_pwm
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_source(arguments) -> WeightedString:
+    if arguments.pwm:
+        return read_pwm(arguments.pwm)
+    if arguments.dataset:
+        return load_dataset(arguments.dataset, arguments.length)
+    raise ReproError("either --pwm FILE or --dataset NAME must be given")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro-uncertain`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-uncertain",
+        description="Space-efficient indexes for uncertain (weighted) strings.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="describe a dataset (Table 2 columns)")
+    info.add_argument("--dataset", choices=sorted(DATASETS), help="named synthetic dataset")
+    info.add_argument("--pwm", help="position-weight-matrix file to describe")
+    info.add_argument("--length", type=int, help="override the dataset length")
+
+    def add_build_arguments(sub) -> None:
+        group = sub.add_mutually_exclusive_group(required=True)
+        group.add_argument("--dataset", choices=sorted(DATASETS), help="named synthetic dataset")
+        group.add_argument("--pwm", help="position-weight-matrix file to index")
+        sub.add_argument("--length", type=int, help="override the dataset length")
+        sub.add_argument("--z", type=float, required=True, help="threshold parameter (1/z)")
+        sub.add_argument("--ell", type=int, help="minimum pattern length (minimizer indexes)")
+        sub.add_argument(
+            "--kind",
+            default="MWSA",
+            choices=sorted(INDEX_CLASSES),
+            help="index kind to build (default: MWSA)",
+        )
+
+    build = subparsers.add_parser("build", help="build an index and print its statistics")
+    add_build_arguments(build)
+
+    query = subparsers.add_parser("query", help="build an index and locate patterns")
+    add_build_arguments(query)
+    query.add_argument("patterns", nargs="+", help="patterns to locate (text over the alphabet)")
+
+    return parser
+
+
+def _command_info(arguments) -> dict:
+    if arguments.pwm:
+        source = read_pwm(arguments.pwm)
+        return {
+            "name": arguments.pwm,
+            "length": len(source),
+            "sigma": source.sigma,
+            "delta_percent": 100.0 * source.delta,
+        }
+    if not arguments.dataset:
+        raise ReproError("either --pwm FILE or --dataset NAME must be given")
+    return dataset_characteristics(arguments.dataset, arguments.length)
+
+
+def _command_build(arguments) -> dict:
+    source = _load_source(arguments)
+    index = build_index(source, arguments.z, kind=arguments.kind, ell=arguments.ell)
+    return index.stats.as_dict()
+
+
+def _command_query(arguments) -> dict:
+    source = _load_source(arguments)
+    index = build_index(source, arguments.z, kind=arguments.kind, ell=arguments.ell)
+    occurrences = {pattern: index.locate(pattern) for pattern in arguments.patterns}
+    return {"index": index.stats.as_dict(), "occurrences": occurrences}
+
+
+def main(argv=None) -> int:
+    """Entry point of the ``repro-uncertain`` console script."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {"info": _command_info, "build": _command_build, "query": _command_query}
+    try:
+        result = handlers[arguments.command](arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Core data model: weighted strings, heavy strings, properties, z-estimations.
+
+This subpackage contains the paper's data model (Section 2) and the
+z-estimation transformation (Theorem 2) that every index builds on.
+"""
+
+from .alphabet import DNA, PROTEIN, Alphabet
+from .estimation import ZEstimation, build_z_estimation
+from .heavy import HeavyString, apply_mismatches, max_mismatches
+from .numerics import is_solid_probability, solid_count, validate_threshold
+from .properties import PropertyArray, property_occurrences
+from .solid import (
+    SolidFactor,
+    count_solid_windows,
+    iter_solid_factors,
+    iter_solid_factors_at,
+    longest_solid_factor_length,
+    maximal_solid_factors,
+    right_maximal_solid_factors_at,
+)
+from .weighted_string import WeightedString
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "PROTEIN",
+    "WeightedString",
+    "HeavyString",
+    "max_mismatches",
+    "apply_mismatches",
+    "PropertyArray",
+    "property_occurrences",
+    "ZEstimation",
+    "build_z_estimation",
+    "SolidFactor",
+    "iter_solid_factors",
+    "iter_solid_factors_at",
+    "right_maximal_solid_factors_at",
+    "maximal_solid_factors",
+    "count_solid_windows",
+    "longest_solid_factor_length",
+    "is_solid_probability",
+    "solid_count",
+    "validate_threshold",
+]

@@ -1,0 +1,416 @@
+"""z-estimations of weighted strings (Theorem 2).
+
+A *z-estimation* of a weighted string ``X`` of length ``n`` is an indexed
+family ``S = (S_j, π_j)`` of ``⌊z⌋`` standard strings of length ``n`` with
+properties ``π_j`` such that, for **every** string ``P`` and position ``i``::
+
+    Count_S(P, i)  =  ⌊ z · P(X[i .. i+|P|-1] = P) ⌋
+
+where ``Count_S(P, i)`` is the number of strings of the family in which ``P``
+occurs at ``i`` respecting the property.  The estimation is the substrate of
+every index in the paper: the weighted suffix tree/array index its property
+suffixes directly, and the minimizer-based indexes sample it.
+
+Construction algorithm
+----------------------
+The paper cites Barton et al. for an ``O(nz)``-time construction; we re-derive
+one from the definition (the resulting family is generally different from
+theirs — z-estimations are not unique — but satisfies the same defining
+property, which is all any index relies on).
+
+Tokens ``0 .. ⌊z⌋-1`` (the future strings) are processed left to right.  After
+position ``e`` the construction maintains the invariant
+
+    for every start ``i ≤ e`` and every string ``P`` on ``[i, e]``:
+    exactly ``⌊z·P(X[i..e]=P)⌋`` tokens carry ``P`` at ``i`` *and* are still
+    "alive from" ``i`` (their property will cover ``[i, e]``).
+
+Because a token that is alive from ``i`` is also alive from every later start,
+the groups of tokens that agree on ``[i, e]`` form a laminar family, which the
+builder stores as a tree of :class:`_Node` objects (group = node subtree).
+At each position the tree is traversed bottom-up; every group must contain
+exactly ``⌊w(i)·p_e(α)⌋`` tokens that take letter ``α`` and stay alive from
+``i``, where ``w(i) = z·P(X[i..e-1]=P)`` is the group's weight at level ``i``.
+Sub-additivity of the floor function guarantees that the quotas of a group
+never exceed what its sub-groups have already committed plus the tokens that
+are free inside the group, so a greedy bottom-up assignment always succeeds;
+the proof is spelled out in ``DESIGN.md`` §5.1 and exercised by the
+Hypothesis test-suite against a brute-force count oracle.
+
+The builder's cost is ``O(n + U·z)`` tree work plus the unavoidable
+``Θ(nz)`` output, where ``U`` is the number of uncertain positions —
+positions whose distribution is concentrated on a single letter are handled
+by an O(1) fast path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConstructionError
+from .numerics import RELATIVE_TOLERANCE, validate_threshold
+from .properties import PropertyArray
+from .weighted_string import WeightedString
+
+__all__ = ["ZEstimation", "build_z_estimation"]
+
+
+def _weight_floor(value: float) -> int:
+    """Floor of a token weight with the library-wide rounding tolerance."""
+    if value <= 0.0:
+        return 0
+    return int(math.floor(value + RELATIVE_TOLERANCE * max(1.0, value)))
+
+
+class ZEstimation:
+    """The materialised family ``(S_j, π_j)_{j=1..⌊z⌋}`` of a weighted string.
+
+    Attributes
+    ----------
+    strings:
+        ``(⌊z⌋ × n)`` array of letter codes; row ``j`` is ``S_j``.
+    ends:
+        ``(⌊z⌋ × n)`` array of inclusive property ends; row ``j`` is ``π_j``.
+    z:
+        The weight threshold parameter.
+    """
+
+    __slots__ = ("strings", "ends", "z", "_alphabet")
+
+    def __init__(self, strings: np.ndarray, ends: np.ndarray, z: float, alphabet) -> None:
+        self.strings = strings
+        self.ends = ends
+        self.z = float(z)
+        self._alphabet = alphabet
+
+    # -- basic shape -----------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """``⌊z⌋`` — the number of strings in the family."""
+        return int(self.strings.shape[0])
+
+    @property
+    def length(self) -> int:
+        """``n`` — the length of each string."""
+        return int(self.strings.shape[1])
+
+    @property
+    def alphabet(self):
+        """The alphabet shared with the source weighted string."""
+        return self._alphabet
+
+    def __len__(self) -> int:
+        return self.width
+
+    def string(self, j: int) -> np.ndarray:
+        """The code array of ``S_j``."""
+        return self.strings[j]
+
+    def text(self, j: int) -> str:
+        """``S_j`` decoded through the alphabet."""
+        return self._alphabet.decode(int(code) for code in self.strings[j])
+
+    def property_array(self, j: int) -> PropertyArray:
+        """``π_j`` as a :class:`PropertyArray`."""
+        return PropertyArray(self.ends[j])
+
+    # -- the defining Count property -------------------------------------------
+    def covers(self, j: int, start: int, length: int) -> bool:
+        """Whether the window ``[start, start+length)`` respects ``π_j``."""
+        if length <= 0:
+            return True
+        return int(self.ends[j, start]) >= start + length - 1
+
+    def count(self, pattern, position: int) -> int:
+        """``Count_S(P, i)``: property-respecting occurrences at one position."""
+        pattern = np.asarray(pattern, dtype=self.strings.dtype)
+        m = len(pattern)
+        if m == 0:
+            return self.width
+        if position < 0 or position + m > self.length:
+            return 0
+        window = self.strings[:, position : position + m]
+        matches = np.all(window == pattern[None, :], axis=1)
+        respected = self.ends[:, position] >= position + m - 1
+        return int(np.count_nonzero(matches & respected))
+
+    def occurrences(self, pattern) -> list[int]:
+        """Positions where the pattern occurs (respecting properties) in ≥ 1 string."""
+        pattern = np.asarray(pattern, dtype=self.strings.dtype)
+        m = len(pattern)
+        positions = []
+        for start in range(self.length - m + 1):
+            if self.count(pattern, start) >= 1:
+                positions.append(start)
+        return positions
+
+    # -- content used by the indexes --------------------------------------------
+    def valid_lengths(self) -> np.ndarray:
+        """``(⌊z⌋ × n)`` array of per-start valid window lengths."""
+        positions = np.arange(self.length, dtype=np.int64)[None, :]
+        return self.ends - positions + 1
+
+    def property_suffix_count(self) -> int:
+        """Number of non-empty property suffixes (the WST/WSA leaf count)."""
+        return int(np.count_nonzero(self.valid_lengths() > 0))
+
+    def total_valid_length(self) -> int:
+        """Sum of all valid window lengths — the Θ(nz) size driver of WST."""
+        lengths = self.valid_lengths()
+        return int(lengths[lengths > 0].sum())
+
+    def nbytes(self) -> int:
+        """Memory footprint of the materialised family (codes + property ends)."""
+        return int(self.strings.nbytes + self.ends.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ZEstimation(width={self.width}, length={self.length}, z={self.z:g})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# builder                                                                      #
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Node:
+    """A group of the laminar family maintained by the builder.
+
+    ``segments`` is a list of ``(lo, hi, weight)`` triples ordered from the
+    coarsest (largest levels) to the finest, partitioning the node's level
+    range into maximal runs of constant weight; ``members`` holds
+    ``(anchor_level, token)`` pairs for tokens anchored inside the node;
+    ``children`` are the finer groups (their level ranges end one below
+    this node's deepest segment).
+    """
+
+    segments: list = field(default_factory=list)
+    members: list = field(default_factory=list)
+    children: list = field(default_factory=list)
+
+
+class _EstimationBuilder:
+    """Single-use builder implementing the algorithm described in the module docstring."""
+
+    def __init__(self, source: WeightedString, z: float) -> None:
+        self.source = source
+        self.z = validate_threshold(z)
+        self.width = int(math.floor(self.z + RELATIVE_TOLERANCE))
+        self.length = len(source)
+        self.heavy = source.heavy_codes()
+        # Per-token alive-from position.
+        self.alive_from = np.zeros(self.width, dtype=np.int64)
+        # Property ends, filled progressively.
+        self.ends = np.empty((self.width, self.length), dtype=np.int64)
+        # Letter columns: an int when all tokens share the letter, else an array.
+        self.columns: list = []
+        # Laminar group tree; the root's coarsest level is the current position.
+        # Initially every token is anchored at level 0 (alive from the start).
+        self.root = _Node(
+            segments=[(0, 0, self.z)],
+            members=[(0, token) for token in range(self.width)],
+        )
+        # Scratch arrays reused across positions.
+        self._letters = np.zeros(self.width, dtype=np.int64)
+        self._depths = np.zeros(self.width, dtype=np.int64)
+        self._selected_nodes: list = [None] * self.width
+
+    # -- public ------------------------------------------------------------------
+    def build(self) -> ZEstimation:
+        if self.width == 0:
+            raise ConstructionError("z must be at least 1 to build a z-estimation")
+        for position in range(self.length):
+            row = np.asarray(self.source.distribution(position), dtype=np.float64)
+            total = row.sum()
+            if total <= 0.0:
+                raise ConstructionError(f"position {position} has zero total probability")
+            row = row / total
+            certain_code = self._certain_letter(row)
+            if certain_code is not None:
+                self._certain_step(position, certain_code)
+            else:
+                self._uncertain_step(position, row)
+        # Close the properties of tokens that are still alive.
+        for token in range(self.width):
+            start = int(self.alive_from[token])
+            if start < self.length:
+                self.ends[token, start:] = self.length - 1
+        strings = self._materialise_strings()
+        return ZEstimation(strings, self.ends, self.z, self.source.alphabet)
+
+    # -- per-position steps --------------------------------------------------------
+    @staticmethod
+    def _certain_letter(row: np.ndarray) -> int | None:
+        """The single letter carrying all the probability mass, if any."""
+        positive = np.nonzero(row > 0.0)[0]
+        if len(positive) == 1:
+            return int(positive[0])
+        return None
+
+    def _certain_step(self, position: int, code: int) -> None:
+        """O(1) fast path: every token keeps its groups and takes ``code``."""
+        self.columns.append(code)
+        lo, hi, weight = self.root.segments[0]
+        self.root.segments[0] = (lo, position + 1, weight)
+
+    def _uncertain_step(self, position: int, row: np.ndarray) -> None:
+        positive = [int(code) for code in np.nonzero(row > 0.0)[0]]
+        letters = self._letters
+        depths = self._depths
+        letters[:] = int(np.argmax(row))
+        depths[:] = position + 1  # default: dead at this position
+        selected_nodes = self._selected_nodes
+
+        def process(node: _Node) -> tuple[dict[int, int], list[int]]:
+            """Assign letters/survival inside ``node``; return per-letter counts and free tokens."""
+            committed: dict[int, int] = {}
+            pool: list[int] = []
+            for child in node.children:
+                child_committed, child_pool = process(child)
+                for code, amount in child_committed.items():
+                    committed[code] = committed.get(code, 0) + amount
+                pool.extend(child_pool)
+            members = sorted(node.members)
+            member_index = 0
+            for lo, hi, weight in reversed(node.segments):
+                while member_index < len(members) and members[member_index][0] <= hi:
+                    pool.append(members[member_index][1])
+                    member_index += 1
+                for code in positive:
+                    quota = _weight_floor(weight * row[code])
+                    need = quota - committed.get(code, 0)
+                    if need <= 0:
+                        continue
+                    if need > len(pool):
+                        raise ConstructionError(
+                            "z-estimation invariant violated at position "
+                            f"{position}: need {need} tokens, have {len(pool)}"
+                        )
+                    for _ in range(need):
+                        token = pool.pop()
+                        letters[token] = code
+                        depths[token] = lo
+                        selected_nodes[token] = node
+                    committed[code] = quota
+            if member_index != len(members):
+                raise ConstructionError(
+                    "z-estimation invariant violated: member anchored below "
+                    f"the node's segments at position {position}"
+                )
+            return committed, pool
+
+        process(self.root)
+        self.columns.append(letters.copy())
+
+        # Finalise property ends for every token that lost some start levels.
+        for token in range(self.width):
+            old_start = int(self.alive_from[token])
+            new_start = int(depths[token])
+            if new_start > old_start:
+                self.ends[token, old_start:new_start] = position - 1
+                self.alive_from[token] = new_start
+
+        self._rebuild(position, row, letters, depths, selected_nodes)
+        for token in range(self.width):
+            selected_nodes[token] = None
+
+    # -- tree maintenance ------------------------------------------------------------
+    def _rebuild(
+        self,
+        position: int,
+        row: np.ndarray,
+        letters: np.ndarray,
+        depths: np.ndarray,
+        selected_nodes: list,
+    ) -> None:
+        """Refine the group tree by the letters chosen at ``position``."""
+        survivors_at: dict[int, dict[int, list]] = {}
+        for token in range(self.width):
+            if depths[token] <= position:
+                node = selected_nodes[token]
+                per_letter = survivors_at.setdefault(id(node), {})
+                per_letter.setdefault(int(letters[token]), []).append(
+                    (int(depths[token]), token)
+                )
+
+        def convert(node: _Node) -> dict[int, _Node]:
+            child_results = [convert(child) for child in node.children]
+            own = survivors_at.get(id(node), {})
+            codes = set(own)
+            for child_result in child_results:
+                codes.update(child_result)
+            result: dict[int, _Node] = {}
+            for code in codes:
+                scale = float(row[code])
+                segments = []
+                for lo, hi, weight in node.segments:
+                    scaled = weight * scale
+                    if scaled >= 1.0 - RELATIVE_TOLERANCE:
+                        segments.append((lo, hi, scaled))
+                if not segments:
+                    # The whole subtree weight dropped below 1; no token can be
+                    # alive here (the quotas were 0), so nothing to keep.
+                    continue
+                new_node = _Node(segments=segments, members=list(own.get(code, [])))
+                for child_result in child_results:
+                    child = child_result.get(code)
+                    if child is not None:
+                        new_node.children.append(child)
+                self._normalise(new_node)
+                result[code] = new_node
+            return result
+
+        converted = convert(self.root)
+        dead_members = [
+            (position + 1, token)
+            for token in range(self.width)
+            if depths[token] > position
+        ]
+        new_root = _Node(
+            segments=[(position + 1, position + 1, self.z)],
+            members=dead_members,
+            children=list(converted.values()),
+        )
+        self._normalise(new_root)
+        self.root = new_root
+
+    @staticmethod
+    def _normalise(node: _Node) -> None:
+        """Merge single-child chains and adjacent equal-weight segments."""
+        while len(node.children) == 1:
+            child = node.children[0]
+            # Merge the seam segments when their weights coincide.
+            if (
+                node.segments
+                and child.segments
+                and abs(node.segments[-1][2] - child.segments[0][2]) <= 1e-12
+            ):
+                lo_child, _, weight = child.segments[0]
+                lo_parent, hi_parent, _ = node.segments[-1]
+                node.segments[-1] = (lo_child, hi_parent, weight)
+                node.segments.extend(child.segments[1:])
+            else:
+                node.segments.extend(child.segments)
+            node.members.extend(child.members)
+            node.children = child.children
+
+    # -- materialisation -----------------------------------------------------------
+    def _materialise_strings(self) -> np.ndarray:
+        strings = np.empty((self.width, self.length), dtype=np.int64)
+        for position, column in enumerate(self.columns):
+            strings[:, position] = column
+        return strings
+
+
+def build_z_estimation(source: WeightedString, z: float) -> ZEstimation:
+    """Build a z-estimation of ``source`` for the threshold ``1/z`` (Theorem 2).
+
+    The returned family satisfies the exact Count property stated in the
+    module docstring; in particular a pattern has a z-valid occurrence at
+    ``i`` in ``source`` if and only if it occurs at ``i``, respecting the
+    property, in at least one string of the family.
+    """
+    return _EstimationBuilder(source, z).build()

@@ -1,0 +1,156 @@
+"""Heavy strings and heavy prefix products (Definition 2, Lemma 3).
+
+The heavy string ``H_X`` contains at each position the most probable letter.
+Lemma 3 bounds the Hamming distance between any z-solid factor and the
+corresponding heavy-string fragment by ``log2 z``, which is what makes the
+Corollary-4 edge encoding (heavy interval + at most ``log2 z`` mismatches)
+possible.  This module provides:
+
+* :class:`HeavyString` — the heavy letters, their probabilities and
+  log-domain prefix sums, giving O(1) products of heavy probabilities over
+  arbitrary ranges (the ``PPH`` array of Algorithm 2);
+* helpers to materialise a factor described as "heavy string plus a list of
+  mismatches" and to verify Lemma 3.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from .numerics import is_solid_probability, validate_threshold
+from .weighted_string import WeightedString
+
+__all__ = ["HeavyString", "max_mismatches", "apply_mismatches"]
+
+
+def max_mismatches(z: float) -> int:
+    """``⌊log2 z⌋`` — Lemma 3's bound on mismatches of a solid factor vs ``H_X``."""
+    z = validate_threshold(z)
+    return int(math.floor(math.log2(z) + 1e-12))
+
+
+class HeavyString:
+    """The heavy string of a weighted string, with O(1) range products.
+
+    Parameters
+    ----------
+    source:
+        The weighted string ``X``.
+
+    Notes
+    -----
+    Probability products over heavy ranges are computed from prefix sums of
+    logarithms, so a single query costs O(1) and there is no underflow for
+    long ranges.  Positions with heavy probability 0 cannot occur for a
+    well-formed weighted string (rows sum to 1), so logs are always finite.
+    """
+
+    __slots__ = ("_codes", "_probabilities", "_log_prefix", "_alphabet", "_length")
+
+    def __init__(self, source: WeightedString) -> None:
+        self._codes = source.heavy_codes()
+        self._probabilities = source.heavy_probabilities()
+        logs = np.log(np.maximum(self._probabilities, np.finfo(np.float64).tiny))
+        self._log_prefix = np.concatenate([[0.0], np.cumsum(logs)])
+        self._alphabet = source.alphabet
+        self._length = len(source)
+
+    # -- content -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Heavy letter codes, one per position."""
+        return self._codes
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Probability of the heavy letter at each position."""
+        return self._probabilities
+
+    def code(self, position: int) -> int:
+        """Heavy letter code at ``position``."""
+        return int(self._codes[position])
+
+    def letter(self, position: int) -> str:
+        """Heavy letter symbol at ``position``."""
+        return self._alphabet.letter(self.code(position))
+
+    def text(self) -> str:
+        """The heavy string as text (``H_X``)."""
+        return self._alphabet.decode(int(code) for code in self._codes)
+
+    # -- probabilities over ranges --------------------------------------------
+    def log_range_product(self, start: int, stop: int) -> float:
+        """Natural log of the product of heavy probabilities over ``[start, stop)``."""
+        if start >= stop:
+            return 0.0
+        return float(self._log_prefix[stop] - self._log_prefix[start])
+
+    def range_product(self, start: int, stop: int) -> float:
+        """Product of heavy probabilities over ``[start, stop)`` (the PPH ratio)."""
+        return math.exp(self.log_range_product(start, stop))
+
+    def solid_heavy_run(self, start: int, z: float) -> int:
+        """Longest ``L`` such that the heavy factor ``H[start .. start+L)`` is solid.
+
+        Used by the space-efficient construction to know how far a factor can
+        be extended "for free" along the heavy string.
+        """
+        z = validate_threshold(z)
+        budget = -math.log(z) - 1e-12
+        # Find the largest stop with log_prefix[stop] - log_prefix[start] >= budget.
+        target = self._log_prefix[start] + budget
+        # log_prefix is non-increasing? No: logs are <= 0, so prefix is non-increasing.
+        # We need the last index stop >= start with log_prefix[stop] >= target.
+        lo, hi = start, self._length
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._log_prefix[mid] >= target - 1e-15:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo - start
+
+    # -- factors expressed relative to the heavy string ------------------------
+    def factor_codes(
+        self, start: int, length: int, mismatches: Sequence[tuple[int, int]] = ()
+    ) -> list[int]:
+        """Materialise a factor = heavy fragment with substitutions applied.
+
+        ``mismatches`` is a sequence of ``(absolute_position, code)`` pairs,
+        exactly the Corollary-4 edge information.
+        """
+        codes = [int(code) for code in self._codes[start : start + length]]
+        for position, code in mismatches:
+            offset = position - start
+            if 0 <= offset < length:
+                codes[offset] = int(code)
+        return codes
+
+    def verify_lemma3(
+        self, source: WeightedString, pattern: Sequence[int], position: int, z: float
+    ) -> bool:
+        """Check Lemma 3 for one factor: solid ⇒ ≤ log2 z mismatches with ``H_X``.
+
+        Returns True when the implication holds (it always should); exposed
+        mainly for tests and for documentation value.
+        """
+        z = validate_threshold(z)
+        probability = source.occurrence_probability(pattern, position)
+        if not is_solid_probability(probability, z):
+            return True
+        window = self._codes[position : position + len(pattern)]
+        mismatches = int(np.count_nonzero(np.asarray(pattern) != window))
+        return mismatches <= max_mismatches(z)
+
+
+def apply_mismatches(
+    heavy: HeavyString, start: int, stop: int, mismatches: Sequence[tuple[int, int]]
+) -> list[int]:
+    """Stand-alone variant of :meth:`HeavyString.factor_codes` on ``[start, stop)``."""
+    return heavy.factor_codes(start, stop - start, mismatches)

@@ -1,0 +1,68 @@
+"""Numeric conventions shared by the whole library.
+
+The paper's definitions compare products of probabilities against the
+threshold ``1/z`` and take floors of ``z · probability``.  With IEEE-754
+floats, a product that is mathematically exactly ``1/z`` can land a few
+ulps below it, which would silently drop valid occurrences.  To keep every
+component of the library (solidity checks, z-estimations, index
+construction, verification, brute-force oracles) consistent with each
+other, all of them go through the helpers in this module, which apply one
+shared relative tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidThresholdError
+
+__all__ = [
+    "RELATIVE_TOLERANCE",
+    "validate_threshold",
+    "solid_count",
+    "is_solid_probability",
+]
+
+#: Relative tolerance used when comparing ``z * probability`` with integers.
+#: ``1e-9`` is far above accumulated rounding error for the factor lengths
+#: that are meaningful under any practical ``z`` (a solid factor has at most
+#: ``log2 z`` low-probability positions, Lemma 3) and far below ``1`` so it
+#: never changes the value of a floor except to undo rounding noise.
+RELATIVE_TOLERANCE = 1e-9
+
+
+def validate_threshold(z: float) -> float:
+    """Validate the threshold parameter ``z`` (so that ``1/z ∈ (0, 1]``).
+
+    Returns ``z`` as a float.  ``z`` may be fractional (the paper only
+    requires ``1/z ∈ (0, 1]``); the number of strings in a z-estimation is
+    ``⌊z⌋``.
+    """
+    z = float(z)
+    if not math.isfinite(z) or z < 1.0:
+        raise InvalidThresholdError(
+            f"z must be a finite value >= 1 (got {z!r}); the threshold is 1/z"
+        )
+    return z
+
+
+def solid_count(probability: float, z: float) -> int:
+    """Return ``⌊z · probability⌋`` with rounding-noise protection.
+
+    This is the quantity the z-estimation must reproduce exactly
+    (Theorem 2) and equals the number of strings of the estimation in which
+    the factor occurs respecting the property.
+    """
+    if probability <= 0.0:
+        return 0
+    scaled = z * probability
+    return int(math.floor(scaled + RELATIVE_TOLERANCE * max(1.0, scaled)))
+
+
+def is_solid_probability(probability: float, z: float) -> bool:
+    """Whether a factor with this occurrence probability is *z-solid*.
+
+    Equivalent to ``probability >= 1/z`` and, by construction, to
+    ``solid_count(probability, z) >= 1``.
+    """
+    return solid_count(probability, z) >= 1

@@ -1,0 +1,137 @@
+"""String properties Π and property-respecting occurrences (Section 2).
+
+A *property* of a string ``S`` of length ``n`` is a hereditary collection of
+intervals of ``[0, n)``.  As in the paper we represent it by an array
+``π[0..n-1]`` where ``π[i]`` is the (inclusive) end of the longest interval
+starting at ``i`` (or ``i - 1`` when ``i`` is in no interval).  A pattern
+``P`` occurs at ``i`` *respecting* the property iff it occurs there as a
+plain substring and ``i + |P| - 1 <= π[i]``.
+
+The z-estimation (``core.estimation``) produces one ``(S_j, π_j)`` pair per
+string; the weighted indexes consume them through this module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import WeightedStringError
+
+__all__ = ["PropertyArray", "property_occurrences"]
+
+
+class PropertyArray:
+    """The array representation ``π`` of a hereditary interval property.
+
+    Parameters
+    ----------
+    ends:
+        ``ends[i]`` is the inclusive end of the longest valid interval
+        starting at ``i``; ``i - 1`` means position ``i`` is covered by no
+        interval.  The array must be monotone non-decreasing and satisfy
+        ``i - 1 <= ends[i] < n``.
+    """
+
+    __slots__ = ("_ends",)
+
+    def __init__(self, ends: Sequence[int]) -> None:
+        array = np.asarray(ends, dtype=np.int64)
+        if array.ndim != 1:
+            raise WeightedStringError("property array must be one-dimensional")
+        n = len(array)
+        positions = np.arange(n, dtype=np.int64)
+        if np.any(array < positions - 1) or np.any(array >= n):
+            raise WeightedStringError(
+                "property ends must satisfy i - 1 <= pi[i] < n for every i"
+            )
+        if n > 1 and np.any(np.diff(array) < 0):
+            raise WeightedStringError("property ends must be non-decreasing")
+        array = np.ascontiguousarray(array)
+        array.setflags(write=False)
+        self._ends = array
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_lengths(cls, lengths: Sequence[int]) -> "PropertyArray":
+        """Build from per-position *valid lengths* (``π[i] = i + length - 1``).
+
+        Lengths describe, for each start, how many positions (possibly 0)
+        belong to the longest valid interval starting there.  The resulting
+        array is made hereditary/monotone by construction checks.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        positions = np.arange(len(lengths), dtype=np.int64)
+        return cls(positions + lengths - 1)
+
+    @classmethod
+    def full(cls, n: int) -> "PropertyArray":
+        """The trivial property covering the whole string (π[i] = n - 1)."""
+        return cls(np.full(n, n - 1, dtype=np.int64))
+
+    @classmethod
+    def empty(cls, n: int) -> "PropertyArray":
+        """The empty property (no position is covered)."""
+        return cls(np.arange(n, dtype=np.int64) - 1)
+
+    # -- accessors -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ends)
+
+    @property
+    def ends(self) -> np.ndarray:
+        """The read-only ``π`` array (inclusive interval ends)."""
+        return self._ends
+
+    def end(self, position: int) -> int:
+        """``π[position]`` — inclusive end of the longest interval at ``position``."""
+        return int(self._ends[position])
+
+    def valid_length(self, position: int) -> int:
+        """Length of the longest valid interval starting at ``position``."""
+        return int(self._ends[position]) - position + 1
+
+    def valid_lengths(self) -> np.ndarray:
+        """Vector of valid lengths for all positions."""
+        return self._ends - np.arange(len(self._ends), dtype=np.int64) + 1
+
+    def covers(self, start: int, stop: int) -> bool:
+        """Whether the window ``[start, stop)`` lies inside a valid interval."""
+        if stop <= start:
+            return True
+        if not 0 <= start < len(self._ends):
+            return False
+        return stop - 1 <= int(self._ends[start])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertyArray):
+            return NotImplemented
+        return np.array_equal(self._ends, other._ends)
+
+    def __repr__(self) -> str:
+        return f"PropertyArray(length={len(self)}, ends={self._ends.tolist()!r})"
+
+    def total_covered_length(self) -> int:
+        """Sum of valid lengths — proportional to WST/WSA index size."""
+        return int(self.valid_lengths().sum())
+
+
+def property_occurrences(
+    pattern: Sequence[int], text: Sequence[int], prop: PropertyArray
+) -> list[int]:
+    """``Occ_π(P, S)``: occurrences of ``pattern`` in ``text`` respecting ``prop``.
+
+    Brute-force reference implementation used as a test oracle and by the
+    small-input code paths; the indexes provide the fast equivalents.
+    """
+    m = len(pattern)
+    if m == 0:
+        return list(range(len(text) + 1))
+    pattern = list(pattern)
+    text = list(text)
+    positions = []
+    for start in range(len(text) - m + 1):
+        if text[start : start + m] == pattern and prop.covers(start, start + m):
+            positions.append(start)
+    return positions

@@ -1,0 +1,172 @@
+"""Solid (z-valid) factors of a weighted string.
+
+A factor ``U`` is *z-solid* at position ``i`` when its occurrence probability
+there is at least ``1/z``.  This module provides explicit enumerators for
+solid factors — right-maximal ones, maximal ones, and all of them — used by
+
+* the brute-force oracles the test-suite compares every index against,
+* the dataset statistics (e.g. counting solid windows of a given length),
+* the pattern samplers that mimic the paper's experimental protocol.
+
+The enumerators are DFS-based and run in time proportional to the number of
+enumerated factors (which is ``O(n·z·L)`` in the worst case); the production
+indexes never call them on large inputs — they exist to define ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .numerics import is_solid_probability, validate_threshold
+from .weighted_string import WeightedString
+
+__all__ = [
+    "SolidFactor",
+    "iter_solid_factors_at",
+    "iter_solid_factors",
+    "right_maximal_solid_factors_at",
+    "maximal_solid_factors",
+    "count_solid_windows",
+    "longest_solid_factor_length",
+]
+
+
+@dataclass(frozen=True)
+class SolidFactor:
+    """A solid factor occurrence: ``codes`` read from ``start`` with ``probability``."""
+
+    start: int
+    codes: tuple[int, ...]
+    probability: float
+
+    @property
+    def end(self) -> int:
+        """Exclusive end position of the occurrence."""
+        return self.start + len(self.codes)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+
+def iter_solid_factors_at(
+    source: WeightedString,
+    start: int,
+    z: float,
+    *,
+    max_length: int | None = None,
+) -> Iterator[SolidFactor]:
+    """Yield every solid factor starting at ``start`` (DFS, shortest first on each branch)."""
+    z = validate_threshold(z)
+    limit = len(source) - start
+    if max_length is not None:
+        limit = min(limit, max_length)
+    sigma = source.sigma
+
+    def dfs(offset: int, probability: float, prefix: list[int]) -> Iterator[SolidFactor]:
+        if offset >= limit:
+            return
+        position = start + offset
+        for code in range(sigma):
+            extended = probability * source.probability(position, code)
+            if extended <= 0.0 or not is_solid_probability(extended, z):
+                continue
+            prefix.append(code)
+            yield SolidFactor(start, tuple(prefix), extended)
+            yield from dfs(offset + 1, extended, prefix)
+            prefix.pop()
+
+    yield from dfs(0, 1.0, [])
+
+
+def iter_solid_factors(
+    source: WeightedString, z: float, *, max_length: int | None = None
+) -> Iterator[SolidFactor]:
+    """Yield every solid factor of the weighted string (all starting positions)."""
+    for start in range(len(source)):
+        yield from iter_solid_factors_at(source, start, z, max_length=max_length)
+
+
+def right_maximal_solid_factors_at(
+    source: WeightedString, start: int, z: float
+) -> list[SolidFactor]:
+    """Solid factors at ``start`` that cannot be extended by any letter to the right."""
+    z = validate_threshold(z)
+    sigma = source.sigma
+    results: list[SolidFactor] = []
+
+    def extensible(offset: int, probability: float) -> bool:
+        position = start + offset
+        if position >= len(source):
+            return False
+        for code in range(sigma):
+            if is_solid_probability(probability * source.probability(position, code), z):
+                return True
+        return False
+
+    def dfs(offset: int, probability: float, prefix: list[int]) -> None:
+        position = start + offset
+        extended_any = False
+        if position < len(source):
+            for code in range(sigma):
+                extended = probability * source.probability(position, code)
+                if is_solid_probability(extended, z):
+                    extended_any = True
+                    prefix.append(code)
+                    dfs(offset + 1, extended, prefix)
+                    prefix.pop()
+        if not extended_any and prefix:
+            results.append(SolidFactor(start, tuple(prefix), probability))
+
+    dfs(0, 1.0, [])
+    return results
+
+
+def maximal_solid_factors(source: WeightedString, z: float) -> list[SolidFactor]:
+    """All maximal solid factors: not extensible to the right *or* to the left.
+
+    A right-maximal factor at ``start`` is also left-maximal when there is no
+    letter ``α`` such that ``α·U`` is solid at ``start - 1``.
+    """
+    z = validate_threshold(z)
+    factors: list[SolidFactor] = []
+    for start in range(len(source)):
+        for factor in right_maximal_solid_factors_at(source, start, z):
+            if start == 0:
+                factors.append(factor)
+                continue
+            left_extensible = False
+            for code in range(source.sigma):
+                probability = source.probability(start - 1, code) * factor.probability
+                if is_solid_probability(probability, z):
+                    left_extensible = True
+                    break
+            if not left_extensible:
+                factors.append(factor)
+    return factors
+
+
+def count_solid_windows(source: WeightedString, length: int, z: float) -> int:
+    """Number of (position, string) pairs that are solid windows of a given length.
+
+    Equals the number of length-``length`` factors counted with multiplicity
+    over starting positions; useful for dataset statistics and for sizing
+    pattern samples like the paper does.
+    """
+    z = validate_threshold(z)
+    total = 0
+    for start in range(len(source) - length + 1):
+        for factor in iter_solid_factors_at(source, start, z, max_length=length):
+            if len(factor) == length:
+                total += 1
+    return total
+
+
+def longest_solid_factor_length(source: WeightedString, z: float) -> int:
+    """Length of the longest solid factor anywhere in the weighted string."""
+    z = validate_threshold(z)
+    best = 0
+    for start in range(len(source)):
+        for factor in right_maximal_solid_factors_at(source, start, z):
+            best = max(best, len(factor))
+    return best

@@ -1,0 +1,367 @@
+"""The character-level uncertainty model: weighted (uncertain) strings.
+
+A weighted string ``X`` of length ``n`` over an alphabet ``Σ`` is a sequence
+of ``n`` probability distributions over ``Σ`` (Section 2 of the paper).  The
+class below stores the distributions as an ``(n × σ)`` ``numpy`` matrix and
+provides the primitive operations every other component builds on: random
+access to probabilities, occurrence probabilities of factors, solidity
+checks, heavy letters, slicing and reversal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import WeightedStringError
+from .alphabet import Alphabet
+from .numerics import is_solid_probability, solid_count, validate_threshold
+
+__all__ = ["WeightedString"]
+
+#: Tolerance for "each row must sum to 1".
+_ROW_SUM_TOLERANCE = 1e-6
+
+
+class WeightedString:
+    """A weighted (uncertain) string: ``n`` distributions over ``Σ``.
+
+    Parameters
+    ----------
+    probabilities:
+        Array of shape ``(n, σ)``; ``probabilities[i, c]`` is the probability
+        of the letter with code ``c`` occurring at position ``i``.  Rows must
+        be non-negative and sum to 1 (within a small tolerance).
+    alphabet:
+        The alphabet giving meaning to the ``σ`` columns.
+    normalize:
+        If true, rows are rescaled to sum exactly to 1 instead of being
+        rejected when their sum is off by more than the tolerance.
+
+    Notes
+    -----
+    Positions are 0-based throughout the library (the paper uses 1-based
+    positions).  A factor spanning paper positions ``[i..j]`` corresponds to
+    the half-open Python range ``[i-1, j)``.
+    """
+
+    __slots__ = ("_probs", "_alphabet")
+
+    def __init__(
+        self,
+        probabilities: np.ndarray,
+        alphabet: Alphabet,
+        *,
+        normalize: bool = False,
+    ) -> None:
+        probs = np.asarray(probabilities, dtype=np.float64)
+        if probs.ndim != 2:
+            raise WeightedStringError(
+                f"probability matrix must be 2-dimensional, got shape {probs.shape}"
+            )
+        if probs.shape[1] != alphabet.size:
+            raise WeightedStringError(
+                f"matrix has {probs.shape[1]} columns but alphabet has "
+                f"{alphabet.size} letters"
+            )
+        if np.any(probs < 0.0):
+            raise WeightedStringError("probabilities must be non-negative")
+        if probs.shape[0]:
+            sums = probs.sum(axis=1)
+            if normalize:
+                bad = sums <= 0.0
+                if np.any(bad):
+                    raise WeightedStringError(
+                        "cannot normalize rows whose probabilities sum to 0"
+                    )
+                probs = probs / sums[:, None]
+            elif np.any(np.abs(sums - 1.0) > _ROW_SUM_TOLERANCE):
+                worst = int(np.argmax(np.abs(sums - 1.0)))
+                raise WeightedStringError(
+                    f"row {worst} sums to {sums[worst]:.6f}, expected 1.0 "
+                    "(pass normalize=True to rescale)"
+                )
+        probs = np.ascontiguousarray(probs)
+        probs.setflags(write=False)
+        self._probs = probs
+        self._alphabet = alphabet
+
+    # ------------------------------------------------------------------ #
+    # constructors                                                        #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dicts(
+        cls,
+        distributions: Iterable[Mapping[str, float]],
+        alphabet: Alphabet | None = None,
+        *,
+        normalize: bool = False,
+    ) -> "WeightedString":
+        """Build a weighted string from per-position ``{letter: probability}``.
+
+        Letters absent from a position's mapping get probability 0.  If no
+        alphabet is given, it is inferred from the union of keys (sorted).
+        """
+        rows = [dict(row) for row in distributions]
+        if alphabet is None:
+            letters = sorted({letter for row in rows for letter in row})
+            if not letters:
+                raise WeightedStringError(
+                    "cannot infer an alphabet from empty distributions"
+                )
+            alphabet = Alphabet(letters)
+        matrix = np.zeros((len(rows), alphabet.size), dtype=np.float64)
+        for i, row in enumerate(rows):
+            for letter, probability in row.items():
+                matrix[i, alphabet.code(letter)] = probability
+        return cls(matrix, alphabet, normalize=normalize)
+
+    @classmethod
+    def from_string(
+        cls, text: Sequence[str], alphabet: Alphabet | None = None
+    ) -> "WeightedString":
+        """Build a *certain* weighted string (every position has probability 1).
+
+        Useful to treat a standard string as the degenerate case of an
+        uncertain string, e.g. in tests and examples.
+        """
+        if alphabet is None:
+            alphabet = Alphabet.from_text(text)
+        codes = alphabet.encode(text)
+        matrix = np.zeros((len(codes), alphabet.size), dtype=np.float64)
+        matrix[np.arange(len(codes)), codes] = 1.0
+        return cls(matrix, alphabet)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors                                                     #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._probs.shape[0]
+
+    @property
+    def length(self) -> int:
+        """``n``, the number of positions."""
+        return self._probs.shape[0]
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet of the weighted string."""
+        return self._alphabet
+
+    @property
+    def sigma(self) -> int:
+        """``σ``, the alphabet size."""
+        return self._alphabet.size
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (read-only) ``(n × σ)`` probability matrix."""
+        return self._probs
+
+    def probability(self, position: int, code: int) -> float:
+        """``p_position(code)``: probability of a letter code at a position."""
+        return float(self._probs[position, code])
+
+    def distribution(self, position: int) -> np.ndarray:
+        """The probability vector of one position (read-only view)."""
+        return self._probs[position]
+
+    def letters_at(self, position: int, min_probability: float = 0.0) -> list[int]:
+        """Codes whose probability at ``position`` exceeds ``min_probability``.
+
+        With the default threshold this is the set of letters that *occur*
+        at the position in the paper's sense (probability > 0).
+        """
+        row = self._probs[position]
+        return [int(code) for code in np.nonzero(row > min_probability)[0]]
+
+    def uncertain_positions(self) -> np.ndarray:
+        """Positions where more than one letter has positive probability.
+
+        The fraction of such positions is the ``Δ`` statistic reported in
+        Table 2 of the paper.
+        """
+        return np.nonzero((self._probs > 0.0).sum(axis=1) > 1)[0]
+
+    @property
+    def delta(self) -> float:
+        """``Δ``: the fraction of uncertain positions (Table 2)."""
+        if not len(self):
+            return 0.0
+        return float(len(self.uncertain_positions())) / float(len(self))
+
+    # ------------------------------------------------------------------ #
+    # factor probabilities and solidity                                   #
+    # ------------------------------------------------------------------ #
+    def occurrence_probability(self, pattern: Sequence[int], position: int) -> float:
+        """Probability that ``pattern`` (a code sequence) occurs at ``position``.
+
+        This is ``P(X[i .. i+m-1] = P)`` from the paper; 0 if the pattern
+        would overhang the end of the string.
+        """
+        m = len(pattern)
+        if position < 0 or position + m > len(self):
+            return 0.0
+        probability = 1.0
+        probs = self._probs
+        for offset, code in enumerate(pattern):
+            probability *= probs[position + offset, code]
+            if probability == 0.0:
+                return 0.0
+        return probability
+
+    def is_solid(self, pattern: Sequence[int], position: int, z: float) -> bool:
+        """Whether ``pattern`` has a z-solid (z-valid) occurrence at ``position``."""
+        z = validate_threshold(z)
+        return is_solid_probability(self.occurrence_probability(pattern, position), z)
+
+    def solid_count(self, pattern: Sequence[int], position: int, z: float) -> int:
+        """``⌊z · P(X[position..] = pattern)⌋`` — the Theorem 2 count."""
+        z = validate_threshold(z)
+        return solid_count(self.occurrence_probability(pattern, position), z)
+
+    def occurrences(self, pattern: Sequence[int], z: float) -> list[int]:
+        """All z-valid occurrence positions of ``pattern`` (brute force).
+
+        This is the reference oracle ``Occ_{1/z}(P, X)``; the indexes in
+        :mod:`repro.indexes` must return exactly this set.
+        """
+        z = validate_threshold(z)
+        m = len(pattern)
+        if m == 0:
+            return list(range(len(self) + 1))
+        positions = []
+        for start in range(len(self) - m + 1):
+            probability = self.occurrence_probability(pattern, start)
+            if is_solid_probability(probability, z):
+                positions.append(start)
+        return positions
+
+    def maximal_solid_length(self, position: int, letters: Sequence[int], z: float) -> int:
+        """Longest prefix of ``letters`` that is solid when read from ``position``.
+
+        Helper for property arrays: returns the largest ``L`` such that
+        ``letters[:L]`` is z-solid at ``position`` (0 if even the first
+        letter is not solid there).
+        """
+        z = validate_threshold(z)
+        probability = 1.0
+        length = 0
+        for offset, code in enumerate(letters):
+            if position + offset >= len(self):
+                break
+            probability *= self._probs[position + offset, code]
+            if not is_solid_probability(probability, z):
+                break
+            length = offset + 1
+        return length
+
+    # ------------------------------------------------------------------ #
+    # heavy letters                                                       #
+    # ------------------------------------------------------------------ #
+    def heavy_codes(self) -> np.ndarray:
+        """The heavy string of ``X`` as an array of codes (Definition 2).
+
+        Ties are broken towards the smallest code, which is an arbitrary but
+        deterministic choice (the paper allows any tie-break).
+        """
+        return np.argmax(self._probs, axis=1).astype(np.int64)
+
+    def heavy_probabilities(self) -> np.ndarray:
+        """The probability of the heavy letter at each position."""
+        return self._probs.max(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # transformations                                                     #
+    # ------------------------------------------------------------------ #
+    def reverse(self) -> "WeightedString":
+        """The reverse weighted string (distributions in reverse order)."""
+        return WeightedString(self._probs[::-1].copy(), self._alphabet)
+
+    def slice(self, start: int, stop: int) -> "WeightedString":
+        """The weighted substring on positions ``[start, stop)``."""
+        if not 0 <= start <= stop <= len(self):
+            raise WeightedStringError(
+                f"invalid slice [{start}, {stop}) for length {len(self)}"
+            )
+        return WeightedString(self._probs[start:stop].copy(), self._alphabet)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(len(self))
+            if step != 1:
+                raise WeightedStringError("only contiguous slices are supported")
+            return self.slice(start, stop)
+        return self.distribution(item)
+
+    def concat(self, other: "WeightedString") -> "WeightedString":
+        """Concatenate two weighted strings over the same alphabet."""
+        if other.alphabet != self._alphabet:
+            raise WeightedStringError("cannot concatenate over different alphabets")
+        return WeightedString(
+            np.vstack([self._probs, other.matrix]), self._alphabet
+        )
+
+    def to_dicts(self, *, drop_zero: bool = True) -> list[dict[str, float]]:
+        """Export as per-position ``{letter: probability}`` dictionaries."""
+        rows = []
+        for i in range(len(self)):
+            row = {}
+            for code in range(self.sigma):
+                probability = float(self._probs[i, code])
+                if probability > 0.0 or not drop_zero:
+                    row[self._alphabet.letter(code)] = probability
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers                                                      #
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedString):
+            return NotImplemented
+        return self._alphabet == other._alphabet and np.array_equal(
+            self._probs, other._probs
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely useful, but defined
+        return hash((self._alphabet, self._probs.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedString(length={len(self)}, sigma={self.sigma}, "
+            f"delta={self.delta:.3f})"
+        )
+
+    def entropy(self) -> float:
+        """Average per-position Shannon entropy (bits) — a dataset statistic."""
+        probs = self._probs
+        with np.errstate(divide="ignore", invalid="ignore"):
+            terms = np.where(probs > 0.0, -probs * np.log2(probs), 0.0)
+        if not len(self):
+            return 0.0
+        return float(terms.sum(axis=1).mean())
+
+    def expected_size_bytes(self) -> int:
+        """Bytes needed to store the matrix densely (8 bytes per entry)."""
+        return int(self._probs.size * 8)
+
+    def sample_string(self, rng: np.random.Generator | None = None) -> list[int]:
+        """Draw one plain string from the position-wise distributions.
+
+        Positions are sampled independently, matching the probabilistic
+        semantics of the character-level uncertainty model.
+        """
+        rng = rng or np.random.default_rng()
+        cumulative = np.cumsum(self._probs, axis=1)
+        draws = rng.random(len(self))
+        return [int(np.searchsorted(cumulative[i], draws[i])) for i in range(len(self))]
+
+    def log_probability(self, pattern: Sequence[int], position: int) -> float:
+        """Natural-log occurrence probability (``-inf`` for impossible factors)."""
+        probability = self.occurrence_probability(pattern, position)
+        if probability <= 0.0:
+            return float("-inf")
+        return math.log(probability)

@@ -1,0 +1,47 @@
+"""Dataset generators and the named registry used by the benchmarks."""
+
+from .genomes import (
+    SNP,
+    GenomicDataset,
+    efm_like,
+    generate_genomic_dataset,
+    human_like,
+    sars_like,
+)
+from .patterns import (
+    mutate_pattern,
+    paper_pattern_count,
+    sample_random_patterns,
+    sample_valid_patterns,
+)
+from .registry import DATASETS, DatasetSpec, dataset_characteristics, load_dataset
+from .rssi import reduce_alphabet, rssi_family, rssi_like, scale_length
+from .synthetic import (
+    dirichlet_weighted_string,
+    random_weighted_string,
+    sparse_uncertainty_string,
+)
+
+__all__ = [
+    "SNP",
+    "GenomicDataset",
+    "generate_genomic_dataset",
+    "sars_like",
+    "efm_like",
+    "human_like",
+    "rssi_like",
+    "rssi_family",
+    "scale_length",
+    "reduce_alphabet",
+    "random_weighted_string",
+    "dirichlet_weighted_string",
+    "sparse_uncertainty_string",
+    "sample_valid_patterns",
+    "sample_random_patterns",
+    "mutate_pattern",
+    "paper_pattern_count",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_characteristics",
+]

@@ -1,0 +1,171 @@
+"""Genomic dataset generators mirroring the paper's SARS / EFM / HUMAN data.
+
+The paper builds its genomic weighted strings from a reference sequence plus
+a table of single-nucleotide polymorphisms (SNPs) with allele frequencies
+estimated over a population of samples (Table 2).  With no network access,
+this module reproduces the *generative structure* of those datasets:
+
+* a random DNA reference of the requested length;
+* a Δ-fraction of positions is polymorphic; each polymorphic position gets
+  an alternative allele whose frequency is drawn from a Beta distribution
+  fitted to low minor-allele frequencies (most SNPs are rare, a few are
+  common), discretised over the requested number of samples;
+* the weighted string assigns, at each position, the relative allele
+  frequencies as letter probabilities — exactly the construction described
+  in Section 7.1.
+
+The presets reproduce the *characteristics* of Table 2 (σ = 4, Δ, number of
+samples); their default lengths are scaled down so that the pure-Python
+pipeline runs in seconds, and can be raised through ``length``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.alphabet import DNA
+from ..core.weighted_string import WeightedString
+from ..errors import DatasetError
+
+__all__ = [
+    "SNP",
+    "GenomicDataset",
+    "generate_genomic_dataset",
+    "sars_like",
+    "efm_like",
+    "human_like",
+]
+
+
+@dataclass(frozen=True)
+class SNP:
+    """One simulated single-nucleotide polymorphism."""
+
+    position: int
+    reference_code: int
+    alternative_code: int
+    alternative_frequency: float
+
+    def as_row(self) -> dict:
+        """Dictionary form used by the VCF-like writer."""
+        return {
+            "position": self.position,
+            "reference": DNA.letter(self.reference_code),
+            "alternative": DNA.letter(self.alternative_code),
+            "frequency": self.alternative_frequency,
+        }
+
+
+@dataclass
+class GenomicDataset:
+    """A simulated population of genomes as a weighted string."""
+
+    name: str
+    weighted_string: WeightedString
+    reference_codes: np.ndarray
+    snps: list[SNP]
+    samples: int
+
+    @property
+    def length(self) -> int:
+        """Reference length ``n``."""
+        return len(self.weighted_string)
+
+    @property
+    def delta(self) -> float:
+        """Fraction of polymorphic positions (Table 2's Δ)."""
+        return self.weighted_string.delta
+
+    def describe(self) -> dict:
+        """Table 2-style characteristics of the dataset."""
+        return {
+            "name": self.name,
+            "samples": self.samples,
+            "length": self.length,
+            "sigma": self.weighted_string.sigma,
+            "delta_percent": 100.0 * self.delta,
+            "snps": len(self.snps),
+        }
+
+
+def generate_genomic_dataset(
+    name: str,
+    length: int,
+    samples: int,
+    delta: float,
+    *,
+    seed: int | None = None,
+    beta_shape: tuple[float, float] = (0.4, 4.0),
+) -> GenomicDataset:
+    """Generate a synthetic population of genomes as a weighted string.
+
+    Parameters
+    ----------
+    name:
+        Display name of the dataset (used by the registry and reports).
+    length:
+        Reference length ``n``.
+    samples:
+        Number of individuals the allele frequencies are estimated from;
+        frequencies are discretised to multiples of ``1/samples`` like real
+        allele counts.
+    delta:
+        Fraction of polymorphic positions (Table 2's Δ, e.g. ``0.036``).
+    beta_shape:
+        Shape parameters of the Beta distribution of minor-allele
+        frequencies; the default is skewed towards rare variants.
+    """
+    if length < 0:
+        raise DatasetError("length must be non-negative")
+    if samples <= 0:
+        raise DatasetError("samples must be positive")
+    if not 0.0 <= delta <= 1.0:
+        raise DatasetError("delta must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    reference = rng.integers(0, 4, size=length)
+    matrix = np.zeros((length, 4), dtype=np.float64)
+    matrix[np.arange(length), reference] = 1.0
+    snp_count = int(round(delta * length))
+    snp_positions = (
+        rng.choice(length, size=snp_count, replace=False) if snp_count else np.empty(0, int)
+    )
+    snps: list[SNP] = []
+    alpha, beta = beta_shape
+    for position in np.sort(snp_positions):
+        reference_code = int(reference[position])
+        alternative_code = int(rng.choice([c for c in range(4) if c != reference_code]))
+        frequency = float(rng.beta(alpha, beta))
+        # Discretise to an allele count over the population, at least one copy.
+        count = max(1, int(round(frequency * samples)))
+        count = min(count, samples - 1) if samples > 1 else 1
+        frequency = count / samples
+        matrix[position, reference_code] = 1.0 - frequency
+        matrix[position, alternative_code] = frequency
+        snps.append(SNP(int(position), reference_code, alternative_code, frequency))
+    weighted = WeightedString(matrix, DNA)
+    return GenomicDataset(name, weighted, np.asarray(reference, dtype=np.int64), snps, samples)
+
+
+def sars_like(length: int = 29_903, *, seed: int | None = 11) -> GenomicDataset:
+    """A SARS-CoV-2-like dataset: 29,903 bp, 1,181 samples, Δ = 3.6 % (Table 2)."""
+    return generate_genomic_dataset("SARS", length, samples=1_181, delta=0.036, seed=seed)
+
+
+def efm_like(length: int = 200_000, *, seed: int | None = 13) -> GenomicDataset:
+    """An E. faecium-like dataset: Δ = 6 %, 1,432 samples (paper length 2.96 Mbp).
+
+    The default length is scaled down ~15× so the pure-Python pipeline stays
+    laptop-scale; pass ``length=2_955_294`` to match the paper exactly.
+    """
+    return generate_genomic_dataset("EFM", length, samples=1_432, delta=0.06, seed=seed)
+
+
+def human_like(length: int = 300_000, *, seed: int | None = 17) -> GenomicDataset:
+    """A human-chr22-like dataset: Δ = 3.2 %, 2,504 samples (paper length 35.2 Mbp).
+
+    The default length is scaled down ~117×; pass ``length=35_194_566`` to
+    match the paper exactly (slow in pure Python).
+    """
+    return generate_genomic_dataset("HUMAN", length, samples=2_504, delta=0.032, seed=seed)

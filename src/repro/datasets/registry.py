@@ -1,0 +1,121 @@
+"""Named dataset registry with Table 2-style characteristics.
+
+The benchmark harness and the examples refer to datasets by name
+(``"SARS"``, ``"EFM"``, ``"HUMAN"``, ``"RSSI"``); the registry centralises
+their construction, their default thresholds (the paper's default z per
+dataset) and their scaled default sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.weighted_string import WeightedString
+from ..errors import DatasetError
+from .genomes import efm_like, human_like, sars_like
+from .rssi import rssi_like
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_characteristics"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset of the experimental evaluation."""
+
+    name: str
+    loader: Callable[..., WeightedString]
+    default_z: float
+    paper_length: int
+    default_length: int
+    description: str
+
+    def load(self, length: int | None = None, *, seed: int | None = None) -> WeightedString:
+        """Materialise the dataset at the requested (or default) length."""
+        kwargs = {}
+        if length is not None:
+            kwargs["length"] = length
+        if seed is not None:
+            kwargs["seed"] = seed
+        return self.loader(**kwargs)
+
+
+def _sars(length: int = 29_903, seed: int | None = 11) -> WeightedString:
+    return sars_like(length, seed=seed).weighted_string
+
+
+def _efm(length: int = 60_000, seed: int | None = 13) -> WeightedString:
+    return efm_like(length, seed=seed).weighted_string
+
+
+def _human(length: int = 80_000, seed: int | None = 17) -> WeightedString:
+    return human_like(length, seed=seed).weighted_string
+
+
+def _rssi(length: int = 20_000, seed: int | None = 23) -> WeightedString:
+    return rssi_like(length, seed=seed)
+
+
+#: The four datasets of Table 2; default z values follow Section 7.1
+#: ("The default z for SARS, EFM, HUMAN, RSSI ... was 1024, 128, 8, 16").
+DATASETS: dict[str, DatasetSpec] = {
+    "SARS": DatasetSpec(
+        name="SARS",
+        loader=_sars,
+        default_z=1024,
+        paper_length=29_903,
+        default_length=29_903,
+        description="SARS-CoV-2-like genome with SNP allele frequencies (1,181 samples)",
+    ),
+    "EFM": DatasetSpec(
+        name="EFM",
+        loader=_efm,
+        default_z=128,
+        paper_length=2_955_294,
+        default_length=60_000,
+        description="E. faecium-like chromosome with SNP allele frequencies (1,432 samples)",
+    ),
+    "HUMAN": DatasetSpec(
+        name="HUMAN",
+        loader=_human,
+        default_z=8,
+        paper_length=35_194_566,
+        default_length=80_000,
+        description="Human-chr22-like sequence with 1000-Genomes-style SNPs (2,504 samples)",
+    ),
+    "RSSI": DatasetSpec(
+        name="RSSI",
+        loader=_rssi,
+        default_z=16,
+        paper_length=6_053_462,
+        default_length=20_000,
+        description="IEEE 802.15.4 RSSI channel-ratio weighted string (sigma = 91)",
+    ),
+}
+
+
+def load_dataset(name: str, length: int | None = None, *, seed: int | None = None) -> WeightedString:
+    """Load a named dataset (optionally overriding its length/seed)."""
+    try:
+        spec = DATASETS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise DatasetError(f"unknown dataset {name!r}; known datasets: {known}") from None
+    return spec.load(length, seed=seed)
+
+
+def dataset_characteristics(
+    name: str, length: int | None = None, *, seed: int | None = None
+) -> dict:
+    """Table 2-style characteristics of one dataset at the chosen scale."""
+    spec = DATASETS[name.upper()]
+    weighted = spec.load(length, seed=seed)
+    return {
+        "name": spec.name,
+        "length": len(weighted),
+        "paper_length": spec.paper_length,
+        "sigma": weighted.sigma,
+        "delta_percent": 100.0 * weighted.delta,
+        "default_z": spec.default_z,
+        "description": spec.description,
+    }

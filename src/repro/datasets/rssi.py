@@ -1,0 +1,121 @@
+"""RSSI sensor dataset generators (the paper's CRAWDAD-derived weighted string).
+
+The paper's RSSI dataset assigns, at each time step ``i``, to every signal
+strength value ``α`` the fraction of IEEE 802.15.4 channels that reported
+``α`` at time ``i`` (σ = 91, Δ = 100 %).  Without the CRAWDAD trace we
+simulate the same structure: a slowly drifting true signal per time step,
+with per-channel readings scattered around it, aggregated into a relative
+frequency distribution over the discretised RSSI values.
+
+The derived family ``RSSI_{n,σ}`` of the paper is reproduced verbatim:
+larger ``n`` values are obtained by appending the string to itself, and
+smaller alphabets by reducing every value modulo the target σ (Section 7.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.weighted_string import WeightedString
+from ..errors import DatasetError
+
+__all__ = ["rssi_like", "scale_length", "reduce_alphabet", "rssi_family"]
+
+#: The paper's RSSI alphabet size.
+RSSI_SIGMA = 91
+#: Number of IEEE 802.15.4 channels contributing readings per time step.
+RSSI_CHANNELS = 16
+
+
+def rssi_like(
+    length: int = 20_000,
+    sigma: int = RSSI_SIGMA,
+    *,
+    channels: int = RSSI_CHANNELS,
+    drift: float = 1.5,
+    noise: float = 4.0,
+    stable_fraction: float = 0.85,
+    seed: int | None = 23,
+) -> WeightedString:
+    """A synthetic RSSI weighted string (σ = 91, Δ ≈ 100 %).
+
+    ``channels`` readings are simulated per time step around a slowly
+    drifting mean; the per-position distribution is the relative frequency
+    of each discretised value among the channels, exactly like the paper's
+    channel-ratio construction.  Most time steps are *stable*: all but one
+    channel report the dominant value (as in quiet periods of the real
+    trace), which is what gives the data long high-probability factors; the
+    remaining steps scatter the readings with the given ``noise``.
+    """
+    if length < 0:
+        raise DatasetError("length must be non-negative")
+    if sigma <= 1:
+        raise DatasetError("sigma must be at least 2")
+    if not 0.0 <= stable_fraction <= 1.0:
+        raise DatasetError("stable_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    alphabet = Alphabet.integer(sigma)
+    matrix = np.zeros((length, sigma), dtype=np.float64)
+    level = sigma / 2.0
+    for position in range(length):
+        level += rng.normal(0.0, drift)
+        level = float(np.clip(level, 0.0, sigma - 1))
+        dominant = int(np.clip(round(level), 0, sigma - 1))
+        if rng.random() < stable_fraction:
+            # Quiet period: one stray channel, the rest agree on the dominant value.
+            stray = int(np.clip(dominant + rng.choice([-2, -1, 1, 2]), 0, sigma - 1))
+            readings = np.full(channels, dominant, dtype=np.int64)
+            readings[int(rng.integers(0, channels))] = stray
+        else:
+            readings = np.clip(
+                np.rint(rng.normal(level, noise, size=channels)), 0, sigma - 1
+            ).astype(np.int64)
+        values, counts = np.unique(readings, return_counts=True)
+        matrix[position, values] = counts / channels
+    return WeightedString(matrix, alphabet)
+
+
+def scale_length(source: WeightedString, factor: int) -> WeightedString:
+    """Append the weighted string to itself ``factor`` times (the RSSI_{n,σ} rule)."""
+    if factor <= 0:
+        raise DatasetError("factor must be positive")
+    matrix = np.tile(source.matrix, (factor, 1))
+    return WeightedString(matrix, source.alphabet)
+
+
+def reduce_alphabet(source: WeightedString, sigma: int) -> WeightedString:
+    """Replace every value ``v`` by ``v mod sigma`` (the RSSI_{n,σ} rule).
+
+    Probabilities of values that collapse onto the same residue are summed.
+    """
+    if sigma <= 1:
+        raise DatasetError("sigma must be at least 2")
+    old_sigma = source.sigma
+    matrix = np.zeros((len(source), sigma), dtype=np.float64)
+    for value in range(old_sigma):
+        matrix[:, value % sigma] += source.matrix[:, value]
+    return WeightedString(matrix, Alphabet.integer(sigma), normalize=True)
+
+
+def rssi_family(
+    base: WeightedString | None = None,
+    *,
+    length_factor: int = 1,
+    sigma: int | None = None,
+    base_length: int = 20_000,
+    seed: int | None = 23,
+) -> WeightedString:
+    """The paper's RSSI_{n,σ} derived datasets.
+
+    ``length_factor`` ∈ {2, 4, 6, 8} multiplies the length by self-append;
+    ``sigma`` ∈ {16, 32, 64} reduces the alphabet by value mod σ.
+    """
+    if base is None:
+        base = rssi_like(base_length, seed=seed)
+    result = base
+    if sigma is not None and sigma != result.sigma:
+        result = reduce_alphabet(result, sigma)
+    if length_factor > 1:
+        result = scale_length(result, length_factor)
+    return result

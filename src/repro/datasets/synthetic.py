@@ -1,0 +1,114 @@
+"""Generic synthetic weighted strings (uniform, Dirichlet and sparse models).
+
+These generators are the building blocks of the dataset presets in
+:mod:`repro.datasets.genomes` and :mod:`repro.datasets.rssi`, and are useful
+on their own for tests and micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.weighted_string import WeightedString
+from ..errors import DatasetError
+
+__all__ = [
+    "random_weighted_string",
+    "dirichlet_weighted_string",
+    "sparse_uncertainty_string",
+]
+
+
+def _resolve_alphabet(sigma: int, alphabet: Alphabet | None) -> Alphabet:
+    if alphabet is not None:
+        if alphabet.size != sigma:
+            raise DatasetError(
+                f"alphabet has {alphabet.size} letters but sigma={sigma} was requested"
+            )
+        return alphabet
+    if sigma <= 26:
+        return Alphabet([chr(ord("A") + code) for code in range(sigma)])
+    return Alphabet.integer(sigma)
+
+
+def random_weighted_string(
+    length: int,
+    sigma: int = 4,
+    *,
+    alphabet: Alphabet | None = None,
+    seed: int | None = None,
+) -> WeightedString:
+    """A weighted string whose distributions are uniform over random supports.
+
+    Every position picks a random non-empty subset of the alphabet and
+    spreads the probability uniformly over it; the result has Δ well below
+    100 % only when ``sigma`` is small.
+    """
+    if length < 0:
+        raise DatasetError("length must be non-negative")
+    rng = np.random.default_rng(seed)
+    alphabet = _resolve_alphabet(sigma, alphabet)
+    matrix = np.zeros((length, sigma), dtype=np.float64)
+    support_sizes = rng.integers(1, sigma + 1, size=length)
+    for position in range(length):
+        support = rng.choice(sigma, size=int(support_sizes[position]), replace=False)
+        matrix[position, support] = 1.0 / len(support)
+    return WeightedString(matrix, alphabet)
+
+
+def dirichlet_weighted_string(
+    length: int,
+    sigma: int = 4,
+    *,
+    concentration: float = 0.5,
+    alphabet: Alphabet | None = None,
+    seed: int | None = None,
+) -> WeightedString:
+    """A weighted string with Dirichlet-distributed positions (Δ = 100 %).
+
+    Small ``concentration`` values produce peaked distributions (one letter
+    dominates, as in sequencing data); large values produce flat ones.
+    """
+    if length < 0:
+        raise DatasetError("length must be non-negative")
+    if concentration <= 0:
+        raise DatasetError("concentration must be positive")
+    rng = np.random.default_rng(seed)
+    alphabet = _resolve_alphabet(sigma, alphabet)
+    matrix = rng.dirichlet([concentration] * sigma, size=length)
+    return WeightedString(np.asarray(matrix, dtype=np.float64), alphabet, normalize=True)
+
+
+def sparse_uncertainty_string(
+    length: int,
+    sigma: int = 4,
+    *,
+    delta: float = 0.05,
+    second_allele_weight: float = 0.3,
+    alphabet: Alphabet | None = None,
+    seed: int | None = None,
+) -> WeightedString:
+    """A weighted string where only a Δ-fraction of positions is uncertain.
+
+    Deterministic positions carry a single letter with probability 1;
+    uncertain positions split the mass between a major and a minor letter —
+    the structure of genomic allele-frequency data (Table 2's small Δ).
+    """
+    if not 0.0 <= delta <= 1.0:
+        raise DatasetError("delta must be in [0, 1]")
+    if not 0.0 < second_allele_weight < 1.0:
+        raise DatasetError("second_allele_weight must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    alphabet = _resolve_alphabet(sigma, alphabet)
+    matrix = np.zeros((length, sigma), dtype=np.float64)
+    major = rng.integers(0, sigma, size=length)
+    matrix[np.arange(length), major] = 1.0
+    uncertain = rng.random(length) < delta
+    for position in np.nonzero(uncertain)[0]:
+        minor_choices = [code for code in range(sigma) if code != major[position]]
+        minor = int(rng.choice(minor_choices))
+        weight = float(rng.uniform(0.05, second_allele_weight))
+        matrix[position, major[position]] = 1.0 - weight
+        matrix[position, minor] = weight
+    return WeightedString(matrix, alphabet)

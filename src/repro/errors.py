@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised on a user-facing code path derives from
+:class:`ReproError`, so applications embedding the library can catch a
+single base class.  More specific subclasses signal which layer rejected
+the input (the core model, an index, the IO layer, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class AlphabetError(ReproError):
+    """A letter or code is not part of the alphabet in use."""
+
+
+class WeightedStringError(ReproError):
+    """A weighted string (probability matrix) is malformed."""
+
+
+class InvalidThresholdError(ReproError):
+    """The weight threshold ``1/z`` is outside the allowed range ``(0, 1]``."""
+
+
+class PatternError(ReproError):
+    """A query pattern is malformed or violates the index's constraints.
+
+    The most common cause is querying an ``ℓ``-weighted index with a
+    pattern shorter than the ``ℓ`` the index was built for.
+    """
+
+
+class ConstructionError(ReproError):
+    """An index could not be constructed from the given inputs."""
+
+
+class SerializationError(ReproError):
+    """A file could not be parsed into (or written from) a library object."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset specification is invalid."""

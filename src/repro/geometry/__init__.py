@@ -1,0 +1,5 @@
+"""Geometric substrate: 2D range reporting for the grid-based indexes."""
+
+from .grid import BruteForceGrid, Grid2D, RangeTree2D
+
+__all__ = ["BruteForceGrid", "RangeTree2D", "Grid2D"]

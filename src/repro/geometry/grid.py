@@ -1,0 +1,177 @@
+"""2D range reporting over grid points (the Lemma 7 substrate).
+
+The grid-based indexes (MWST-G, MWSA-G) pair leaves of the forward and
+backward minimizer solid-factor trees: point ``(x, y)`` links the leaf of
+rank ``x`` in ``Tsuff`` with the leaf of rank ``y`` in ``Tpref`` that carries
+the same minimizer label.  A query then asks for all points inside an
+axis-aligned rectangle ``[x1, x2) × [y1, y2)``.
+
+Two backends are provided:
+
+* :class:`RangeTree2D` — a segment tree over x whose nodes store their
+  points sorted by y ("merge-sort tree"); queries cost
+  ``O(log²N + k·log N)`` — the practical counterpart of the
+  ``O((1 + k) log N)`` structure of Lemma 7;
+* :class:`BruteForceGrid` — a linear scan used as a test oracle and for
+  very small point sets.
+
+:class:`Grid2D` is the façade the indexes use; it picks the backend and
+exposes uniform ``report``/``count`` methods.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["BruteForceGrid", "RangeTree2D", "Grid2D"]
+
+Point = tuple[int, int]
+
+
+class BruteForceGrid:
+    """Linear-scan backend (test oracle, tiny point sets)."""
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        self._points = [(int(x), int(y)) for x, y in points]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def report(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> list[Point]:
+        """All points with x in [x_lo, x_hi) and y in [y_lo, y_hi)."""
+        return [
+            (x, y)
+            for x, y in self._points
+            if x_lo <= x < x_hi and y_lo <= y < y_hi
+        ]
+
+    def count(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> int:
+        """Number of points inside the rectangle."""
+        return len(self.report(x_lo, x_hi, y_lo, y_hi))
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint (two integers per point)."""
+        return 16 * len(self._points)
+
+
+class RangeTree2D:
+    """Segment tree over x with y-sorted point lists per node."""
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        points = sorted((int(x), int(y)) for x, y in points)
+        self._points = points
+        self._xs = [x for x, _ in points]
+        size = 1
+        while size < max(1, len(points)):
+            size *= 2
+        self._size = size
+        # Node i covers point indices [i*block, (i+1)*block) at its level.
+        self._ys: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * (2 * size)
+        self._idx: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * (2 * size)
+        for position, (_, y) in enumerate(points):
+            leaf = size + position
+            self._ys[leaf] = np.array([y], dtype=np.int64)
+            self._idx[leaf] = np.array([position], dtype=np.int64)
+        for node in range(size - 1, 0, -1):
+            left, right = self._ys[2 * node], self._ys[2 * node + 1]
+            left_idx, right_idx = self._idx[2 * node], self._idx[2 * node + 1]
+            merged_y = np.concatenate([left, right])
+            merged_idx = np.concatenate([left_idx, right_idx])
+            order = np.argsort(merged_y, kind="stable")
+            self._ys[node] = merged_y[order]
+            self._idx[node] = merged_idx[order]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # -- rectangle decomposition -------------------------------------------------------
+    def _canonical_nodes(self, lo: int, hi: int) -> list[int]:
+        """O(log N) segment-tree nodes covering point-index range [lo, hi)."""
+        nodes = []
+        lo += self._size
+        hi += self._size
+        while lo < hi:
+            if lo & 1:
+                nodes.append(lo)
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                nodes.append(hi)
+            lo //= 2
+            hi //= 2
+        return nodes
+
+    def _x_range_to_positions(self, x_lo: int, x_hi: int) -> tuple[int, int]:
+        lo = bisect_left(self._xs, x_lo)
+        hi = bisect_left(self._xs, x_hi)
+        return lo, hi
+
+    # -- queries -----------------------------------------------------------------------
+    def report(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> list[Point]:
+        """All points inside ``[x_lo, x_hi) × [y_lo, y_hi)``."""
+        lo, hi = self._x_range_to_positions(x_lo, x_hi)
+        if lo >= hi or y_lo >= y_hi:
+            return []
+        results: list[Point] = []
+        for node in self._canonical_nodes(lo, hi):
+            ys = self._ys[node]
+            start = int(np.searchsorted(ys, y_lo, side="left"))
+            stop = int(np.searchsorted(ys, y_hi, side="left"))
+            for position in self._idx[node][start:stop]:
+                results.append(self._points[int(position)])
+        return results
+
+    def count(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> int:
+        """Number of points inside the rectangle (no reporting cost)."""
+        lo, hi = self._x_range_to_positions(x_lo, x_hi)
+        if lo >= hi or y_lo >= y_hi:
+            return 0
+        total = 0
+        for node in self._canonical_nodes(lo, hi):
+            ys = self._ys[node]
+            total += int(np.searchsorted(ys, y_hi, side="left")) - int(
+                np.searchsorted(ys, y_lo, side="left")
+            )
+        return total
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the structure."""
+        total = 16 * len(self._points)
+        total += sum(level.nbytes for level in self._ys)
+        total += sum(level.nbytes for level in self._idx)
+        return int(total)
+
+
+class Grid2D:
+    """Façade over the range-reporting backends used by the grid indexes."""
+
+    #: Below this many points a linear scan is faster than any structure.
+    BRUTE_FORCE_LIMIT = 64
+
+    def __init__(self, points: Sequence[Point], backend: str = "auto") -> None:
+        points = list(points)
+        if backend == "brute" or (backend == "auto" and len(points) <= self.BRUTE_FORCE_LIMIT):
+            self._backend = BruteForceGrid(points)
+        elif backend in {"auto", "range_tree"}:
+            self._backend = RangeTree2D(points)
+        else:
+            raise ValueError(f"unknown grid backend {backend!r}")
+        self._count = len(points)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def report(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> list[Point]:
+        """All points inside the rectangle."""
+        return self._backend.report(x_lo, x_hi, y_lo, y_hi)
+
+    def count(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> int:
+        """Number of points inside the rectangle."""
+        return self._backend.count(x_lo, x_hi, y_lo, y_hi)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the active backend."""
+        return self._backend.nbytes()

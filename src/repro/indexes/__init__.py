@@ -1,0 +1,108 @@
+"""The index family: WST / WSA baselines and the minimizer-based indexes.
+
+===========  ===============================================================
+Index        Description
+===========  ===============================================================
+WST          Weighted suffix tree over the z-estimation (state of the art,
+             tree flavour): Θ(nz) size, O(m + occ) queries.
+WSA          Weighted suffix array (state of the art, array flavour):
+             Θ(nz) size, binary-search queries.
+MWST         Minimizer solid-factor trees + the simple Section-5 query.
+MWSA         Array variant of MWST (binary search over sorted leaves).
+MWST-G       MWST + 2D-grid query (Theorem 9).
+MWSA-G       MWSA + 2D-grid query (Theorem 9).
+MWST-SE      MWST built by the space-efficient construction of Section 4
+             (never materialises the z-estimation).
+===========  ===============================================================
+"""
+
+from ..core.weighted_string import WeightedString
+from ..errors import ConstructionError
+from .base import UncertainStringIndex, brute_force_occurrences, coerce_pattern
+from .minimizer_core import (
+    FactorLeaf,
+    LeafCollection,
+    MinimizerIndexData,
+    build_index_data_from_estimation,
+)
+from .mwst import (
+    GridMinimizerWSA,
+    GridMinimizerWST,
+    MinimizerIndexBase,
+    MinimizerWSA,
+    MinimizerWST,
+)
+from .property_structures import PropertySuffixStructure
+from .se_construction import SpaceEfficientMWST, build_index_data_space_efficient
+from .space import DEFAULT_SPACE_MODEL, ConstructionTracker, IndexStats, SpaceModel
+from .verification import HeavyMismatchVerifier, verify_against_source
+from .wsa import WeightedSuffixArray
+from .wst import WeightedSuffixTree
+
+__all__ = [
+    "UncertainStringIndex",
+    "brute_force_occurrences",
+    "coerce_pattern",
+    "WeightedSuffixTree",
+    "WeightedSuffixArray",
+    "MinimizerWST",
+    "MinimizerWSA",
+    "GridMinimizerWST",
+    "GridMinimizerWSA",
+    "SpaceEfficientMWST",
+    "MinimizerIndexBase",
+    "MinimizerIndexData",
+    "LeafCollection",
+    "FactorLeaf",
+    "PropertySuffixStructure",
+    "build_index_data_from_estimation",
+    "build_index_data_space_efficient",
+    "HeavyMismatchVerifier",
+    "verify_against_source",
+    "SpaceModel",
+    "DEFAULT_SPACE_MODEL",
+    "ConstructionTracker",
+    "IndexStats",
+    "INDEX_CLASSES",
+    "build_index",
+]
+
+#: Registry of every index class keyed by its display name.
+INDEX_CLASSES = {
+    cls.name: cls
+    for cls in (
+        WeightedSuffixTree,
+        WeightedSuffixArray,
+        MinimizerWST,
+        MinimizerWSA,
+        GridMinimizerWST,
+        GridMinimizerWSA,
+        SpaceEfficientMWST,
+    )
+}
+
+
+def build_index(
+    source: WeightedString,
+    z: float,
+    *,
+    kind: str = "MWSA",
+    ell: int | None = None,
+    **options,
+) -> UncertainStringIndex:
+    """Build an index by name (``"WST"``, ``"WSA"``, ``"MWSA"``, ``"MWST-SE"``, ...).
+
+    The minimizer-based kinds require ``ell`` (the minimum supported pattern
+    length); the baselines ignore it.  Any remaining keyword options are
+    passed to the specific ``build`` classmethod.
+    """
+    try:
+        cls = INDEX_CLASSES[kind]
+    except KeyError:
+        known = ", ".join(sorted(INDEX_CLASSES))
+        raise ConstructionError(f"unknown index kind {kind!r}; known kinds: {known}") from None
+    if issubclass(cls, MinimizerIndexBase):
+        if ell is None:
+            raise ConstructionError(f"index kind {kind!r} requires the ell parameter")
+        return cls.build(source, z, ell, **options)
+    return cls.build(source, z, **options)

@@ -1,0 +1,109 @@
+"""Common interface of every uncertain-string index.
+
+All indexes solve (variants of) the Weighted Indexing problem: report every
+position where a pattern has a z-valid occurrence in the indexed weighted
+string.  They share the small protocol defined here so that examples,
+benchmarks and tests can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from ..core.numerics import validate_threshold
+from ..core.weighted_string import WeightedString
+from ..errors import PatternError
+from .space import IndexStats
+
+__all__ = ["UncertainStringIndex", "coerce_pattern", "brute_force_occurrences"]
+
+
+def coerce_pattern(pattern, source: WeightedString) -> list[int]:
+    """Convert a pattern given as text or as letter codes into a code list."""
+    if isinstance(pattern, str):
+        return source.alphabet.encode(pattern)
+    codes = [int(code) for code in pattern]
+    sigma = source.sigma
+    for code in codes:
+        if not 0 <= code < sigma:
+            raise PatternError(f"letter code {code} outside alphabet of size {sigma}")
+    return codes
+
+
+def brute_force_occurrences(source: WeightedString, pattern, z: float) -> list[int]:
+    """Reference oracle: all z-valid occurrences by direct probability products."""
+    z = validate_threshold(z)
+    return source.occurrences(coerce_pattern(pattern, source), z)
+
+
+class UncertainStringIndex(abc.ABC):
+    """Abstract base class of every index over a weighted string.
+
+    Concrete indexes are constructed through their ``build`` classmethods and
+    expose three queries:
+
+    * :meth:`locate` — the sorted list of valid occurrence positions,
+    * :meth:`count` — their number,
+    * :meth:`exists` — whether there is at least one.
+    """
+
+    #: Short display name used by the benchmark reports (e.g. ``"MWSA"``).
+    name: str = "index"
+
+    def __init__(self, source: WeightedString, z: float) -> None:
+        self._source = source
+        self._z = validate_threshold(z)
+        self._stats = IndexStats(name=self.name)
+
+    # -- shared accessors -----------------------------------------------------
+    @property
+    def source(self) -> WeightedString:
+        """The indexed weighted string."""
+        return self._source
+
+    @property
+    def z(self) -> float:
+        """The threshold parameter (the index answers ``1/z`` queries)."""
+        return self._z
+
+    @property
+    def stats(self) -> IndexStats:
+        """Size / construction statistics recorded at build time."""
+        return self._stats
+
+    @property
+    def minimum_pattern_length(self) -> int:
+        """Smallest pattern length the index supports (ℓ; 1 for the baselines)."""
+        return 1
+
+    # -- queries -----------------------------------------------------------------
+    @abc.abstractmethod
+    def locate(self, pattern) -> list[int]:
+        """Sorted positions of all z-valid occurrences of ``pattern``."""
+
+    def count(self, pattern) -> int:
+        """Number of z-valid occurrences of ``pattern``."""
+        return len(self.locate(pattern))
+
+    def exists(self, pattern) -> bool:
+        """Whether ``pattern`` has at least one z-valid occurrence."""
+        return bool(self.locate(pattern))
+
+    # -- helpers for subclasses ------------------------------------------------------
+    def _prepare_pattern(self, pattern) -> list[int]:
+        codes = coerce_pattern(pattern, self._source)
+        if len(codes) < self.minimum_pattern_length:
+            raise PatternError(
+                f"{self.name} was built for patterns of length >= "
+                f"{self.minimum_pattern_length}, got {len(codes)}"
+            )
+        if len(codes) == 0:
+            raise PatternError("empty patterns are not supported")
+        return codes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={len(self._source)}, z={self._z:g}, "
+            f"size={self._stats.index_size_bytes}B)"
+        )

@@ -1,0 +1,469 @@
+"""Shared machinery of the minimizer-based indexes (Section 3 of the paper).
+
+The minimizer solid-factor trees ``Tsuff`` and ``Tpref`` both boil down to a
+*sorted collection of factor leaves*: every leaf is anchored at a minimizer
+position ``q`` and spells the letters of a solid factor read rightward
+(``Tsuff``) or leftward (``Tpref``) from ``q``.  Leaves are never
+materialised as strings — following Corollary 4 they are stored as a
+reference into the heavy string plus at most ``log₂ z`` mismatches, and all
+comparisons go through longest-common-extension queries on the heavy string
+(the Theorem 12 trick).
+
+This module provides:
+
+* :class:`FactorLeaf` — one leaf (anchor, length, mismatches, label);
+* :class:`LeafCollection` — a sorted, searchable collection of leaves over a
+  reference code string (the heavy string or its reverse), with optional
+  compacted-trie construction on top;
+* :class:`MinimizerIndexData` — the pair of collections plus the sampling
+  scheme, i.e. everything the MWST / MWSA / grid variants share;
+* :func:`build_leaves_from_estimation` — the explicit construction that
+  samples the z-estimation (Lemma 5 / Contribution 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cmp_to_key
+
+import numpy as np
+
+from ..core.estimation import ZEstimation, build_z_estimation
+from ..core.heavy import HeavyString
+from ..core.weighted_string import WeightedString
+from ..errors import ConstructionError
+from ..sampling.minimizers import MinimizerScheme
+from ..strings.lcp import LCEIndex
+from ..strings.trie import CompactedTrie
+from .space import DEFAULT_SPACE_MODEL, SpaceModel
+
+__all__ = [
+    "FactorLeaf",
+    "LeafCollection",
+    "MinimizerIndexData",
+    "build_leaves_from_estimation",
+    "build_index_data_from_estimation",
+]
+
+
+@dataclass(frozen=True)
+class FactorLeaf:
+    """One leaf of a minimizer solid-factor tree.
+
+    ``anchor`` is the position in the *reference* string (the heavy string
+    for forward leaves, the reversed heavy string for backward leaves) from
+    which the leaf's letters are read rightward; ``mismatches`` lists the
+    offsets at which the letter differs from the reference, with the actual
+    letter code; ``position`` is the minimizer position ``q`` in the original
+    weighted string, used to derive candidate occurrence positions; and
+    ``source`` records which z-estimation string produced the leaf (or ``-1``
+    for the space-efficient construction, which works per distinct factor).
+    """
+
+    anchor: int
+    length: int
+    mismatches: tuple[tuple[int, int], ...]
+    position: int
+    source: int = -1
+
+    def mismatch_count(self) -> int:
+        """Number of stored mismatches (≤ log₂ z for solid factors, Lemma 3)."""
+        return len(self.mismatches)
+
+
+class LeafCollection:
+    """A lexicographically sorted collection of factor leaves.
+
+    Parameters
+    ----------
+    leaves:
+        The leaves, in arbitrary order.
+    reference:
+        The code string the anchors refer to (heavy string or its reverse).
+    lce:
+        Optional LCE index over ``reference``; built on demand when the
+        collection needs to sort or compare more than a handful of leaves.
+    """
+
+    #: Length of the materialised prefix used to pre-sort leaves cheaply.
+    PRESORT_PREFIX = 24
+
+    def __init__(
+        self,
+        leaves: list[FactorLeaf],
+        reference: np.ndarray,
+        lce: LCEIndex | None = None,
+    ) -> None:
+        self._reference = np.asarray(reference, dtype=np.int64)
+        self._lce = lce
+        self._leaves = list(leaves)
+        self.raw_to_sorted = np.empty(len(self._leaves), dtype=np.int64)
+        self._sort()
+        self._trie: CompactedTrie | None = None
+
+    # -- letter access -------------------------------------------------------------
+    def letter(self, index: int, offset: int) -> int:
+        """Letter code of leaf ``index`` at ``offset`` (must be < its length)."""
+        leaf = self._leaves[index]
+        for mismatch_offset, code in leaf.mismatches:
+            if mismatch_offset == offset:
+                return code
+        return int(self._reference[leaf.anchor + offset])
+
+    def leaf(self, index: int) -> FactorLeaf:
+        """The leaf at a sorted index."""
+        return self._leaves[index]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __iter__(self):
+        return iter(self._leaves)
+
+    @property
+    def reference(self) -> np.ndarray:
+        """The reference code string shared by all leaves."""
+        return self._reference
+
+    def leaf_codes(self, index: int, limit: int | None = None) -> list[int]:
+        """Materialise (a prefix of) one leaf's letters — mostly for tests."""
+        leaf = self._leaves[index]
+        length = leaf.length if limit is None else min(limit, leaf.length)
+        return [self.letter(index, offset) for offset in range(length)]
+
+    # -- sorting ---------------------------------------------------------------------
+    def _ensure_lce(self) -> LCEIndex:
+        if self._lce is None:
+            self._lce = LCEIndex(self._reference)
+        return self._lce
+
+    def _leaf_lcp(self, first: int, second: int) -> int:
+        """Longest common prefix of two leaves, via heavy-string LCE queries.
+
+        Between mismatch offsets both leaves equal the reference, so whole
+        stretches are compared with a single LCE query; only the ≤ log₂ z
+        mismatch offsets are compared letter by letter (the Theorem 12
+        comparison trick).
+        """
+        a, b = self._leaves[first], self._leaves[second]
+        lce = self._ensure_lce()
+        limit = min(a.length, b.length)
+        breakpoints = sorted({offset for offset, _ in a.mismatches}
+                             | {offset for offset, _ in b.mismatches})
+        bp_index = 0
+        offset = 0
+        while offset < limit:
+            while bp_index < len(breakpoints) and breakpoints[bp_index] < offset:
+                bp_index += 1
+            next_break = breakpoints[bp_index] if bp_index < len(breakpoints) else limit
+            next_break = min(next_break, limit)
+            if offset < next_break:
+                # Both leaves follow the reference on [offset, next_break).
+                agreed = lce.lce(a.anchor + offset, b.anchor + offset)
+                if agreed < next_break - offset:
+                    return offset + agreed
+                offset = next_break
+                if offset >= limit:
+                    return limit
+            # offset is a mismatch offset of at least one leaf: compare directly.
+            if self.letter(first, offset) != self.letter(second, offset):
+                return offset
+            offset += 1
+        return limit
+
+    def _compare(self, first: int, second: int) -> int:
+        """Full lexicographic comparison of two leaves (ties by label)."""
+        lcp = self._leaf_lcp(first, second)
+        a, b = self._leaves[first], self._leaves[second]
+        if lcp < a.length and lcp < b.length:
+            letter_a = self.letter(first, lcp)
+            letter_b = self.letter(second, lcp)
+            return -1 if letter_a < letter_b else 1
+        if a.length != b.length:
+            return -1 if a.length < b.length else 1
+        if a.position != b.position:
+            return -1 if a.position < b.position else 1
+        if a.source != b.source:
+            return -1 if a.source < b.source else 1
+        return 0
+
+    def _presort_key(self, leaf: FactorLeaf) -> bytes:
+        limit = min(self.PRESORT_PREFIX, leaf.length)
+        codes = bytearray()
+        mismatches = dict(leaf.mismatches)
+        for offset in range(limit):
+            code = mismatches.get(offset)
+            if code is None:
+                code = int(self._reference[leaf.anchor + offset])
+            codes.append(min(code + 1, 255))
+        return bytes(codes)
+
+    def _sort(self) -> None:
+        if not self._leaves:
+            return
+        order = sorted(
+            range(len(self._leaves)), key=lambda i: self._presort_key(self._leaves[i])
+        )
+        # Refine groups that share the materialised prefix with the exact
+        # heavy-LCE comparator (O(log z) per comparison, Theorem 12).
+        refined: list[int] = []
+        group: list[int] = []
+        group_key = None
+        keys = {i: self._presort_key(self._leaves[i]) for i in order}
+
+        def flush() -> None:
+            if len(group) > 1:
+                group.sort(key=cmp_to_key(self._compare))
+            refined.extend(group)
+
+        for index in order:
+            key = keys[index]
+            if group_key is None or key != group_key:
+                flush()
+                group = [index]
+                group_key = key
+            else:
+                group.append(index)
+        flush()
+        self._leaves = [self._leaves[i] for i in refined]
+        for sorted_index, raw_index in enumerate(refined):
+            self.raw_to_sorted[raw_index] = sorted_index
+
+    # -- searching -----------------------------------------------------------------------
+    def _leaf_less_than_piece(self, index: int, piece, *, strict_prefix_smaller: bool) -> bool:
+        """Whether leaf ``index`` sorts strictly before ``piece``.
+
+        With ``strict_prefix_smaller=True`` a leaf that *starts with* the
+        piece is not considered smaller (lower-bound behaviour); with
+        ``False`` it is (upper-bound behaviour).
+        """
+        leaf = self._leaves[index]
+        limit = min(leaf.length, len(piece))
+        for offset in range(limit):
+            letter = self.letter(index, offset)
+            target = int(piece[offset])
+            if letter != target:
+                return letter < target
+        if leaf.length < len(piece):
+            return True  # leaf is a proper prefix of the piece: leaf < piece
+        if strict_prefix_smaller:
+            return False
+        return True
+
+    def prefix_range(self, piece) -> tuple[int, int]:
+        """Sorted-index range of leaves that have ``piece`` as a prefix."""
+        piece = [int(code) for code in piece]
+        lo, hi = 0, len(self._leaves)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._leaf_less_than_piece(mid, piece, strict_prefix_smaller=True):
+                lo = mid + 1
+            else:
+                hi = mid
+        start = lo
+        lo, hi = start, len(self._leaves)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._leaf_less_than_piece(mid, piece, strict_prefix_smaller=False):
+                lo = mid + 1
+            else:
+                hi = mid
+        return start, lo
+
+    # -- trie ------------------------------------------------------------------------------
+    def build_trie(self) -> CompactedTrie:
+        """Compacted trie over the sorted leaves (the tree-index variants)."""
+        if self._trie is None:
+            lcps = [0] * len(self._leaves)
+            for index in range(1, len(self._leaves)):
+                lcps[index] = self._leaf_lcp(index - 1, index)
+            self._trie = CompactedTrie(
+                [leaf.length for leaf in self._leaves], lcps, self.letter
+            )
+        return self._trie
+
+    # -- size accounting -------------------------------------------------------------------
+    def total_mismatches(self) -> int:
+        """Total number of stored mismatches across all leaves."""
+        return sum(leaf.mismatch_count() for leaf in self._leaves)
+
+    def size_bytes(self, model: SpaceModel = DEFAULT_SPACE_MODEL, *, as_tree: bool = False) -> int:
+        """Charged size of the collection (array layout, optionally + tree nodes)."""
+        count = len(self._leaves)
+        # Per leaf: anchor, length, position (3 words) + mismatch entries.
+        total = model.words(3 * count) + model.words(2 * self.total_mismatches())
+        if as_tree:
+            trie = self.build_trie()
+            total += model.tree_nodes(trie.node_count)
+        return total
+
+
+@dataclass
+class MinimizerIndexData:
+    """Everything the MWST / MWSA / grid indexes share.
+
+    ``forward`` holds the ``Tsuff`` content (factors read rightward from
+    their minimizer), ``backward`` the ``Tpref`` content (read leftward);
+    ``pairs`` links leaves with equal minimizer labels and feeds the 2D grid
+    of the *-G* variants (``None`` when built by the space-efficient
+    construction, which does not produce the pairing).
+    """
+
+    source: WeightedString
+    z: float
+    ell: int
+    scheme: MinimizerScheme
+    heavy: HeavyString
+    forward: LeafCollection
+    backward: LeafCollection
+    pairs: list[tuple[int, int]] | None = None
+    construction: str = "estimation"
+    counters: dict = field(default_factory=dict)
+
+    # -- query plumbing shared by all variants ------------------------------------------
+    def split_pattern(self, codes) -> tuple[int, list[int], list[int]]:
+        """Leftmost minimizer and the two query pieces (forward, backward)."""
+        mu = self.scheme.leftmost_pattern_minimizer(codes)
+        forward_piece = [int(code) for code in codes[mu:]]
+        backward_piece = [int(code) for code in reversed(codes[: mu + 1])]
+        return mu, forward_piece, backward_piece
+
+    def candidate_positions(self, leaf_indices, collection: LeafCollection, mu: int):
+        """Candidate occurrence starts derived from matched leaves."""
+        return {collection.leaf(index).position - mu for index in leaf_indices}
+
+    def size_bytes(
+        self,
+        model: SpaceModel = DEFAULT_SPACE_MODEL,
+        *,
+        as_tree: bool = False,
+        with_grid: bool = False,
+    ) -> int:
+        """Charged index size: heavy string + both collections (+ grid points)."""
+        total = model.codes(len(self.source)) + model.probabilities(len(self.source))
+        total += self.forward.size_bytes(model, as_tree=as_tree)
+        total += self.backward.size_bytes(model, as_tree=as_tree)
+        if with_grid and self.pairs is not None:
+            total += model.words(4 * len(self.pairs))
+        return total
+
+
+def build_leaves_from_estimation(
+    source: WeightedString,
+    z: float,
+    ell: int,
+    scheme: MinimizerScheme,
+    estimation: ZEstimation,
+    heavy: HeavyString,
+) -> tuple[list[FactorLeaf], list[FactorLeaf], list[tuple[int, int]]]:
+    """Sample the z-estimation with minimizers (the Lemma 5 construction).
+
+    For every string ``S_j`` and every property-respecting window of length
+    ℓ, the window's minimizer position ``q`` produces one forward leaf (the
+    longest property-respecting substring of ``S_j`` starting at ``q``) and
+    one backward leaf (the longest one ending at ``q``, reversed), both
+    encoded relative to the heavy string.  Returns the two raw leaf lists and
+    the list pairing them up (same list index = same (q, j) label).
+    """
+    n = len(source)
+    heavy_codes = heavy.codes
+    forward: list[FactorLeaf] = []
+    backward: list[FactorLeaf] = []
+    for j in range(estimation.width):
+        string_j = estimation.strings[j]
+        ends_j = estimation.ends[j]
+        if n >= ell:
+            starts = np.arange(n - ell + 1, dtype=np.int64)
+            valid_window = ends_j[: n - ell + 1] >= starts + ell - 1
+        else:
+            valid_window = np.zeros(0, dtype=bool)
+        if not valid_window.any():
+            continue
+        minimizer_positions = scheme.minimizer_positions(string_j, valid_window)
+        if not minimizer_positions:
+            continue
+        mismatch_positions = np.nonzero(string_j != heavy_codes)[0]
+        for q in minimizer_positions:
+            forward_end = int(ends_j[q])
+            forward_length = forward_end - q + 1
+            lo = int(np.searchsorted(mismatch_positions, q, side="left"))
+            hi = int(np.searchsorted(mismatch_positions, forward_end, side="right"))
+            forward_mismatches = tuple(
+                (int(p - q), int(string_j[p])) for p in mismatch_positions[lo:hi]
+            )
+            forward.append(
+                FactorLeaf(
+                    anchor=q,
+                    length=forward_length,
+                    mismatches=forward_mismatches,
+                    position=q,
+                    source=j,
+                )
+            )
+            backward_start = int(np.searchsorted(ends_j, q, side="left"))
+            backward_length = q - backward_start + 1
+            lo = int(np.searchsorted(mismatch_positions, backward_start, side="left"))
+            hi = int(np.searchsorted(mismatch_positions, q, side="right"))
+            backward_mismatches = tuple(
+                sorted(
+                    (int(q - p), int(string_j[p]))
+                    for p in mismatch_positions[lo:hi]
+                )
+            )
+            backward.append(
+                FactorLeaf(
+                    anchor=n - 1 - q,
+                    length=backward_length,
+                    mismatches=backward_mismatches,
+                    position=q,
+                    source=j,
+                )
+            )
+    pairs = list(zip(range(len(forward)), range(len(backward))))
+    return forward, backward, pairs
+
+
+def build_index_data_from_estimation(
+    source: WeightedString,
+    z: float,
+    ell: int,
+    *,
+    scheme: MinimizerScheme | None = None,
+    estimation: ZEstimation | None = None,
+    keep_pairs: bool = True,
+) -> MinimizerIndexData:
+    """Build the shared minimizer index data through the explicit z-estimation path."""
+    if ell <= 0:
+        raise ConstructionError("ell must be positive")
+    if scheme is None:
+        scheme = MinimizerScheme(ell, source.sigma)
+    if estimation is None:
+        estimation = build_z_estimation(source, z)
+    heavy = HeavyString(source)
+    raw_forward, raw_backward, raw_pairs = build_leaves_from_estimation(
+        source, z, ell, scheme, estimation, heavy
+    )
+    forward = LeafCollection(raw_forward, heavy.codes)
+    backward = LeafCollection(raw_backward, heavy.codes[::-1].copy())
+    pairs = None
+    if keep_pairs:
+        pairs = [
+            (int(forward.raw_to_sorted[f]), int(backward.raw_to_sorted[b]))
+            for f, b in raw_pairs
+        ]
+    return MinimizerIndexData(
+        source=source,
+        z=z,
+        ell=ell,
+        scheme=scheme,
+        heavy=heavy,
+        forward=forward,
+        backward=backward,
+        pairs=pairs,
+        construction="estimation",
+        counters={
+            "forward_leaves": len(forward),
+            "backward_leaves": len(backward),
+            "estimation_entries": estimation.width * estimation.length,
+        },
+    )

@@ -1,0 +1,374 @@
+"""MWST-SE: the space-efficient construction (Section 4, Algorithms 1–4).
+
+The explicit construction of the minimizer indexes first materialises the
+z-estimation, which costs Θ(nz) working space even though the final index is
+only ``O(n + (nz/ℓ)·log z)``.  The space-efficient construction avoids this
+by a depth-first traversal of the *extended solid factor trees*: solid
+factors are grown one letter at a time away from the heavy string, the
+probability of the grown part is maintained incrementally, a sliding
+structure over the last ℓ positions of the current root-to-node path detects
+the minimizers of solid length-ℓ windows, and a leaf (anchor position +
+mismatch list, the Corollary-4 encoding) is emitted whenever the traversal
+backtracks through a pending minimizer position.  At any moment only the
+current path, O(n) bookkeeping arrays and the already-emitted output are
+alive, so the peak working space is ``O(n + output)``.
+
+Two passes are run: one on the weighted string itself (producing the
+``Tsuff`` leaves) and one on its reverse (producing the ``Tpref`` leaves);
+both use the *same* minimizer function on the forward reading of every
+window, so the sampled positions coincide with the explicit construction's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.heavy import HeavyString
+from ..core.numerics import is_solid_probability, validate_threshold
+from ..core.weighted_string import WeightedString
+from ..errors import ConstructionError
+from ..sampling.minimizers import MinimizerScheme
+from .minimizer_core import FactorLeaf, LeafCollection, MinimizerIndexData
+from .mwst import MinimizerIndexBase
+from .space import DEFAULT_SPACE_MODEL, ConstructionTracker, IndexStats, SpaceModel
+
+__all__ = ["SpaceEfficientMWST", "build_index_data_space_efficient", "DFSStatistics"]
+
+
+@dataclass
+class DFSStatistics:
+    """Counters of one extended-solid-factor-tree traversal."""
+
+    nodes: int = 0
+    max_depth: int = 0
+    leaves: int = 0
+    solid_windows: int = 0
+
+
+class _MinSegmentTree:
+    """Point-update / range-min segment tree over (order value, tie) keys."""
+
+    _SENTINEL = (float("inf"), float("inf"))
+
+    def __init__(self, size: int) -> None:
+        self._size = 1
+        while self._size < max(1, size):
+            self._size *= 2
+        self._keys = [self._SENTINEL] * (2 * self._size)
+
+    def set(self, position: int, key) -> None:
+        node = self._size + position
+        self._keys[node] = key
+        node //= 2
+        while node:
+            self._keys[node] = min(self._keys[2 * node], self._keys[2 * node + 1])
+            node //= 2
+
+    def clear(self, position: int) -> None:
+        self.set(position, self._SENTINEL)
+
+    def range_min(self, lo: int, hi: int):
+        """Minimum key over positions [lo, hi); the sentinel if empty."""
+        best = self._SENTINEL
+        lo += self._size
+        hi += self._size
+        while lo < hi:
+            if lo & 1:
+                if self._keys[lo] < best:
+                    best = self._keys[lo]
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                if self._keys[hi] < best:
+                    best = self._keys[hi]
+            lo //= 2
+            hi //= 2
+        return best
+
+
+class _ExtendedFactorDFS:
+    """One traversal of the (forward or backward) extended solid factor tree."""
+
+    def __init__(
+        self,
+        view: WeightedString,
+        heavy: HeavyString,
+        z: float,
+        ell: int,
+        scheme: MinimizerScheme,
+        *,
+        reverse_orientation: bool,
+        max_nodes: int | None = None,
+    ) -> None:
+        self.view = view
+        self.heavy = heavy
+        self.z = z
+        self.ell = ell
+        self.scheme = scheme
+        self.reverse_orientation = reverse_orientation
+        self.max_nodes = max_nodes
+        self.statistics = DFSStatistics()
+        n = len(view)
+        self.n = n
+        self.k = scheme.k
+        self.heavy_codes = heavy.codes
+        # Letters sorted by decreasing probability per position, so the DFS can
+        # stop trying letters as soon as the solidity check fails.
+        self.sorted_letters: list[list[tuple[float, int]]] = []
+        matrix = view.matrix
+        for position in range(n):
+            row = matrix[position]
+            order = np.argsort(-row, kind="stable")
+            letters = [(float(row[code]), int(code)) for code in order if row[code] > 0.0]
+            self.sorted_letters.append(letters)
+
+    # -- k-mer handling ----------------------------------------------------------------
+    def _kmer_key(self, path_letters: np.ndarray, position: int):
+        """Order key of the k-mer anchored at ``position`` of the current path."""
+        sigma = self.scheme.sigma
+        code = 0
+        if self.reverse_orientation:
+            # The original-orientation k-mer reads the view letters backwards.
+            for offset in range(self.k - 1, -1, -1):
+                code = code * sigma + int(path_letters[position + offset])
+            tie = -position
+        else:
+            for offset in range(self.k):
+                code = code * sigma + int(path_letters[position + offset])
+            tie = position
+        return (self.scheme.order_value(code), tie)
+
+    def _pending_position(self, selected_tie) -> int:
+        """Map the selected k-mer back to the path position that must emit."""
+        if self.reverse_orientation:
+            return -selected_tie + self.k - 1
+        return selected_tie
+
+    # -- the traversal ------------------------------------------------------------------
+    def run(self) -> list[FactorLeaf]:
+        n, k, ell, z = self.n, self.k, self.ell, self.z
+        if n < ell:
+            return []
+        heavy = self.heavy
+        heavy_codes = self.heavy_codes
+        path_letters = np.zeros(n, dtype=np.int64)
+        tree = _MinSegmentTree(max(1, n - k + 1))
+        pending: set[int] = set()
+        diff_stack: list[tuple[int, int]] = []
+        leaves: list[FactorLeaf] = []
+        statistics = self.statistics
+
+        def window_is_solid(position: int, probability: float) -> bool:
+            if position + ell > n:
+                return False
+            if not diff_stack:
+                window_probability = heavy.range_product(position, position + ell)
+            else:
+                last_mismatch = diff_stack[0][0]
+                if last_mismatch >= position + ell:
+                    return True
+                window_probability = probability * heavy.range_product(
+                    last_mismatch + 1, position + ell
+                )
+            return is_solid_probability(window_probability, z)
+
+        def emit(position: int) -> None:
+            offsets = sorted(
+                ((diff_position - position, code) for diff_position, code in diff_stack)
+            )
+            anchor = position
+            original_position = (n - 1 - position) if self.reverse_orientation else position
+            leaves.append(
+                FactorLeaf(
+                    anchor=anchor,
+                    length=n - position,
+                    mismatches=tuple(offsets),
+                    position=original_position,
+                    source=-1,
+                )
+            )
+            statistics.leaves += 1
+
+        # Frames: [node_position, letter_index, child_undo]; the root frame sits
+        # at position n (the empty string) and descends towards position 0.
+        root_frame = [n, 0, None]
+        stack = [root_frame]
+        probability = 1.0
+
+        while stack:
+            frame = stack[-1]
+            node_position, letter_index, child_undo = frame
+            if child_undo is not None:
+                # A child subtree just finished: undo its letter application.
+                (pushed_diff, previous_probability, kmer_position) = child_undo
+                child_position = node_position - 1
+                if child_position in pending:
+                    pending.discard(child_position)
+                    emit(child_position)
+                if pushed_diff:
+                    diff_stack.pop()
+                probability = previous_probability
+                if kmer_position >= 0:
+                    tree.clear(kmer_position)
+                frame[2] = None
+            child_position = node_position - 1
+            descended = False
+            while child_position >= 0 and frame[1] < len(self.sorted_letters[child_position]):
+                letter_probability, code = self.sorted_letters[child_position][frame[1]]
+                frame[1] += 1
+                pure_heavy = not diff_stack and code == int(heavy_codes[child_position])
+                if pure_heavy:
+                    new_probability = 1.0
+                else:
+                    candidate = (
+                        letter_probability
+                        if not diff_stack
+                        else probability * letter_probability
+                    )
+                    if not is_solid_probability(candidate, z):
+                        # Letters are sorted by decreasing probability: once one
+                        # fails, the remaining (non-heavy) letters fail too.
+                        frame[1] = len(self.sorted_letters[child_position])
+                        break
+                    new_probability = candidate
+                if self.max_nodes is not None and statistics.nodes >= self.max_nodes:
+                    raise ConstructionError(
+                        "space-efficient construction exceeded the node budget"
+                    )
+                # Apply the letter and open the child frame.
+                statistics.nodes += 1
+                statistics.max_depth = max(statistics.max_depth, n - child_position)
+                path_letters[child_position] = code
+                pushed_diff = False
+                if not pure_heavy and code != int(heavy_codes[child_position]):
+                    diff_stack.append((child_position, code))
+                    pushed_diff = True
+                previous_probability = probability
+                probability = new_probability
+                kmer_position = -1
+                if child_position + self.k <= n:
+                    kmer_position = child_position
+                    tree.set(kmer_position, self._kmer_key(path_letters, kmer_position))
+                if window_is_solid(child_position, probability):
+                    statistics.solid_windows += 1
+                    key = tree.range_min(child_position, child_position + ell - self.k + 1)
+                    if key[0] != float("inf"):
+                        pending.add(self._pending_position(key[1]))
+                frame[2] = (pushed_diff, previous_probability, kmer_position)
+                stack.append([child_position, 0, None])
+                descended = True
+                break
+            if descended:
+                continue
+            # All children explored: close this frame (the parent will undo).
+            stack.pop()
+        return leaves
+
+
+def build_index_data_space_efficient(
+    source: WeightedString,
+    z: float,
+    ell: int,
+    *,
+    scheme: MinimizerScheme | None = None,
+    max_nodes: int | None = None,
+) -> tuple[MinimizerIndexData, dict]:
+    """Build the minimizer index data without materialising the z-estimation."""
+    z = validate_threshold(z)
+    if ell <= 0:
+        raise ConstructionError("ell must be positive")
+    if scheme is None:
+        scheme = MinimizerScheme(ell, source.sigma)
+    heavy = HeavyString(source)
+    forward_dfs = _ExtendedFactorDFS(
+        source, heavy, z, ell, scheme, reverse_orientation=False, max_nodes=max_nodes
+    )
+    forward_leaves = forward_dfs.run()
+    reversed_view = source.reverse()
+    reversed_heavy = HeavyString(reversed_view)
+    backward_dfs = _ExtendedFactorDFS(
+        reversed_view,
+        reversed_heavy,
+        z,
+        ell,
+        scheme,
+        reverse_orientation=True,
+        max_nodes=max_nodes,
+    )
+    backward_leaves = backward_dfs.run()
+    forward = LeafCollection(forward_leaves, heavy.codes)
+    backward = LeafCollection(backward_leaves, reversed_heavy.codes)
+    counters = {
+        "forward_leaves": len(forward),
+        "backward_leaves": len(backward),
+        "forward_nodes": forward_dfs.statistics.nodes,
+        "backward_nodes": backward_dfs.statistics.nodes,
+        "solid_windows": forward_dfs.statistics.solid_windows,
+    }
+    data = MinimizerIndexData(
+        source=source,
+        z=z,
+        ell=ell,
+        scheme=scheme,
+        heavy=heavy,
+        forward=forward,
+        backward=backward,
+        pairs=None,
+        construction="space_efficient",
+        counters=counters,
+    )
+    return data, counters
+
+
+class SpaceEfficientMWST(MinimizerIndexBase):
+    """MWST-SE: the MWST index built by the space-efficient DFS construction.
+
+    Queries are identical to :class:`MinimizerWST` (the simple Section-5
+    query over the minimizer solid-factor trees); only the construction path
+    — and therefore the construction space and time — differs.
+    """
+
+    name = "MWST-SE"
+    use_trie = True
+    use_grid = False
+
+    @classmethod
+    def build(
+        cls,
+        source: WeightedString,
+        z: float,
+        ell: int,
+        *,
+        scheme: MinimizerScheme | None = None,
+        space_model: SpaceModel = DEFAULT_SPACE_MODEL,
+        max_nodes: int | None = None,
+        **_ignored,
+    ) -> "SpaceEfficientMWST":
+        started = time.perf_counter()
+        tracker = ConstructionTracker()
+        data, counters = build_index_data_space_efficient(
+            source, z, ell, scheme=scheme, max_nodes=max_nodes
+        )
+        n = len(source)
+        # Working space: the input matrix, the O(n) traversal bookkeeping and
+        # the emitted leaves — but no z-estimation.  (The Python implementation
+        # materialises a reversed copy of the matrix for convenience; an
+        # array-based implementation reads the same matrix backwards, so the
+        # input is charged once, as for every other construction.)
+        tracker.allocate(space_model.probabilities(n * source.sigma))
+        tracker.allocate(space_model.words(6 * n))
+        tracker.allocate(
+            data.forward.size_bytes(space_model) + data.backward.size_bytes(space_model)
+        )
+        index_size = data.size_bytes(space_model, as_tree=True, with_grid=False)
+        stats = IndexStats(
+            name=cls.name,
+            index_size_bytes=index_size,
+            construction_space_bytes=tracker.peak_bytes,
+            construction_seconds=time.perf_counter() - started,
+            counters=counters,
+        )
+        return cls(source, z, data, stats, None)

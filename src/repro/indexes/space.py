@@ -1,0 +1,125 @@
+"""Space-accounting model shared by every index (the paper's four measures).
+
+The paper evaluates *index size* and *construction space* with
+``malloc``-level byte counts of a C++ implementation.  A pure-Python
+reproduction cannot use interpreter heap sizes meaningfully (CPython object
+headers would drown the signal), so every index here reports its footprint
+through an explicit model that charges what an array-based C implementation
+would store:
+
+* ``WORD`` bytes for an integer, offset, pointer or length;
+* ``CODE`` bytes for one letter code;
+* ``PROBABILITY`` bytes for one probability.
+
+The *shape* of every size/space figure in Section 7 — how the numbers scale
+with ℓ, z, σ and n, and the relative order of the methods — depends only on
+how many such fields each structure stores, which this model counts exactly.
+Wall-clock memory (``tracemalloc``) is additionally reported by the
+benchmark harness for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SpaceModel", "ConstructionTracker", "IndexStats", "DEFAULT_SPACE_MODEL"]
+
+
+@dataclass(frozen=True)
+class SpaceModel:
+    """Byte costs of the primitive fields of a C-like implementation."""
+
+    word: int = 8
+    code: int = 1
+    probability: int = 8
+    pointer: int = 8
+    #: Fixed per-node overhead of a pointer-based tree node (parent pointer,
+    #: first-child / next-sibling pointers, depth): 4 words, matching the
+    #: "about 20 bytes per node" back-of-the-envelope of the introduction.
+    tree_node: int = 32
+
+    def words(self, count: int) -> int:
+        """Bytes of ``count`` machine words."""
+        return self.word * int(count)
+
+    def codes(self, count: int) -> int:
+        """Bytes of ``count`` letter codes."""
+        return self.code * int(count)
+
+    def probabilities(self, count: int) -> int:
+        """Bytes of ``count`` probabilities."""
+        return self.probability * int(count)
+
+    def tree_nodes(self, count: int) -> int:
+        """Bytes of ``count`` tree nodes (without their edge labels)."""
+        return self.tree_node * int(count)
+
+
+DEFAULT_SPACE_MODEL = SpaceModel()
+
+
+class ConstructionTracker:
+    """Tracks the peak working space charged during an index construction.
+
+    Builders call :meth:`allocate` when a component comes into existence and
+    :meth:`release` when it is discarded; the tracker records the running
+    total and its peak, which the benchmarks report as "construction space".
+    """
+
+    def __init__(self) -> None:
+        self._current = 0
+        self._peak = 0
+
+    def allocate(self, amount: int) -> int:
+        """Charge ``amount`` bytes of working space; returns the amount."""
+        amount = int(amount)
+        self._current += amount
+        self._peak = max(self._peak, self._current)
+        return amount
+
+    def release(self, amount: int) -> None:
+        """Release ``amount`` bytes of previously charged working space."""
+        self._current -= int(amount)
+
+    @property
+    def current_bytes(self) -> int:
+        """Currently charged working space."""
+        return self._current
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak charged working space since creation."""
+        return self._peak
+
+
+@dataclass
+class IndexStats:
+    """Size and construction statistics of one built index."""
+
+    name: str = ""
+    index_size_bytes: int = 0
+    construction_space_bytes: int = 0
+    construction_seconds: float = 0.0
+    #: Structure-specific counters (leaf counts, node counts, grid points...).
+    counters: dict = field(default_factory=dict)
+
+    def megabytes(self) -> float:
+        """Index size in MB (the unit of the paper's figures)."""
+        return self.index_size_bytes / 1e6
+
+    def construction_megabytes(self) -> float:
+        """Construction space in MB."""
+        return self.construction_space_bytes / 1e6
+
+    def as_dict(self) -> dict:
+        """Flat dictionary representation (for the benchmark reports)."""
+        result = {
+            "name": self.name,
+            "index_size_bytes": self.index_size_bytes,
+            "index_size_mb": self.megabytes(),
+            "construction_space_bytes": self.construction_space_bytes,
+            "construction_space_mb": self.construction_megabytes(),
+            "construction_seconds": self.construction_seconds,
+        }
+        result.update(self.counters)
+        return result

@@ -1,0 +1,78 @@
+"""Verification of candidate occurrences.
+
+The minimizer-based indexes report *candidate* positions that must be checked
+against the weighted string (Section 3's false positives and Section 5's
+simple query).  Two verifiers are provided:
+
+* :func:`verify_against_source` — the O(m) direct product of probabilities,
+  which is what the practical Section-5 query uses (random access to X);
+* :class:`HeavyMismatchVerifier` — the O(log z)-flavoured check of Theorem 9
+  that combines heavy-string prefix products with the ≤ log₂ z stored
+  mismatches of a candidate factor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..core.heavy import HeavyString
+from ..core.numerics import RELATIVE_TOLERANCE, is_solid_probability, validate_threshold
+from ..core.weighted_string import WeightedString
+
+__all__ = ["verify_against_source", "HeavyMismatchVerifier"]
+
+
+def verify_against_source(
+    source: WeightedString, pattern: Sequence[int], position: int, z: float
+) -> bool:
+    """Whether ``pattern`` has a z-valid occurrence at ``position`` (O(m))."""
+    z = validate_threshold(z)
+    return is_solid_probability(source.occurrence_probability(pattern, position), z)
+
+
+class HeavyMismatchVerifier:
+    """Verification via heavy prefix products plus per-position corrections.
+
+    For a candidate occurrence of a pattern at ``position``, the occurrence
+    probability equals the product of the heavy probabilities over the window
+    multiplied, for every position where the pattern letter differs from the
+    heavy letter, by ``p_i(pattern letter) / p_i(heavy letter)``.  When the
+    pattern is solid there are at most ``log₂ z`` such corrections (Lemma 3),
+    so the check costs O(log z) once the mismatching positions are known; a
+    verifier that is handed the pattern letters simply scans them but only
+    touches probabilities at mismatching positions.
+    """
+
+    def __init__(self, source: WeightedString, heavy: HeavyString | None = None) -> None:
+        self._source = source
+        self._heavy = heavy if heavy is not None else HeavyString(source)
+
+    @property
+    def heavy(self) -> HeavyString:
+        """The heavy string used for the prefix products."""
+        return self._heavy
+
+    def occurrence_probability(self, pattern: Sequence[int], position: int) -> float:
+        """Occurrence probability computed through the heavy decomposition."""
+        m = len(pattern)
+        if position < 0 or position + m > len(self._source):
+            return 0.0
+        log_probability = self._heavy.log_range_product(position, position + m)
+        heavy_codes = self._heavy.codes
+        for offset, code in enumerate(pattern):
+            at = position + offset
+            if code != heavy_codes[at]:
+                letter_probability = self._source.probability(at, code)
+                if letter_probability <= 0.0:
+                    return 0.0
+                log_probability += math.log(letter_probability) - math.log(
+                    float(self._heavy.probabilities[at])
+                )
+        return math.exp(log_probability)
+
+    def is_valid(self, pattern: Sequence[int], position: int, z: float) -> bool:
+        """Whether the candidate occurrence is z-valid."""
+        z = validate_threshold(z)
+        probability = self.occurrence_probability(pattern, position)
+        return probability * z >= 1.0 - RELATIVE_TOLERANCE * max(1.0, probability * z)

@@ -1,0 +1,29 @@
+"""File formats: FASTA, SNP tables, position weight matrices, JSON artefacts."""
+
+from .fasta import read_fasta, write_fasta
+from .pwm import read_pwm, write_pwm
+from .serialization import (
+    load_estimation,
+    load_weighted_string,
+    save_estimation,
+    save_weighted_string,
+)
+from .vcf import (
+    read_snp_table,
+    weighted_string_from_reference_and_snps,
+    write_snp_table,
+)
+
+__all__ = [
+    "read_fasta",
+    "write_fasta",
+    "read_snp_table",
+    "write_snp_table",
+    "weighted_string_from_reference_and_snps",
+    "read_pwm",
+    "write_pwm",
+    "save_weighted_string",
+    "load_weighted_string",
+    "save_estimation",
+    "load_estimation",
+]

@@ -1,0 +1,59 @@
+"""Minimal FASTA reading/writing.
+
+The genomic weighted strings of the paper are built from a FASTA reference
+plus a SNP table; this module provides the FASTA half of that pipeline so
+that users can feed their own references into
+:func:`repro.io.vcf.weighted_string_from_reference_and_snps`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import SerializationError
+
+__all__ = ["read_fasta", "write_fasta"]
+
+
+def read_fasta(path) -> dict[str, str]:
+    """Read a FASTA file into an ``{identifier: sequence}`` dictionary."""
+    path = Path(path)
+    sequences: dict[str, str] = {}
+    current_id: str | None = None
+    chunks: list[str] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for raw_line in handle:
+                line = raw_line.strip()
+                if not line:
+                    continue
+                if line.startswith(">"):
+                    if current_id is not None:
+                        sequences[current_id] = "".join(chunks)
+                    current_id = line[1:].split()[0] if len(line) > 1 else ""
+                    chunks = []
+                else:
+                    if current_id is None:
+                        raise SerializationError(
+                            f"{path}: sequence data before the first FASTA header"
+                        )
+                    chunks.append(line.upper())
+    except OSError as exc:
+        raise SerializationError(f"cannot read FASTA file {path}: {exc}") from exc
+    if current_id is not None:
+        sequences[current_id] = "".join(chunks)
+    if not sequences:
+        raise SerializationError(f"{path}: no FASTA records found")
+    return sequences
+
+
+def write_fasta(path, sequences: dict[str, str], *, width: int = 70) -> None:
+    """Write an ``{identifier: sequence}`` dictionary as a FASTA file."""
+    path = Path(path)
+    if width <= 0:
+        raise SerializationError("line width must be positive")
+    with path.open("w", encoding="utf-8") as handle:
+        for identifier, sequence in sequences.items():
+            handle.write(f">{identifier}\n")
+            for start in range(0, len(sequence), width):
+                handle.write(sequence[start : start + width] + "\n")

@@ -1,0 +1,70 @@
+"""Position-weight-matrix text format for weighted strings.
+
+Weighted strings are known as position weight matrices in bioinformatics
+(Section 1.1); this module reads and writes the standard ``σ × n`` matrix
+layout used by the paper's Example 1: one row per letter, one column per
+position, whitespace-separated probabilities.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.weighted_string import WeightedString
+from ..errors import SerializationError
+
+__all__ = ["read_pwm", "write_pwm"]
+
+
+def read_pwm(path) -> WeightedString:
+    """Read a weighted string from a PWM text file.
+
+    The format is one line per letter: the letter symbol followed by ``n``
+    probabilities.  Lines starting with ``#`` are comments.
+    """
+    path = Path(path)
+    letters: list[str] = []
+    rows: list[list[float]] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, raw_line in enumerate(handle, start=1):
+                line = raw_line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split()
+                if len(fields) < 2:
+                    raise SerializationError(
+                        f"{path}:{line_number}: expected a letter and probabilities"
+                    )
+                letters.append(fields[0])
+                try:
+                    rows.append([float(value) for value in fields[1:]])
+                except ValueError as exc:
+                    raise SerializationError(
+                        f"{path}:{line_number}: malformed probability: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise SerializationError(f"cannot read PWM file {path}: {exc}") from exc
+    if not rows:
+        raise SerializationError(f"{path}: empty position weight matrix")
+    lengths = {len(row) for row in rows}
+    if len(lengths) != 1:
+        raise SerializationError(f"{path}: rows have inconsistent lengths {sorted(lengths)}")
+    matrix = np.asarray(rows, dtype=np.float64).T  # rows are letters -> transpose
+    return WeightedString(matrix, Alphabet(letters), normalize=True)
+
+
+def write_pwm(path, weighted: WeightedString, *, precision: int = 6) -> None:
+    """Write a weighted string as a PWM text file (σ rows × n columns)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# position weight matrix: sigma={weighted.sigma} n={len(weighted)}\n")
+        for code, letter in enumerate(weighted.alphabet.letters):
+            values = " ".join(
+                f"{weighted.matrix[position, code]:.{precision}f}"
+                for position in range(len(weighted))
+            )
+            handle.write(f"{letter} {values}\n")

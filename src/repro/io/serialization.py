@@ -1,0 +1,92 @@
+"""JSON serialisation of weighted strings and z-estimations.
+
+Indexes themselves are cheap to rebuild from a weighted string, so the
+persistent artefacts of a workflow are the weighted string (and, when one
+wants to freeze the sampling, its z-estimation); both round-trip through
+JSON here.  The format favours readability over compactness — large inputs
+should be regenerated or stored as PWM files instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.estimation import ZEstimation
+from ..core.weighted_string import WeightedString
+from ..errors import SerializationError
+
+__all__ = [
+    "save_weighted_string",
+    "load_weighted_string",
+    "save_estimation",
+    "load_estimation",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_weighted_string(path, weighted: WeightedString) -> None:
+    """Write a weighted string to a JSON file."""
+    payload = {
+        "format": "repro.weighted_string",
+        "version": _FORMAT_VERSION,
+        "alphabet": list(weighted.alphabet.letters),
+        "probabilities": weighted.matrix.tolist(),
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_weighted_string(path) -> WeightedString:
+    """Read a weighted string from a JSON file written by :func:`save_weighted_string`."""
+    payload = _load_payload(path, "repro.weighted_string")
+    alphabet = Alphabet(payload["alphabet"])
+    matrix = np.asarray(payload["probabilities"], dtype=np.float64)
+    if matrix.size == 0:
+        matrix = matrix.reshape(0, alphabet.size)
+    return WeightedString(matrix, alphabet, normalize=True)
+
+
+def save_estimation(path, estimation: ZEstimation) -> None:
+    """Write a z-estimation to a JSON file."""
+    payload = {
+        "format": "repro.z_estimation",
+        "version": _FORMAT_VERSION,
+        "z": estimation.z,
+        "alphabet": list(estimation.alphabet.letters),
+        "strings": estimation.strings.tolist(),
+        "ends": estimation.ends.tolist(),
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_estimation(path) -> ZEstimation:
+    """Read a z-estimation from a JSON file written by :func:`save_estimation`."""
+    payload = _load_payload(path, "repro.z_estimation")
+    strings = np.asarray(payload["strings"], dtype=np.int64)
+    ends = np.asarray(payload["ends"], dtype=np.int64)
+    if strings.shape != ends.shape:
+        raise SerializationError("strings and property arrays have mismatched shapes")
+    return ZEstimation(strings, ends, float(payload["z"]), Alphabet(payload["alphabet"]))
+
+
+def _load_payload(path, expected_format: str) -> dict:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON: {exc}") from exc
+    if payload.get("format") != expected_format:
+        raise SerializationError(
+            f"{path} has format {payload.get('format')!r}, expected {expected_format!r}"
+        )
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"{path} has unsupported version {payload.get('version')!r}"
+        )
+    return payload

@@ -1,0 +1,107 @@
+"""A minimal VCF-like SNP table format and the reference+SNP → weighted string step.
+
+The paper combines a reference genome with a set of SNPs and their allele
+frequencies (Section 7.1).  We support a small tab-separated format with the
+columns ``POS  REF  ALT  AF`` (1-based position, reference allele,
+alternative allele, alternative allele frequency), which is the part of VCF
+the construction actually needs, plus the function that assembles the
+weighted string from a reference sequence and such a table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.weighted_string import WeightedString
+from ..errors import SerializationError
+
+__all__ = ["read_snp_table", "write_snp_table", "weighted_string_from_reference_and_snps"]
+
+
+def read_snp_table(path) -> list[dict]:
+    """Read a ``POS REF ALT AF`` tab-separated SNP table (1-based positions)."""
+    path = Path(path)
+    rows: list[dict] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, raw_line in enumerate(handle, start=1):
+                line = raw_line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split("\t") if "\t" in line else line.split()
+                if len(fields) < 4:
+                    raise SerializationError(
+                        f"{path}:{line_number}: expected 4 columns (POS REF ALT AF)"
+                    )
+                try:
+                    rows.append(
+                        {
+                            "position": int(fields[0]),
+                            "reference": fields[1].upper(),
+                            "alternative": fields[2].upper(),
+                            "frequency": float(fields[3]),
+                        }
+                    )
+                except ValueError as exc:
+                    raise SerializationError(
+                        f"{path}:{line_number}: malformed SNP row: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise SerializationError(f"cannot read SNP table {path}: {exc}") from exc
+    return rows
+
+
+def write_snp_table(path, rows: list[dict]) -> None:
+    """Write SNP rows (as produced by the genome generator) to a table file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("#POS\tREF\tALT\tAF\n")
+        for row in rows:
+            handle.write(
+                f"{row['position']}\t{row['reference']}\t{row['alternative']}\t"
+                f"{row['frequency']:.6f}\n"
+            )
+
+
+def weighted_string_from_reference_and_snps(
+    reference: str,
+    snps: list[dict],
+    *,
+    alphabet: Alphabet | None = None,
+    one_based: bool = True,
+) -> WeightedString:
+    """Build a weighted string from a reference sequence and SNP frequencies.
+
+    Every non-polymorphic position carries the reference letter with
+    probability 1; a SNP row moves ``frequency`` of the mass to the
+    alternative allele — the construction described in Section 7.1.
+    """
+    reference = reference.upper()
+    if alphabet is None:
+        letters = sorted(set(reference) | {row["alternative"] for row in snps})
+        alphabet = Alphabet(letters)
+    codes = alphabet.encode(reference)
+    matrix = np.zeros((len(codes), alphabet.size), dtype=np.float64)
+    matrix[np.arange(len(codes)), codes] = 1.0
+    offset = 1 if one_based else 0
+    for row in snps:
+        position = row["position"] - offset
+        if not 0 <= position < len(codes):
+            raise SerializationError(
+                f"SNP position {row['position']} outside the reference of length {len(codes)}"
+            )
+        frequency = float(row["frequency"])
+        if not 0.0 <= frequency <= 1.0:
+            raise SerializationError(f"allele frequency {frequency} outside [0, 1]")
+        reference_code = alphabet.code(row["reference"])
+        alternative_code = alphabet.code(row["alternative"])
+        if codes[position] != reference_code:
+            raise SerializationError(
+                f"SNP at position {row['position']} disagrees with the reference letter"
+            )
+        matrix[position, reference_code] = 1.0 - frequency
+        matrix[position, alternative_code] += frequency
+    return WeightedString(matrix, alphabet)

@@ -1,0 +1,5 @@
+"""Sampling substrate: (ℓ, k)-minimizer schemes."""
+
+from .minimizers import MinimizerScheme, default_k
+
+__all__ = ["MinimizerScheme", "default_k"]

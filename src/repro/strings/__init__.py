@@ -1,0 +1,36 @@
+"""Classic stringology substrate: suffix arrays, LCP, RMQ, tries, fingerprints."""
+
+from .karp_rabin import KarpRabinHasher, mix64, mix64_array
+from .lcp import LCEIndex, lcp_array, lcp_of_strings
+from .matching import find_occurrences, find_property_occurrences, is_occurrence
+from .rmq import SparseTableRMaxQ, SparseTableRMQ, report_at_least
+from .suffix_array import (
+    generalized_suffix_array,
+    rank_array,
+    suffix_array,
+    suffix_array_interval,
+)
+from .suffix_tree import SuffixTree
+from .trie import CompactedTrie, TrieNode
+
+__all__ = [
+    "suffix_array",
+    "rank_array",
+    "generalized_suffix_array",
+    "suffix_array_interval",
+    "lcp_array",
+    "lcp_of_strings",
+    "LCEIndex",
+    "SparseTableRMQ",
+    "SparseTableRMaxQ",
+    "report_at_least",
+    "CompactedTrie",
+    "TrieNode",
+    "SuffixTree",
+    "KarpRabinHasher",
+    "mix64",
+    "mix64_array",
+    "find_occurrences",
+    "find_property_occurrences",
+    "is_occurrence",
+]

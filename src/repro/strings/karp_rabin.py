@@ -1,0 +1,82 @@
+"""Karp–Rabin fingerprints and the integer mixer used for minimizer orders.
+
+The paper's implementation computes minimizers with Karp–Rabin fingerprints
+instead of plain lexicographic comparison; randomising the order of k-mers
+makes the minimizer density behave like the random-order analysis of
+Lemma 1.  We provide
+
+* :class:`KarpRabinHasher` — classic rolling fingerprints of substrings,
+  used in tests and available for users who need probabilistic equality;
+* :func:`mix64` — a deterministic avalanche mixer (splitmix64 finaliser)
+  applied to integer k-mer encodings to define the "random" minimizer order
+  shared by every construction path in the library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["KarpRabinHasher", "mix64", "mix64_array"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finaliser: a fast, deterministic 64-bit avalanche mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def mix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`mix64` over an array of non-negative integers."""
+    value = values.astype(np.uint64, copy=True)
+    value += np.uint64(0x9E3779B97F4A7C15)
+    value ^= value >> np.uint64(30)
+    value *= np.uint64(0xBF58476D1CE4E5B9)
+    value ^= value >> np.uint64(27)
+    value *= np.uint64(0x94D049BB133111EB)
+    value ^= value >> np.uint64(31)
+    return value
+
+
+class KarpRabinHasher:
+    """Rolling Karp–Rabin fingerprints over a fixed code sequence.
+
+    Fingerprints are polynomial hashes modulo a Mersenne-like prime; two
+    equal substrings always have equal fingerprints, and unequal substrings
+    collide with probability ``O(n / p)``.
+    """
+
+    #: A large prime below 2^61 (fits comfortably in Python ints and numpy ops).
+    PRIME = (1 << 61) - 1
+
+    def __init__(self, codes: Sequence[int], base: int = 1_000_003) -> None:
+        codes = [int(code) for code in codes]
+        self._base = base
+        prefix = [0] * (len(codes) + 1)
+        powers = [1] * (len(codes) + 1)
+        for index, code in enumerate(codes):
+            prefix[index + 1] = (prefix[index] * base + code + 1) % self.PRIME
+            powers[index + 1] = (powers[index] * base) % self.PRIME
+        self._prefix = prefix
+        self._powers = powers
+
+    def __len__(self) -> int:
+        return len(self._prefix) - 1
+
+    def fingerprint(self, start: int, stop: int) -> int:
+        """Fingerprint of the substring ``[start, stop)``."""
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(f"invalid fingerprint range [{start}, {stop})")
+        value = self._prefix[stop] - (self._prefix[start] * self._powers[stop - start]) % self.PRIME
+        return value % self.PRIME
+
+    def equal(self, first: tuple[int, int], second: tuple[int, int]) -> bool:
+        """Probabilistic equality of two ranges (always true for equal strings)."""
+        if first[1] - first[0] != second[1] - second[0]:
+            return False
+        return self.fingerprint(*first) == self.fingerprint(*second)

@@ -1,0 +1,49 @@
+"""Plain and property-respecting pattern matching (reference algorithms).
+
+These are the straightforward O(n·m) matchers used as oracles in tests and
+for verification of candidate occurrences; the indexes provide the fast
+counterparts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.properties import PropertyArray
+
+__all__ = ["find_occurrences", "find_property_occurrences", "is_occurrence"]
+
+
+def is_occurrence(text: Sequence[int], pattern: Sequence[int], position: int) -> bool:
+    """Whether ``pattern`` occurs in ``text`` at ``position`` (plain equality)."""
+    m = len(pattern)
+    if position < 0 or position + m > len(text):
+        return False
+    for offset in range(m):
+        if text[position + offset] != pattern[offset]:
+            return False
+    return True
+
+
+def find_occurrences(text: Sequence[int], pattern: Sequence[int]) -> list[int]:
+    """All occurrences of ``pattern`` in ``text`` (naive scan)."""
+    m = len(pattern)
+    if m == 0:
+        return list(range(len(text) + 1))
+    return [
+        position
+        for position in range(len(text) - m + 1)
+        if is_occurrence(text, pattern, position)
+    ]
+
+
+def find_property_occurrences(
+    text: Sequence[int], pattern: Sequence[int], prop: PropertyArray
+) -> list[int]:
+    """Occurrences of ``pattern`` in ``text`` that respect the property ``prop``."""
+    m = len(pattern)
+    return [
+        position
+        for position in find_occurrences(text, pattern)
+        if m == 0 or prop.covers(position, position + m)
+    ]

@@ -1,0 +1,128 @@
+"""Range-minimum / range-maximum queries via sparse tables.
+
+Two uses in the library:
+
+* O(1) LCE queries (minimum over LCP ranges), needed by the heavy-string
+  comparator of the space-efficient construction;
+* output-sensitive reporting of property-respecting suffixes: given the SA
+  interval of a pattern, entries whose valid length is at least ``m`` are
+  reported by recursing on range-*maximum* queries, so the work is
+  proportional to the number of reported occurrences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["SparseTableRMQ", "SparseTableRMaxQ", "report_at_least"]
+
+
+class SparseTableRMQ:
+    """Static range-minimum structure: O(n log n) space, O(1) queries."""
+
+    __slots__ = ("_table", "_logs")
+
+    def __init__(self, values: Sequence[float]) -> None:
+        values = np.asarray(values)
+        n = len(values)
+        levels = max(1, int(np.floor(np.log2(max(1, n)))) + 1)
+        table = [np.asarray(values)]
+        length = 1
+        for _ in range(1, levels):
+            previous = table[-1]
+            length *= 2
+            if length > n:
+                break
+            half = length // 2
+            table.append(np.minimum(previous[: n - length + 1], previous[half : n - length + 1 + half]))
+        self._table = table
+        logs = np.zeros(n + 1, dtype=np.int64)
+        for i in range(2, n + 1):
+            logs[i] = logs[i // 2] + 1
+        self._logs = logs
+
+    def range_min(self, start: int, stop: int):
+        """Minimum of ``values[start:stop]`` (requires ``start < stop``)."""
+        if start >= stop:
+            raise ValueError("range_min requires a non-empty range")
+        level = int(self._logs[stop - start])
+        block = self._table[level]
+        return min(block[start], block[stop - (1 << level)])
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint."""
+        return int(sum(level.nbytes for level in self._table) + self._logs.nbytes)
+
+
+class SparseTableRMaxQ:
+    """Static range-maximum structure with argmax reporting."""
+
+    __slots__ = ("_values", "_table", "_logs")
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._values = np.asarray(values)
+        n = len(self._values)
+        levels = max(1, int(np.floor(np.log2(max(1, n)))) + 1)
+        # Store argmax indices so reporting can recurse on positions.
+        table = [np.arange(n, dtype=np.int64)]
+        length = 1
+        for _ in range(1, levels):
+            previous = table[-1]
+            length *= 2
+            if length > n:
+                break
+            half = length // 2
+            left = previous[: n - length + 1]
+            right = previous[half : n - length + 1 + half]
+            take_right = self._values[right] > self._values[left]
+            table.append(np.where(take_right, right, left))
+        self._table = table
+        logs = np.zeros(n + 1, dtype=np.int64)
+        for i in range(2, n + 1):
+            logs[i] = logs[i // 2] + 1
+        self._logs = logs
+
+    def range_argmax(self, start: int, stop: int) -> int:
+        """Index of a maximum of ``values[start:stop]``."""
+        if start >= stop:
+            raise ValueError("range_argmax requires a non-empty range")
+        level = int(self._logs[stop - start])
+        block = self._table[level]
+        left = int(block[start])
+        right = int(block[stop - (1 << level)])
+        return right if self._values[right] > self._values[left] else left
+
+    def value(self, index: int):
+        """The stored value at ``index``."""
+        return self._values[index]
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint."""
+        return int(sum(level.nbytes for level in self._table) + self._logs.nbytes)
+
+
+def report_at_least(rmax: SparseTableRMaxQ, start: int, stop: int, threshold) -> list[int]:
+    """All indices in ``[start, stop)`` whose value is ``>= threshold``.
+
+    Classic output-sensitive recursion on a range-maximum structure: the
+    running time is O((1 + k) log n) for k reported indices, which is how the
+    property suffix array reports only the occurrences that respect the
+    property (Section 6 of the WSA paper, used by our WSA and MWSA).
+    """
+    results: list[int] = []
+    if start >= stop:
+        return results
+    stack = [(start, stop)]
+    while stack:
+        lo, hi = stack.pop()
+        if lo >= hi:
+            continue
+        best = rmax.range_argmax(lo, hi)
+        if rmax.value(best) < threshold:
+            continue
+        results.append(best)
+        stack.append((lo, best))
+        stack.append((best + 1, hi))
+    return results

@@ -1,0 +1,86 @@
+"""Suffix trees for standard code strings.
+
+Built as the compacted trie of all suffixes, using the suffix array and the
+LCP array (O(n log n) construction overall, dominated by suffix sorting).
+This is the classic text index recalled in Section 2 of the paper; the
+weighted suffix tree (WST) baseline wraps a generalised version of it over
+the z-estimation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .lcp import lcp_array
+from .suffix_array import suffix_array
+from .trie import CompactedTrie
+
+__all__ = ["SuffixTree"]
+
+
+class SuffixTree:
+    """Suffix tree of a code string with a unique implicit terminator.
+
+    The terminator (a letter smaller than every code) guarantees that every
+    suffix ends at a leaf, as in Fig. 2 of the paper.
+    """
+
+    def __init__(self, codes: Sequence[int]) -> None:
+        codes = np.asarray(codes, dtype=np.int64)
+        # Shift codes by +1 and append terminator 0 so every suffix is a leaf.
+        self._text = np.concatenate([codes + 1, np.zeros(1, dtype=np.int64)])
+        self._sa = suffix_array(self._text)
+        self._lcp = lcp_array(self._text, self._sa)
+        n = len(self._text)
+        lengths = n - self._sa
+        text = self._text
+        sa = self._sa
+        self._trie = CompactedTrie(
+            lengths,
+            self._lcp,
+            lambda key, depth: int(text[sa[key] + depth]),
+        )
+
+    # -- shape ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Length of the indexed string (without the terminator)."""
+        return len(self._text) - 1
+
+    @property
+    def node_count(self) -> int:
+        """Number of explicit nodes of the suffix tree."""
+        return self._trie.node_count
+
+    @property
+    def suffix_array_order(self) -> np.ndarray:
+        """The underlying suffix array (leaf order of the tree)."""
+        return self._sa
+
+    @property
+    def trie(self) -> CompactedTrie:
+        """The underlying compacted trie (for structural inspection)."""
+        return self._trie
+
+    # -- queries -----------------------------------------------------------------
+    def occurrences(self, pattern: Sequence[int]) -> list[int]:
+        """All starting positions of ``pattern`` in the indexed string."""
+        if len(pattern) == 0:
+            return list(range(self.length + 1))
+        shifted = [int(code) + 1 for code in pattern]
+        lo, hi = self._trie.descend(shifted)
+        return sorted(int(self._sa[rank]) for rank in range(lo, hi))
+
+    def count(self, pattern: Sequence[int]) -> int:
+        """Number of occurrences of ``pattern``."""
+        if len(pattern) == 0:
+            return self.length + 1
+        shifted = [int(code) + 1 for code in pattern]
+        lo, hi = self._trie.descend(shifted)
+        return hi - lo
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """Whether ``pattern`` occurs at least once."""
+        return self.count(pattern) > 0

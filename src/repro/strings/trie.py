@@ -1,0 +1,197 @@
+"""Compacted tries over sorted key collections.
+
+The tree-shaped indexes of the paper (WST, MWST, MWST-G) are compacted tries
+of string collections — suffixes of the z-estimation for WST, minimizer
+solid-factor strings for MWST.  To keep those collections *unmaterialised*
+(the whole point of the Corollary-4 edge encoding), the trie below never
+stores letters: it is built from
+
+* the number of keys, given in lexicographic order (prefixes first),
+* the length of each key,
+* the longest common prefix of each consecutive pair of keys, and
+* a ``letter(key_index, depth)`` accessor used to read edge labels lazily.
+
+Every node records the contiguous range of key indices in its subtree, so a
+query that walks the trie ends with the exact set of matching keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+__all__ = ["TrieNode", "CompactedTrie"]
+
+LetterAccessor = Callable[[int, int], int]
+
+
+class TrieNode:
+    """One explicit node of a compacted trie.
+
+    The edge entering the node spells the letters of key ``edge_key`` at
+    depths ``[parent_depth, depth)``; the subtree below the node contains the
+    keys with indices in ``[lo, hi)``; ``terminal`` lists keys that end
+    exactly at this node.
+    """
+
+    __slots__ = ("depth", "parent_depth", "edge_key", "children", "terminal", "lo", "hi")
+
+    def __init__(self, depth: int, parent_depth: int, edge_key: int) -> None:
+        self.depth = depth
+        self.parent_depth = parent_depth
+        self.edge_key = edge_key
+        self.children: dict[int, TrieNode] = {}
+        self.terminal: list[int] = []
+        self.lo = -1
+        self.hi = -1
+
+    @property
+    def edge_length(self) -> int:
+        """Number of letters on the edge entering this node."""
+        return self.depth - self.parent_depth
+
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TrieNode(depth={self.depth}, range=[{self.lo},{self.hi}), "
+            f"children={len(self.children)})"
+        )
+
+
+class CompactedTrie:
+    """A compacted trie over ``count`` sorted keys accessed through a callback.
+
+    Parameters
+    ----------
+    lengths:
+        Length of each key, in sorted key order.
+    lcps:
+        ``lcps[i]`` = longest common prefix of keys ``i-1`` and ``i``
+        (``lcps[0]`` is ignored / treated as 0).
+    letter:
+        ``letter(key_index, depth)`` returns the code of the letter of a key
+        at a given depth; only called for valid depths.
+
+    The keys must be sorted so that a key that is a prefix of another comes
+    first, and so that keys sharing a prefix are contiguous — i.e. ordinary
+    lexicographic order.
+    """
+
+    def __init__(
+        self,
+        lengths: Sequence[int],
+        lcps: Sequence[int],
+        letter: LetterAccessor,
+    ) -> None:
+        self._letter = letter
+        self._lengths = list(int(value) for value in lengths)
+        self.root = TrieNode(0, 0, 0 if self._lengths else -1)
+        self._node_count = 1
+        self._build(list(int(value) for value in lcps))
+        self._assign_ranges()
+
+    # -- construction -----------------------------------------------------------
+    def _build(self, lcps: Sequence[int]) -> None:
+        letter = self._letter
+        stack: list[TrieNode] = [self.root]
+        for index, length in enumerate(self._lengths):
+            depth = 0 if index == 0 else min(lcps[index], length)
+            last_popped: TrieNode | None = None
+            while stack[-1].depth > depth:
+                last_popped = stack.pop()
+            attach = stack[-1]
+            if attach.depth < depth:
+                # Split the edge entering `last_popped` at string depth `depth`.
+                middle = TrieNode(depth, attach.depth, last_popped.edge_key)
+                first_letter = letter(last_popped.edge_key, attach.depth)
+                attach.children[first_letter] = middle
+                middle.children[letter(last_popped.edge_key, depth)] = last_popped
+                last_popped.parent_depth = depth
+                attach = middle
+                stack.append(middle)
+                self._node_count += 1
+            if length > attach.depth:
+                leaf = TrieNode(length, attach.depth, index)
+                leaf.terminal.append(index)
+                attach.children[letter(index, attach.depth)] = leaf
+                stack.append(leaf)
+                self._node_count += 1
+            else:
+                attach.terminal.append(index)
+
+    def _assign_ranges(self) -> None:
+        # Iterative post-order pass computing each node's key-index range.
+        order: list[TrieNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children.values())
+        for node in reversed(order):
+            lo, hi = len(self._lengths), -1
+            for key in node.terminal:
+                lo = min(lo, key)
+                hi = max(hi, key + 1)
+            for child in node.children.values():
+                if child.lo >= 0:
+                    lo = min(lo, child.lo)
+                    hi = max(hi, child.hi)
+            node.lo, node.hi = (lo, hi) if hi >= 0 else (0, 0)
+
+    # -- shape ---------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        """Number of keys the trie was built from."""
+        return len(self._lengths)
+
+    @property
+    def node_count(self) -> int:
+        """Number of explicit nodes (the paper's index-size driver)."""
+        return self._node_count
+
+    def key_length(self, key_index: int) -> int:
+        """Length of one key."""
+        return self._lengths[key_index]
+
+    def iter_nodes(self):
+        """Yield every node (pre-order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    # -- queries ----------------------------------------------------------------------
+    def descend(self, pattern: Sequence[int]) -> tuple[int, int]:
+        """Range of keys having ``pattern`` as a prefix.
+
+        Returns the half-open ``(lo, hi)`` range of key indices; ``(0, 0)``
+        when no key starts with the pattern.  The walk costs O(|pattern|)
+        letter accesses.
+        """
+        letter = self._letter
+        node = self.root
+        depth = 0
+        m = len(pattern)
+        while depth < m:
+            child = node.children.get(int(pattern[depth]))
+            if child is None:
+                return 0, 0
+            # Match the remaining letters on the edge.
+            edge_end = child.depth
+            key = child.edge_key
+            offset = depth + 1
+            while offset < min(m, edge_end):
+                if letter(key, offset) != int(pattern[offset]):
+                    return 0, 0
+                offset += 1
+            node = child
+            depth = edge_end
+        return node.lo, node.hi
+
+    def matching_keys(self, pattern: Sequence[int]) -> list[int]:
+        """Indices of the keys that have ``pattern`` as a prefix."""
+        lo, hi = self.descend(pattern)
+        return list(range(lo, hi))

@@ -1,0 +1,76 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+SOURCE_ROOT = Path(__file__).resolve().parent.parent / "src"
+if str(SOURCE_ROOT) not in sys.path:  # allow running the tests without installing
+    sys.path.insert(0, str(SOURCE_ROOT))
+
+from repro import Alphabet, WeightedString  # noqa: E402
+from repro.core import build_z_estimation  # noqa: E402
+
+
+@pytest.fixture()
+def paper_example() -> WeightedString:
+    """The weighted string of the paper's Example 1 (length 6 over {A, B})."""
+    return WeightedString.from_dicts(
+        [
+            {"A": 1.0},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.75, "B": 0.25},
+            {"A": 0.8, "B": 0.2},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.25, "B": 0.75},
+        ]
+    )
+
+
+@pytest.fixture()
+def paper_estimation(paper_example):
+    """A 4-estimation of the paper's Example 1."""
+    return build_z_estimation(paper_example, 4)
+
+
+def make_random_weighted_string(
+    length: int,
+    sigma: int,
+    uncertain_fraction: float,
+    rng: random.Random,
+) -> WeightedString:
+    """A reproducible random weighted string mixing certain and uncertain positions."""
+    rows = []
+    for _ in range(length):
+        if rng.random() < uncertain_fraction:
+            weights = [rng.choice([0, 1, 1, 2, 4]) for _ in range(sigma)]
+            if sum(weights) == 0:
+                weights[rng.randrange(sigma)] = 1
+            total = sum(weights)
+            rows.append({chr(65 + code): weights[code] / total for code in range(sigma)})
+        else:
+            rows.append({chr(65 + rng.randrange(sigma)): 1.0})
+    alphabet = Alphabet([chr(65 + code) for code in range(sigma)])
+    return WeightedString.from_dicts(rows, alphabet=alphabet)
+
+
+@pytest.fixture()
+def random_weighted_string_factory():
+    """Factory fixture producing reproducible random weighted strings."""
+
+    def factory(length: int, sigma: int = 3, uncertain_fraction: float = 0.5, seed: int = 0):
+        return make_random_weighted_string(length, sigma, uncertain_fraction, random.Random(seed))
+
+    return factory
+
+
+@pytest.fixture()
+def small_genomic_string():
+    """A small genomic-style weighted string (certain backbone + sparse SNPs)."""
+    from repro.datasets.genomes import efm_like
+
+    return efm_like(600, seed=3).weighted_string

@@ -1,0 +1,88 @@
+"""Tests for repro.core.alphabet."""
+
+import pytest
+
+from repro.core.alphabet import DNA, PROTEIN, Alphabet
+from repro.errors import AlphabetError
+
+
+class TestConstruction:
+    def test_size(self):
+        assert Alphabet("ACGT").size == 4
+
+    def test_len(self):
+        assert len(Alphabet("AB")) == 2
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet([])
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("AAB")
+
+    def test_letters_preserve_order(self):
+        assert Alphabet("TGCA").letters == ("T", "G", "C", "A")
+
+    def test_integer_alphabet(self):
+        alphabet = Alphabet.integer(5)
+        assert alphabet.size == 5
+        assert alphabet.letter(3) == "3"
+
+    def test_integer_alphabet_rejects_nonpositive(self):
+        with pytest.raises(AlphabetError):
+            Alphabet.integer(0)
+
+    def test_from_text_sorts_letters(self):
+        assert Alphabet.from_text("banana").letters == ("a", "b", "n")
+
+
+class TestConversions:
+    def test_code_roundtrip(self):
+        dna = Alphabet("ACGT")
+        for code, letter in enumerate("ACGT"):
+            assert dna.code(letter) == code
+            assert dna.letter(code) == letter
+
+    def test_encode_decode_roundtrip(self):
+        dna = Alphabet("ACGT")
+        text = "GATTACA"
+        assert dna.decode(dna.encode(text)) == text
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ACGT").code("N")
+
+    def test_out_of_range_code_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ACGT").letter(4)
+
+    def test_negative_code_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("AB").letter(-1)
+
+    def test_contains(self):
+        assert "C" in Alphabet("ACGT")
+        assert "N" not in Alphabet("ACGT")
+
+    def test_iteration(self):
+        assert list(Alphabet("AB")) == ["A", "B"]
+
+
+class TestEqualityAndPresets:
+    def test_equality(self):
+        assert Alphabet("ACGT") == Alphabet("ACGT")
+        assert Alphabet("ACGT") != Alphabet("TGCA")
+
+    def test_hashable(self):
+        assert len({Alphabet("AB"), Alphabet("AB"), Alphabet("BA")}) == 2
+
+    def test_dna_preset(self):
+        assert DNA.size == 4
+        assert DNA.encode("ACGT") == [0, 1, 2, 3]
+
+    def test_protein_preset(self):
+        assert PROTEIN.size == 20
+
+    def test_repr_mentions_size(self):
+        assert "size=4" in repr(DNA)

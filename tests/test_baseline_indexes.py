@@ -1,0 +1,94 @@
+"""Tests for the WST / WSA baselines and the property suffix structure."""
+
+import itertools
+
+import pytest
+
+from repro.core import build_z_estimation
+from repro.indexes import (
+    PropertySuffixStructure,
+    WeightedSuffixArray,
+    WeightedSuffixTree,
+    brute_force_occurrences,
+)
+from repro.errors import PatternError
+
+
+@pytest.fixture()
+def small_random(random_weighted_string_factory):
+    return random_weighted_string_factory(25, sigma=3, uncertain_fraction=0.5, seed=11)
+
+
+class TestPropertySuffixStructure:
+    def test_entry_count(self, paper_example, paper_estimation):
+        structure = PropertySuffixStructure(paper_estimation)
+        assert structure.entry_count == 4 * 7
+
+    def test_locate_matches_oracle(self, paper_example, paper_estimation):
+        structure = PropertySuffixStructure(paper_estimation)
+        for m in range(1, 5):
+            for pattern in itertools.product(range(2), repeat=m):
+                assert structure.locate(list(pattern)) == paper_example.occurrences(
+                    list(pattern), 4
+                )
+
+    def test_report_valid_empty_interval(self, paper_estimation):
+        structure = PropertySuffixStructure(paper_estimation)
+        assert structure.report_valid(3, 3, 1) == []
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("index_cls", [WeightedSuffixArray, WeightedSuffixTree])
+    def test_paper_example_queries(self, paper_example, index_cls):
+        index = index_cls.build(paper_example, 4)
+        assert index.locate("AAAA") == [0]
+        assert index.locate("BAAB") == []      # Example 8: probability below 1/4
+        # AB is valid at positions 1, 4 and 5 of the paper (1-based): 0, 3, 4 here.
+        assert index.locate("AB") == [0, 3, 4]
+
+    @pytest.mark.parametrize("index_cls", [WeightedSuffixArray, WeightedSuffixTree])
+    def test_matches_brute_force_on_random_input(self, small_random, index_cls):
+        z = 8
+        index = index_cls.build(small_random, z)
+        for m in (1, 2, 3):
+            for pattern in itertools.product(range(small_random.sigma), repeat=m):
+                assert index.locate(list(pattern)) == brute_force_occurrences(
+                    small_random, list(pattern), z
+                )
+
+    def test_shared_estimation_is_reused(self, paper_example):
+        estimation = build_z_estimation(paper_example, 4)
+        wsa = WeightedSuffixArray.build(paper_example, 4, estimation=estimation)
+        wst = WeightedSuffixTree.build(paper_example, 4, estimation=estimation)
+        assert wsa.locate("AAAA") == wst.locate("AAAA") == [0]
+
+    def test_count_and_exists(self, paper_example):
+        index = WeightedSuffixArray.build(paper_example, 4)
+        assert index.count("AB") == 3
+        assert index.exists("AAAA")
+        assert not index.exists("BBBB")
+
+    def test_empty_pattern_rejected(self, paper_example):
+        index = WeightedSuffixArray.build(paper_example, 4)
+        with pytest.raises(PatternError):
+            index.locate("")
+
+    def test_stats_are_populated(self, paper_example):
+        wsa = WeightedSuffixArray.build(paper_example, 4)
+        wst = WeightedSuffixTree.build(paper_example, 4)
+        assert wsa.stats.index_size_bytes > 0
+        assert wst.stats.index_size_bytes > wsa.stats.index_size_bytes
+        assert wsa.stats.construction_space_bytes > 0
+        assert wst.stats.counters["nodes"] > 0
+
+    def test_wst_node_count_linear_in_nz(self, small_random):
+        index = WeightedSuffixTree.build(small_random, 4)
+        entries = index.stats.counters["entries"]
+        assert index.node_count <= 2 * entries + 1
+
+    def test_repr(self, paper_example):
+        index = WeightedSuffixArray.build(paper_example, 4)
+        assert "WeightedSuffixArray" in repr(index)
+
+    def test_minimum_pattern_length_is_one(self, paper_example):
+        assert WeightedSuffixArray.build(paper_example, 4).minimum_pattern_length == 1

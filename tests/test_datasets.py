@@ -1,0 +1,194 @@
+"""Tests for repro.datasets (generators, registry, pattern samplers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.numerics import is_solid_probability
+from repro.datasets import (
+    DATASETS,
+    dataset_characteristics,
+    dirichlet_weighted_string,
+    efm_like,
+    generate_genomic_dataset,
+    human_like,
+    load_dataset,
+    mutate_pattern,
+    paper_pattern_count,
+    random_weighted_string,
+    reduce_alphabet,
+    rssi_family,
+    rssi_like,
+    sample_random_patterns,
+    sample_valid_patterns,
+    sars_like,
+    scale_length,
+    sparse_uncertainty_string,
+)
+from repro.errors import DatasetError
+
+
+class TestSyntheticGenerators:
+    def test_random_weighted_string_shape(self):
+        ws = random_weighted_string(50, sigma=4, seed=1)
+        assert len(ws) == 50 and ws.sigma == 4
+
+    def test_random_weighted_string_reproducible(self):
+        assert random_weighted_string(20, seed=7) == random_weighted_string(20, seed=7)
+
+    def test_dirichlet_is_fully_uncertain(self):
+        ws = dirichlet_weighted_string(40, sigma=4, seed=2)
+        assert ws.delta == 1.0
+
+    def test_dirichlet_concentration_validation(self):
+        with pytest.raises(DatasetError):
+            dirichlet_weighted_string(10, concentration=0.0)
+
+    def test_sparse_uncertainty_delta(self):
+        ws = sparse_uncertainty_string(2000, delta=0.05, seed=3)
+        assert 0.03 <= ws.delta <= 0.07
+
+    def test_sparse_uncertainty_validation(self):
+        with pytest.raises(DatasetError):
+            sparse_uncertainty_string(10, delta=1.5)
+        with pytest.raises(DatasetError):
+            sparse_uncertainty_string(10, second_allele_weight=0.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DatasetError):
+            random_weighted_string(-1)
+
+
+class TestGenomicDatasets:
+    def test_sars_characteristics(self):
+        dataset = sars_like(3000, seed=1)
+        description = dataset.describe()
+        assert description["sigma"] == 4
+        assert description["samples"] == 1_181
+        assert 2.0 <= description["delta_percent"] <= 5.5
+
+    def test_efm_and_human_presets(self):
+        assert efm_like(1000, seed=2).weighted_string.sigma == 4
+        assert human_like(1000, seed=2).weighted_string.sigma == 4
+
+    def test_snp_frequencies_are_population_counts(self):
+        dataset = generate_genomic_dataset("X", 500, samples=100, delta=0.1, seed=4)
+        for snp in dataset.snps:
+            assert 0 < snp.alternative_frequency < 1
+            assert abs(snp.alternative_frequency * 100 - round(snp.alternative_frequency * 100)) < 1e-9
+
+    def test_snp_rows_exportable(self):
+        dataset = generate_genomic_dataset("X", 200, samples=10, delta=0.1, seed=5)
+        row = dataset.snps[0].as_row()
+        assert set(row) == {"position", "reference", "alternative", "frequency"}
+
+    def test_generation_validation(self):
+        with pytest.raises(DatasetError):
+            generate_genomic_dataset("X", -1, 10, 0.1)
+        with pytest.raises(DatasetError):
+            generate_genomic_dataset("X", 10, 0, 0.1)
+        with pytest.raises(DatasetError):
+            generate_genomic_dataset("X", 10, 10, 1.5)
+
+    def test_probabilities_sum_to_one(self):
+        dataset = generate_genomic_dataset("X", 300, samples=50, delta=0.2, seed=6)
+        sums = dataset.weighted_string.matrix.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+
+class TestRSSIDatasets:
+    def test_rssi_characteristics(self):
+        ws = rssi_like(300, seed=1)
+        assert ws.sigma == 91
+        assert ws.delta > 0.9  # essentially all positions uncertain
+
+    def test_scale_length(self):
+        base = rssi_like(100, seed=2)
+        doubled = scale_length(base, 2)
+        assert len(doubled) == 200
+        assert np.allclose(doubled.matrix[:100], base.matrix)
+
+    def test_reduce_alphabet(self):
+        base = rssi_like(100, seed=3)
+        reduced = reduce_alphabet(base, 16)
+        assert reduced.sigma == 16
+        assert np.allclose(reduced.matrix.sum(axis=1), 1.0)
+
+    def test_rssi_family_combines_rules(self):
+        base = rssi_like(80, seed=4)
+        variant = rssi_family(base, sigma=32, length_factor=2)
+        assert variant.sigma == 32 and len(variant) == 160
+
+    def test_validation(self):
+        base = rssi_like(20, seed=5)
+        with pytest.raises(DatasetError):
+            scale_length(base, 0)
+        with pytest.raises(DatasetError):
+            reduce_alphabet(base, 1)
+        with pytest.raises(DatasetError):
+            rssi_like(-1)
+
+
+class TestRegistry:
+    def test_registry_contains_paper_datasets(self):
+        assert set(DATASETS) == {"SARS", "EFM", "HUMAN", "RSSI"}
+
+    def test_load_dataset_by_name(self):
+        ws = load_dataset("sars", length=500)
+        assert len(ws) == 500 and ws.sigma == 4
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("EBOLA")
+
+    def test_characteristics_columns(self):
+        characteristics = dataset_characteristics("RSSI", length=300)
+        assert characteristics["sigma"] == 91
+        assert characteristics["paper_length"] == 6_053_462
+        assert characteristics["default_z"] == 16
+
+    def test_default_z_values_match_paper(self):
+        assert DATASETS["SARS"].default_z == 1024
+        assert DATASETS["EFM"].default_z == 128
+        assert DATASETS["HUMAN"].default_z == 8
+        assert DATASETS["RSSI"].default_z == 16
+
+
+class TestPatternSamplers:
+    def test_paper_pattern_count(self):
+        assert paper_pattern_count(35_194_566, 32) == 5_631_130
+        assert paper_pattern_count(100, 2, cap=10) == 1
+        assert paper_pattern_count(10_000, 8, cap=10) == 10
+
+    def test_valid_patterns_have_occurrences(self, small_genomic_string):
+        z, m = 16, 12
+        patterns = sample_valid_patterns(small_genomic_string, z, m, 10, seed=0)
+        assert len(patterns) == 10
+        for pattern in patterns:
+            assert len(pattern) == m
+            probability = max(
+                small_genomic_string.occurrence_probability(pattern, start)
+                for start in range(len(small_genomic_string) - m + 1)
+            )
+            assert is_solid_probability(probability, z)
+
+    def test_valid_pattern_validation(self, paper_example):
+        with pytest.raises(DatasetError):
+            sample_valid_patterns(paper_example, 4, 0, 1)
+        with pytest.raises(DatasetError):
+            sample_valid_patterns(paper_example, 4, 99, 1)
+
+    def test_random_patterns(self, paper_example):
+        patterns = sample_random_patterns(paper_example, 3, 5, seed=1)
+        assert len(patterns) == 5
+        assert all(len(pattern) == 3 for pattern in patterns)
+
+    def test_mutate_pattern(self):
+        pattern = [0, 0, 0, 0]
+        mutated = mutate_pattern(pattern, sigma=4, mutations=2, seed=3)
+        assert len(mutated) == 4
+        assert sum(1 for a, b in zip(pattern, mutated) if a != b) == 2
+
+    def test_mutate_pattern_validation(self):
+        with pytest.raises(DatasetError):
+            mutate_pattern([0], 2, -1)
+        assert mutate_pattern([], 2, 1) == []

@@ -1,0 +1,79 @@
+"""Micro-scale runs of the per-figure experiment functions.
+
+These exercise the full benchmark code paths (dataset loading, shared
+builds, sweeps, series rendering) at a very small scale and check the
+paper's qualitative claims on the resulting rows.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig08, fig12, fig13, fig14
+from repro.bench.harness import BenchScale
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    return BenchScale(
+        name="micro",
+        dataset_lengths={"SARS": 300, "EFM": 300, "HUMAN": 300, "RSSI": 150},
+        ell_values=(8,),
+        z_values={name: (2, 4) for name in ("SARS", "EFM", "HUMAN", "RSSI")},
+        default_ell=8,
+        pattern_count=2,
+        rssi_sigma_values=(16, 91),
+        rssi_length_factors=(1, 2),
+    )
+
+
+def _by_index(rows, dataset=None):
+    grouped = {}
+    for row in rows:
+        if dataset is not None and row["dataset"] != dataset:
+            continue
+        grouped.setdefault(row["index"], []).append(row)
+    return grouped
+
+
+class TestConstructionSpaceExperiments:
+    def test_fig08_baseline_dominates_minimizer_constructions(self, micro_scale):
+        result = fig08(micro_scale)
+        grouped = _by_index(result.rows, dataset="EFM")
+        assert min(row["construction_space_mb"] for row in grouped["WST"]) > max(
+            row["construction_space_mb"] for row in grouped["MWSA"]
+        )
+        assert "construction space" in result.text
+
+    def test_fig13_space_efficient_construction_is_smallest(self, micro_scale):
+        result = fig13(micro_scale)
+        grouped = _by_index(result.rows, dataset="EFM")
+        largest_se = max(row["construction_space_mb"] for row in grouped["MWST-SE"])
+        smallest_wst = min(row["construction_space_mb"] for row in grouped["WST"])
+        assert largest_se < smallest_wst
+
+
+class TestConstructionTimeExperiments:
+    def test_fig12_reports_both_sweeps(self, micro_scale):
+        result = fig12(micro_scale)
+        assert {row["z"] for row in result.rows} >= {2, 4}
+        assert all(row["construction_seconds"] >= 0.0 for row in result.rows)
+        assert "vs ell" in result.text and "vs z" in result.text
+
+
+class TestRSSIExperiments:
+    def test_fig14_covers_all_four_sweeps(self, micro_scale):
+        result = fig14(micro_scale)
+        sweeps = {row["sweep"] for row in result.rows}
+        assert sweeps == {"ell", "z", "sigma", "n"}
+        kinds = {row["index"] for row in result.rows}
+        assert kinds == {"WSA", "MWST-SE"}
+
+    def test_fig14_length_sweep_scales_linearly(self, micro_scale):
+        result = fig14(micro_scale)
+        wsa_by_n = {
+            row["n"]: row["construction_space_mb"]
+            for row in result.rows
+            if row["sweep"] == "n" and row["index"] == "WSA"
+        }
+        sizes = [wsa_by_n[n] for n in sorted(wsa_by_n)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]

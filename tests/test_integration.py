@@ -1,0 +1,132 @@
+"""End-to-end and property-based integration tests.
+
+These tests exercise the full pipeline — dataset generation → index
+construction (all variants) → queries — and compare every answer against the
+brute-force probability-product oracle, which is the library's ground truth.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import WeightedString
+from repro.datasets.genomes import efm_like
+from repro.datasets.patterns import sample_valid_patterns
+from repro.datasets.rssi import rssi_like
+from repro.indexes import (
+    INDEX_CLASSES,
+    MinimizerWSA,
+    SpaceEfficientMWST,
+    WeightedSuffixArray,
+    brute_force_occurrences,
+    build_index,
+)
+
+
+class TestGenomicEndToEnd:
+    def test_all_index_kinds_agree_on_genomic_data(self):
+        source = efm_like(400, seed=21).weighted_string
+        z, ell = 16, 12
+        patterns = sample_valid_patterns(source, z, ell, 6, seed=2)
+        patterns += sample_valid_patterns(source, z, ell + 6, 4, seed=3)
+        indexes = [
+            build_index(source, z, kind=kind, ell=ell) for kind in sorted(INDEX_CLASSES)
+        ]
+        for pattern in patterns:
+            expected = brute_force_occurrences(source, pattern, z)
+            assert expected, "sampled patterns must have at least one occurrence"
+            for index in indexes:
+                assert index.locate(pattern) == expected, index.name
+
+    def test_negative_patterns_return_empty(self):
+        source = efm_like(300, seed=22).weighted_string
+        z, ell = 8, 10
+        index = MinimizerWSA.build(source, z, ell)
+        rng = random.Random(0)
+        for _ in range(10):
+            pattern = [rng.randrange(4) for _ in range(ell)]
+            assert index.locate(pattern) == brute_force_occurrences(source, pattern, z)
+
+
+class TestSensorEndToEnd:
+    def test_rssi_queries_match_oracle(self):
+        source = rssi_like(250, seed=33)
+        z, ell = 8, 4
+        patterns = sample_valid_patterns(source, z, ell, 8, seed=4)
+        baseline = WeightedSuffixArray.build(source, z)
+        minimizer = MinimizerWSA.build(source, z, ell)
+        space_efficient = SpaceEfficientMWST.build(source, z, ell)
+        for pattern in patterns:
+            expected = brute_force_occurrences(source, pattern, z)
+            assert baseline.locate(pattern) == expected
+            assert minimizer.locate(pattern) == expected
+            assert space_efficient.locate(pattern) == expected
+
+
+@st.composite
+def weighted_strings(draw):
+    """Random small weighted strings over a binary alphabet."""
+    length = draw(st.integers(min_value=4, max_value=14))
+    rows = []
+    for _ in range(length):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            rows.append({"A": 1.0})
+        elif kind == 1:
+            rows.append({"B": 1.0})
+        else:
+            weight = draw(st.integers(min_value=1, max_value=7))
+            rows.append({"A": weight / 8, "B": 1 - weight / 8})
+    return WeightedString.from_dicts(rows)
+
+
+class TestHypothesisIndexCorrectness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        source=weighted_strings(),
+        z=st.sampled_from([2, 4, 8]),
+        pattern=st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=6),
+    )
+    def test_minimizer_wsa_matches_oracle(self, source, z, pattern):
+        ell = 3
+        index = MinimizerWSA.build(source, z, ell)
+        assert index.locate(pattern) == brute_force_occurrences(source, pattern, z)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        source=weighted_strings(),
+        z=st.sampled_from([2, 4, 8]),
+        pattern=st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=6),
+    )
+    def test_space_efficient_matches_oracle(self, source, z, pattern):
+        ell = 3
+        index = SpaceEfficientMWST.build(source, z, ell)
+        assert index.locate(pattern) == brute_force_occurrences(source, pattern, z)
+
+    @settings(max_examples=15, deadline=None)
+    @given(source=weighted_strings(), z=st.sampled_from([2, 4, 8]))
+    def test_baseline_matches_oracle_on_all_short_patterns(self, source, z):
+        import itertools
+
+        index = WeightedSuffixArray.build(source, z)
+        for m in (1, 2, 3):
+            for pattern in itertools.product(range(source.sigma), repeat=m):
+                assert index.locate(list(pattern)) == brute_force_occurrences(
+                    source, list(pattern), z
+                )
+
+
+class TestExampleScripts:
+    def test_quickstart_example_runs(self, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "examples" / "quickstart.py"
+        spec = importlib.util.spec_from_file_location("quickstart_example", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        output = capsys.readouterr().out
+        assert "AAAA" in output and "4-estimation" in output

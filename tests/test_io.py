@@ -1,0 +1,155 @@
+"""Tests for repro.io (FASTA, SNP tables, PWM, JSON serialisation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_z_estimation
+from repro.datasets.genomes import sars_like
+from repro.errors import SerializationError
+from repro.io import (
+    load_estimation,
+    load_weighted_string,
+    read_fasta,
+    read_pwm,
+    read_snp_table,
+    save_estimation,
+    save_weighted_string,
+    weighted_string_from_reference_and_snps,
+    write_fasta,
+    write_pwm,
+    write_snp_table,
+)
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ref.fa"
+        write_fasta(path, {"chr1": "ACGTACGT", "chr2": "GGGG"}, width=4)
+        assert read_fasta(path) == {"chr1": "ACGTACGT", "chr2": "GGGG"}
+
+    def test_lowercase_is_uppercased(self, tmp_path):
+        path = tmp_path / "ref.fa"
+        path.write_text(">x\nacgt\n")
+        assert read_fasta(path) == {"x": "ACGT"}
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "broken.fa"
+        path.write_text("ACGT\n")
+        with pytest.raises(SerializationError):
+            read_fasta(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.fa"
+        path.write_text("")
+        with pytest.raises(SerializationError):
+            read_fasta(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            read_fasta(tmp_path / "absent.fa")
+
+    def test_invalid_width_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_fasta(tmp_path / "x.fa", {"a": "ACGT"}, width=0)
+
+
+class TestSnpTables:
+    def test_roundtrip(self, tmp_path):
+        dataset = sars_like(400, seed=9)
+        path = tmp_path / "snps.tsv"
+        write_snp_table(path, [snp.as_row() for snp in dataset.snps])
+        rows = read_snp_table(path)
+        assert len(rows) == len(dataset.snps)
+        assert rows[0]["reference"] in "ACGT"
+
+    def test_malformed_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("10\tA\n")
+        with pytest.raises(SerializationError):
+            read_snp_table(path)
+        path.write_text("x\tA\tC\t0.5\n")
+        with pytest.raises(SerializationError):
+            read_snp_table(path)
+
+    def test_reference_plus_snps_to_weighted_string(self):
+        reference = "ACGTAC"
+        snps = [{"position": 3, "reference": "G", "alternative": "T", "frequency": 0.25}]
+        ws = weighted_string_from_reference_and_snps(reference, snps)
+        code_g = ws.alphabet.code("G")
+        code_t = ws.alphabet.code("T")
+        assert ws.probability(2, code_g) == pytest.approx(0.75)
+        assert ws.probability(2, code_t) == pytest.approx(0.25)
+        assert ws.delta == pytest.approx(1 / 6)
+
+    def test_snp_consistency_checks(self):
+        with pytest.raises(SerializationError):
+            weighted_string_from_reference_and_snps(
+                "AC", [{"position": 9, "reference": "A", "alternative": "C", "frequency": 0.1}]
+            )
+        with pytest.raises(SerializationError):
+            weighted_string_from_reference_and_snps(
+                "AC", [{"position": 1, "reference": "C", "alternative": "A", "frequency": 0.1}]
+            )
+        with pytest.raises(SerializationError):
+            weighted_string_from_reference_and_snps(
+                "AC", [{"position": 1, "reference": "A", "alternative": "C", "frequency": 1.5}]
+            )
+
+
+class TestPwm:
+    def test_roundtrip(self, tmp_path, paper_example):
+        path = tmp_path / "example.pwm"
+        write_pwm(path, paper_example)
+        loaded = read_pwm(path)
+        assert loaded.alphabet == paper_example.alphabet
+        assert np.allclose(loaded.matrix, paper_example.matrix, atol=1e-6)
+
+    def test_inconsistent_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.pwm"
+        path.write_text("A 0.5 0.5\nB 0.5\n")
+        with pytest.raises(SerializationError):
+            read_pwm(path)
+
+    def test_empty_pwm_rejected(self, tmp_path):
+        path = tmp_path / "empty.pwm"
+        path.write_text("# nothing\n")
+        with pytest.raises(SerializationError):
+            read_pwm(path)
+
+    def test_malformed_values_rejected(self, tmp_path):
+        path = tmp_path / "nan.pwm"
+        path.write_text("A x y\n")
+        with pytest.raises(SerializationError):
+            read_pwm(path)
+
+
+class TestJsonSerialisation:
+    def test_weighted_string_roundtrip(self, tmp_path, paper_example):
+        path = tmp_path / "ws.json"
+        save_weighted_string(path, paper_example)
+        assert load_weighted_string(path) == paper_example
+
+    def test_estimation_roundtrip(self, tmp_path, paper_example):
+        estimation = build_z_estimation(paper_example, 4)
+        path = tmp_path / "est.json"
+        save_estimation(path, estimation)
+        loaded = load_estimation(path)
+        assert np.array_equal(loaded.strings, estimation.strings)
+        assert np.array_equal(loaded.ends, estimation.ends)
+        assert loaded.z == estimation.z
+
+    def test_format_mismatch_rejected(self, tmp_path, paper_example):
+        path = tmp_path / "ws.json"
+        save_weighted_string(path, paper_example)
+        with pytest.raises(SerializationError):
+            load_estimation(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_weighted_string(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_weighted_string(tmp_path / "absent.json")

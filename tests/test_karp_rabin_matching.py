@@ -1,0 +1,79 @@
+"""Tests for repro.strings.karp_rabin and repro.strings.matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.properties import PropertyArray
+from repro.strings.karp_rabin import KarpRabinHasher, mix64, mix64_array
+from repro.strings.matching import (
+    find_occurrences,
+    find_property_occurrences,
+    is_occurrence,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_distinct_inputs_differ(self):
+        assert mix64(1) != mix64(2)
+
+    def test_range(self):
+        assert 0 <= mix64(0) < 2**64
+
+    def test_vectorised_matches_scalar(self):
+        values = np.arange(50, dtype=np.uint64)
+        vector = mix64_array(values)
+        assert all(int(vector[i]) == mix64(i) for i in range(50))
+
+
+class TestKarpRabin:
+    def test_equal_substrings_have_equal_fingerprints(self):
+        codes = [0, 1, 2, 0, 1, 2, 0, 1]
+        hasher = KarpRabinHasher(codes)
+        assert hasher.fingerprint(0, 3) == hasher.fingerprint(3, 6)
+        assert hasher.equal((0, 3), (3, 6))
+
+    def test_different_lengths_never_equal(self):
+        hasher = KarpRabinHasher([0, 0, 0])
+        assert not hasher.equal((0, 1), (0, 2))
+
+    def test_unequal_substrings_differ_whp(self):
+        codes = list(range(20))
+        hasher = KarpRabinHasher(codes)
+        assert hasher.fingerprint(0, 5) != hasher.fingerprint(5, 10)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            KarpRabinHasher([1, 2]).fingerprint(0, 5)
+
+    def test_len(self):
+        assert len(KarpRabinHasher([1, 2, 3])) == 3
+
+
+class TestMatching:
+    def test_is_occurrence(self):
+        assert is_occurrence([0, 1, 2], [1, 2], 1)
+        assert not is_occurrence([0, 1, 2], [1, 2], 2)
+        assert not is_occurrence([0, 1, 2], [9], 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        text=st.lists(st.integers(min_value=0, max_value=2), max_size=30),
+        pattern=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=3),
+    )
+    def test_find_occurrences_consistency(self, text, pattern):
+        for position in find_occurrences(text, pattern):
+            assert text[position : position + len(pattern)] == pattern
+
+    def test_empty_pattern_occurs_everywhere(self):
+        assert find_occurrences([1, 2], []) == [0, 1, 2]
+
+    def test_property_filtering(self):
+        text = [0, 0, 0, 0]
+        prop = PropertyArray.from_lengths([2, 2, 2, 1])
+        assert find_property_occurrences(text, [0, 0], prop) == [0, 1, 2]
+        assert find_property_occurrences(text, [0, 0, 0], prop) == []

@@ -1,0 +1,180 @@
+"""Cross-variant correctness tests for MWST / MWSA / MWST-G / MWSA-G / MWST-SE."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import build_z_estimation
+from repro.errors import ConstructionError, PatternError
+from repro.indexes import (
+    GridMinimizerWSA,
+    GridMinimizerWST,
+    MinimizerWSA,
+    MinimizerWST,
+    SpaceEfficientMWST,
+    brute_force_occurrences,
+    build_index,
+    build_index_data_from_estimation,
+)
+from repro.sampling.minimizers import MinimizerScheme
+
+ALL_MINIMIZER_CLASSES = [
+    MinimizerWST,
+    MinimizerWSA,
+    GridMinimizerWST,
+    GridMinimizerWSA,
+    SpaceEfficientMWST,
+]
+
+
+def sample_patterns(ws, z, ell, rng, count=25):
+    """Mixed workload: planted (mostly valid) patterns and random ones."""
+    patterns = []
+    n = len(ws)
+    for _ in range(count):
+        m = rng.randint(ell, min(n, ell + 5))
+        start = rng.randrange(n - m + 1)
+        pattern = []
+        for offset in range(m):
+            row = ws.matrix[start + offset]
+            if rng.random() < 0.85:
+                pattern.append(int(row.argmax()))
+            else:
+                pattern.append(rng.randrange(ws.sigma))
+        patterns.append(pattern)
+    return patterns
+
+
+class TestPaperExample:
+    @pytest.mark.parametrize("index_cls", ALL_MINIMIZER_CLASSES)
+    def test_example7_queries(self, paper_example, index_cls):
+        index = index_cls.build(paper_example, 4, 4)
+        # The three patterns of Fig. 3 / Example 7.
+        assert index.locate("AAAA") == [0]   # valid at position 1 (1-based)
+        assert index.locate("BAAB") == []    # false positive of the grid, filtered
+        assert index.locate("BABA") == []    # not in the z-estimation at all
+
+    @pytest.mark.parametrize("index_cls", ALL_MINIMIZER_CLASSES)
+    def test_minimum_pattern_length_enforced(self, paper_example, index_cls):
+        index = index_cls.build(paper_example, 4, 4)
+        assert index.minimum_pattern_length == 4
+        with pytest.raises(PatternError):
+            index.locate("AAA")
+
+
+class TestCrossVariantEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_variants_match_brute_force(
+        self, random_weighted_string_factory, seed
+    ):
+        rng = random.Random(100 + seed)
+        ws = random_weighted_string_factory(
+            30, sigma=3, uncertain_fraction=[0.3, 0.6, 0.9, 1.0][seed], seed=seed
+        )
+        z = [4, 8, 16, 8][seed]
+        ell = [3, 4, 5, 4][seed]
+        scheme = MinimizerScheme(ell, ws.sigma, order="random")
+        estimation = build_z_estimation(ws, z)
+        data = build_index_data_from_estimation(ws, z, ell, scheme=scheme, estimation=estimation)
+        indexes = [
+            MinimizerWST.build(ws, z, ell, data=data),
+            MinimizerWSA.build(ws, z, ell, data=data),
+            GridMinimizerWST.build(ws, z, ell, data=data),
+            GridMinimizerWSA.build(ws, z, ell, data=data),
+            SpaceEfficientMWST.build(ws, z, ell, scheme=scheme),
+        ]
+        for pattern in sample_patterns(ws, z, ell, rng):
+            expected = brute_force_occurrences(ws, pattern, z)
+            for index in indexes:
+                assert index.locate(pattern) == expected, (index.name, pattern)
+
+    def test_genomic_input(self, small_genomic_string):
+        ws = small_genomic_string
+        z, ell = 16, 16
+        rng = random.Random(1)
+        indexes = [
+            MinimizerWSA.build(ws, z, ell),
+            SpaceEfficientMWST.build(ws, z, ell),
+        ]
+        for pattern in sample_patterns(ws, z, ell, rng, count=12):
+            expected = brute_force_occurrences(ws, pattern, z)
+            for index in indexes:
+                assert index.locate(pattern) == expected
+
+
+class TestSharedData:
+    def test_shared_data_must_match_ell(self, paper_example):
+        data = build_index_data_from_estimation(paper_example, 4, 3)
+        with pytest.raises(ConstructionError):
+            MinimizerWSA.build(paper_example, 4, 4, data=data)
+
+    def test_grid_variant_requires_pairs(self, paper_example):
+        data = build_index_data_from_estimation(paper_example, 4, 3, keep_pairs=False)
+        with pytest.raises(ConstructionError):
+            GridMinimizerWSA.build(paper_example, 4, 3, data=data)
+
+    def test_names(self, paper_example):
+        assert MinimizerWST.name == "MWST"
+        assert MinimizerWSA.name == "MWSA"
+        assert GridMinimizerWST.name == "MWST-G"
+        assert GridMinimizerWSA.name == "MWSA-G"
+        assert SpaceEfficientMWST.name == "MWST-SE"
+
+
+class TestSizeBehaviour:
+    def test_minimizer_index_smaller_than_baseline(self, small_genomic_string):
+        from repro.indexes import WeightedSuffixArray
+
+        z, ell = 16, 24
+        baseline = WeightedSuffixArray.build(small_genomic_string, z)
+        minimizer = MinimizerWSA.build(small_genomic_string, z, ell)
+        assert minimizer.stats.index_size_bytes < baseline.stats.index_size_bytes
+
+    def test_size_decreases_with_ell(self, small_genomic_string):
+        small_ell = MinimizerWSA.build(small_genomic_string, 8, 8)
+        large_ell = MinimizerWSA.build(small_genomic_string, 8, 32)
+        assert large_ell.stats.index_size_bytes <= small_ell.stats.index_size_bytes
+
+    def test_grid_variant_slightly_larger(self, small_genomic_string):
+        plain = MinimizerWSA.build(small_genomic_string, 8, 16)
+        grid = GridMinimizerWSA.build(small_genomic_string, 8, 16)
+        assert grid.stats.index_size_bytes >= plain.stats.index_size_bytes
+
+    def test_tree_variant_larger_than_array(self, small_genomic_string):
+        tree = MinimizerWST.build(small_genomic_string, 8, 16)
+        array = MinimizerWSA.build(small_genomic_string, 8, 16)
+        assert tree.stats.index_size_bytes > array.stats.index_size_bytes
+
+    def test_se_construction_space_below_explicit(self, small_genomic_string):
+        explicit = MinimizerWSA.build(small_genomic_string, 16, 16)
+        space_efficient = SpaceEfficientMWST.build(small_genomic_string, 16, 16)
+        assert (
+            space_efficient.stats.construction_space_bytes
+            < explicit.stats.construction_space_bytes
+        )
+
+
+class TestBuildIndexFacade:
+    def test_build_by_name(self, paper_example):
+        index = build_index(paper_example, 4, kind="MWSA", ell=4)
+        assert index.locate("AAAA") == [0]
+
+    def test_baseline_ignores_ell(self, paper_example):
+        index = build_index(paper_example, 4, kind="WSA")
+        assert index.locate("AAAA") == [0]
+
+    def test_unknown_kind_rejected(self, paper_example):
+        with pytest.raises(ConstructionError):
+            build_index(paper_example, 4, kind="BWT")
+
+    def test_minimizer_kind_requires_ell(self, paper_example):
+        with pytest.raises(ConstructionError):
+            build_index(paper_example, 4, kind="MWSA")
+
+    def test_lazy_reexport_from_package_root(self):
+        import repro
+
+        assert repro.MinimizerWSA is MinimizerWSA
+        with pytest.raises(AttributeError):
+            repro.not_an_attribute

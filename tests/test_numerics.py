@@ -1,0 +1,54 @@
+"""Tests for repro.core.numerics (shared threshold conventions)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.numerics import is_solid_probability, solid_count, validate_threshold
+from repro.errors import InvalidThresholdError
+
+
+class TestValidateThreshold:
+    def test_accepts_one(self):
+        assert validate_threshold(1) == 1.0
+
+    def test_accepts_fractional_z(self):
+        assert validate_threshold(5.5) == 5.5
+
+    @pytest.mark.parametrize("bad", [0, 0.5, -1, float("inf"), float("nan")])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(InvalidThresholdError):
+            validate_threshold(bad)
+
+
+class TestSolidCount:
+    def test_exact_integer_product(self):
+        assert solid_count(0.5, 4) == 2
+
+    def test_floor_behaviour(self):
+        assert solid_count(0.49, 4) == 1
+        assert solid_count(0.24, 4) == 0
+
+    def test_zero_probability(self):
+        assert solid_count(0.0, 16) == 0
+        assert solid_count(-0.1, 16) == 0
+
+    def test_rounding_noise_is_absorbed(self):
+        # 0.1 * 3 is slightly below 0.3 in binary floating point.
+        probability = 0.1 * 3
+        assert solid_count(probability / 3 * 10, 3) == solid_count(1.0, 3) == 3
+
+    def test_is_solid_iff_count_at_least_one(self):
+        assert is_solid_probability(0.25, 4)
+        assert not is_solid_probability(0.2499999, 4)
+
+    @given(
+        probability=st.floats(min_value=0.0, max_value=1.0),
+        z=st.floats(min_value=1.0, max_value=1024.0),
+    )
+    def test_consistency_between_count_and_solidity(self, probability, z):
+        assert is_solid_probability(probability, z) == (solid_count(probability, z) >= 1)
+
+    @given(probability=st.floats(min_value=0.0, max_value=1.0))
+    def test_count_bounded_by_z(self, probability):
+        assert 0 <= solid_count(probability, 8) <= 8

@@ -1,0 +1,74 @@
+"""Tests for repro.core.properties (property arrays and Occ_π)."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import PropertyArray, property_occurrences
+from repro.errors import WeightedStringError
+
+
+class TestPropertyArray:
+    def test_paper_example3(self):
+        # (S2, π2) from Table 1: π2 = [4,4,5,6,6,6] (1-based) = [3,3,4,5,5,5] 0-based.
+        prop = PropertyArray([3, 3, 4, 5, 5, 5])
+        # P = AAA occurs at position 3 (1-based) = 2 (0-based): 2 + 3 - 1 <= π[2].
+        assert prop.covers(2, 5)
+
+    def test_from_lengths(self):
+        prop = PropertyArray.from_lengths([2, 1, 1])
+        assert list(prop.ends) == [1, 1, 2]
+        assert prop.valid_length(0) == 2
+
+    def test_full_and_empty(self):
+        assert PropertyArray.full(4).valid_lengths().tolist() == [4, 3, 2, 1]
+        assert PropertyArray.empty(4).valid_lengths().tolist() == [0, 0, 0, 0]
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(WeightedStringError):
+            PropertyArray([3, 2, 2, 3])
+
+    def test_bounds_enforced(self):
+        with pytest.raises(WeightedStringError):
+            PropertyArray([0, 1, 5])
+        with pytest.raises(WeightedStringError):
+            PropertyArray([-2, 0, 1])
+
+    def test_dimensionality_enforced(self):
+        with pytest.raises(WeightedStringError):
+            PropertyArray(np.zeros((2, 2), dtype=int))
+
+    def test_covers_edge_cases(self):
+        prop = PropertyArray([1, 1, 2, 3])
+        assert prop.covers(0, 0)          # empty window always covered
+        assert prop.covers(0, 2)
+        assert not prop.covers(0, 3)
+        assert not prop.covers(7, 9)      # out of range start
+
+    def test_total_covered_length(self):
+        assert PropertyArray([1, 1, 2, 3]).total_covered_length() == 2 + 1 + 1 + 1
+
+    def test_equality_and_repr(self):
+        assert PropertyArray([0, 1]) == PropertyArray([0, 1])
+        assert PropertyArray([0, 1]) != PropertyArray([1, 1])
+        assert "length=2" in repr(PropertyArray([0, 1]))
+
+    def test_ends_read_only(self):
+        prop = PropertyArray([0, 1])
+        with pytest.raises(ValueError):
+            prop.ends[0] = 1
+
+
+class TestPropertyOccurrences:
+    def test_paper_example4_property_occurrences(self):
+        # For pattern AB and (S3, π3) of Table 1: Occ = {1, 4} 1-based = {0, 3} 0-based.
+        s3 = [0, 1, 0, 0, 1, 1]  # ABAABB
+        pi3 = PropertyArray([3, 3, 4, 5, 5, 5])
+        assert property_occurrences([0, 1], s3, pi3) == [0, 3]
+
+    def test_occurrence_outside_property_rejected(self):
+        prop = PropertyArray.from_lengths([1, 1, 1])
+        assert property_occurrences([0, 0], [0, 0, 0], prop) == []
+
+    def test_empty_pattern(self):
+        prop = PropertyArray.full(3)
+        assert property_occurrences([], [0, 1, 2], prop) == [0, 1, 2, 3]

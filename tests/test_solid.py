@@ -1,0 +1,108 @@
+"""Tests for repro.core.solid (solid factor enumeration oracles)."""
+
+import itertools
+
+import pytest
+
+from repro.core.numerics import is_solid_probability
+from repro.core.solid import (
+    count_solid_windows,
+    iter_solid_factors,
+    iter_solid_factors_at,
+    longest_solid_factor_length,
+    maximal_solid_factors,
+    right_maximal_solid_factors_at,
+)
+
+
+class TestEnumeration:
+    def test_paper_example6_validity(self, paper_example):
+        codes = {factor.codes for factor in iter_solid_factors_at(paper_example, 0, 4)}
+        alphabet = paper_example.alphabet
+        assert tuple(alphabet.encode("AAAA")) in codes       # valid, prob 0.3
+        assert tuple(alphabet.encode("AABB")) not in codes   # prob 1/40 < 1/4
+        assert tuple(alphabet.encode("ABAB")) not in codes   # prob 3/40 < 1/4
+
+    def test_every_enumerated_factor_is_solid(self, paper_example):
+        for factor in iter_solid_factors(paper_example, 4):
+            probability = paper_example.occurrence_probability(
+                list(factor.codes), factor.start
+            )
+            assert is_solid_probability(probability, 4)
+            assert probability == pytest.approx(factor.probability)
+
+    def test_enumeration_is_exhaustive_small(self, paper_example):
+        enumerated = {
+            (factor.start, factor.codes)
+            for factor in iter_solid_factors(paper_example, 4, max_length=3)
+        }
+        expected = set()
+        for m in range(1, 4):
+            for pattern in itertools.product(range(2), repeat=m):
+                for start in range(6 - m + 1):
+                    if is_solid_probability(
+                        paper_example.occurrence_probability(pattern, start), 4
+                    ):
+                        expected.add((start, pattern))
+        assert enumerated == expected
+
+    def test_max_length_cap(self, paper_example):
+        assert all(
+            len(factor) <= 2
+            for factor in iter_solid_factors(paper_example, 4, max_length=2)
+        )
+
+    def test_solid_factor_metadata(self, paper_example):
+        factor = next(iter_solid_factors_at(paper_example, 1, 4))
+        assert factor.end == factor.start + len(factor)
+
+
+class TestMaximality:
+    def test_right_maximal_factors_cannot_extend(self, paper_example):
+        for factor in right_maximal_solid_factors_at(paper_example, 0, 4):
+            for code in range(paper_example.sigma):
+                extended = list(factor.codes) + [code]
+                assert not paper_example.is_solid(extended, factor.start, 4)
+
+    def test_maximal_factors_cannot_extend_left(self, paper_example):
+        for factor in maximal_solid_factors(paper_example, 4):
+            if factor.start == 0:
+                continue
+            for code in range(paper_example.sigma):
+                extended = [code] + list(factor.codes)
+                assert not paper_example.is_solid(extended, factor.start - 1, 4)
+
+    def test_maximal_factors_cover_all_solid_factors(self, paper_example):
+        maximal = maximal_solid_factors(paper_example, 4)
+        # every solid factor must be contained in some maximal one
+        for factor in iter_solid_factors(paper_example, 4):
+            assert any(
+                larger.start <= factor.start
+                and larger.end >= factor.end
+                and larger.codes[factor.start - larger.start :][: len(factor)] == factor.codes
+                for larger in maximal
+            )
+
+    def test_certain_string_has_single_maximal_factor(self, random_weighted_string_factory):
+        ws = random_weighted_string_factory(8, sigma=2, uncertain_fraction=0.0, seed=1)
+        maximal = maximal_solid_factors(ws, 4)
+        assert len(maximal) == 1
+        assert maximal[0].start == 0 and len(maximal[0]) == 8
+
+
+class TestStatistics:
+    def test_count_solid_windows(self, paper_example):
+        assert count_solid_windows(paper_example, 1, 4) == sum(
+            1
+            for i in range(6)
+            for code in range(2)
+            if is_solid_probability(paper_example.probability(i, code), 4)
+        )
+
+    def test_longest_solid_factor_length(self, paper_example):
+        longest = longest_solid_factor_length(paper_example, 4)
+        assert longest == 4  # e.g. AAAA at position 0 (prob 0.3)
+
+    def test_longest_solid_factor_of_certain_string(self, random_weighted_string_factory):
+        ws = random_weighted_string_factory(10, sigma=3, uncertain_fraction=0.0, seed=2)
+        assert longest_solid_factor_length(ws, 2) == 10

@@ -1,0 +1,113 @@
+"""Tests for repro.indexes.space, .base and .verification."""
+
+import pytest
+
+from repro.core.heavy import HeavyString
+from repro.errors import PatternError
+from repro.indexes.base import brute_force_occurrences, coerce_pattern
+from repro.indexes.space import (
+    DEFAULT_SPACE_MODEL,
+    ConstructionTracker,
+    IndexStats,
+    SpaceModel,
+)
+from repro.indexes.verification import HeavyMismatchVerifier, verify_against_source
+
+
+class TestSpaceModel:
+    def test_default_costs(self):
+        assert DEFAULT_SPACE_MODEL.word == 8
+        assert DEFAULT_SPACE_MODEL.code == 1
+
+    def test_helpers(self):
+        model = SpaceModel()
+        assert model.words(3) == 24
+        assert model.codes(10) == 10
+        assert model.probabilities(2) == 16
+        assert model.tree_nodes(2) == 64
+
+    def test_custom_model(self):
+        model = SpaceModel(word=4, code=2, tree_node=16)
+        assert model.words(2) == 8
+        assert model.codes(2) == 4
+        assert model.tree_nodes(1) == 16
+
+
+class TestConstructionTracker:
+    def test_peak_tracking(self):
+        tracker = ConstructionTracker()
+        tracker.allocate(100)
+        tracker.allocate(50)
+        tracker.release(100)
+        tracker.allocate(20)
+        assert tracker.current_bytes == 70
+        assert tracker.peak_bytes == 150
+
+    def test_initially_zero(self):
+        tracker = ConstructionTracker()
+        assert tracker.current_bytes == 0
+        assert tracker.peak_bytes == 0
+
+
+class TestIndexStats:
+    def test_unit_conversions(self):
+        stats = IndexStats(name="X", index_size_bytes=2_000_000, construction_space_bytes=4_000_000)
+        assert stats.megabytes() == pytest.approx(2.0)
+        assert stats.construction_megabytes() == pytest.approx(4.0)
+
+    def test_as_dict_includes_counters(self):
+        stats = IndexStats(name="X", counters={"leaves": 7})
+        row = stats.as_dict()
+        assert row["name"] == "X"
+        assert row["leaves"] == 7
+
+
+class TestPatternCoercion:
+    def test_text_pattern(self, paper_example):
+        assert coerce_pattern("ABA", paper_example) == [0, 1, 0]
+
+    def test_code_pattern_passthrough(self, paper_example):
+        assert coerce_pattern([1, 0], paper_example) == [1, 0]
+
+    def test_out_of_range_code_rejected(self, paper_example):
+        with pytest.raises(PatternError):
+            coerce_pattern([5], paper_example)
+
+    def test_brute_force_occurrences(self, paper_example):
+        assert brute_force_occurrences(paper_example, "AAAA", 4) == [0]
+
+
+class TestVerification:
+    def test_verify_against_source(self, paper_example):
+        codes = paper_example.alphabet.encode("AAAA")
+        assert verify_against_source(paper_example, codes, 0, 4)
+        assert not verify_against_source(paper_example, codes, 2, 4)
+
+    def test_heavy_mismatch_verifier_matches_direct(self, paper_example):
+        verifier = HeavyMismatchVerifier(paper_example)
+        for text in ("AAAA", "ABAA", "BABA", "AABB"):
+            codes = paper_example.alphabet.encode(text)
+            for position in range(len(paper_example) - len(codes) + 1):
+                direct = paper_example.occurrence_probability(codes, position)
+                assert verifier.occurrence_probability(codes, position) == pytest.approx(
+                    direct, abs=1e-12
+                )
+
+    def test_heavy_mismatch_verifier_validity(self, paper_example):
+        verifier = HeavyMismatchVerifier(paper_example)
+        codes = paper_example.alphabet.encode("AAAA")
+        assert verifier.is_valid(codes, 0, 4)
+        assert not verifier.is_valid(codes, 2, 4)
+
+    def test_verifier_out_of_range(self, paper_example):
+        verifier = HeavyMismatchVerifier(paper_example)
+        assert verifier.occurrence_probability([0], 99) == 0.0
+
+    def test_verifier_zero_probability_letter(self, paper_example):
+        verifier = HeavyMismatchVerifier(paper_example)
+        assert verifier.occurrence_probability([1], 0) == 0.0
+
+    def test_verifier_accepts_precomputed_heavy(self, paper_example):
+        heavy = HeavyString(paper_example)
+        verifier = HeavyMismatchVerifier(paper_example, heavy)
+        assert verifier.heavy is heavy

@@ -1,0 +1,102 @@
+"""Tests for repro.strings.trie and repro.strings.suffix_tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.matching import find_occurrences
+from repro.strings.suffix_tree import SuffixTree
+from repro.strings.trie import CompactedTrie
+
+
+def build_trie(keys):
+    keys = sorted(keys)
+    lcps = [0] * len(keys)
+    for index in range(1, len(keys)):
+        previous, current = keys[index - 1], keys[index]
+        shared = 0
+        while shared < min(len(previous), len(current)) and previous[shared] == current[shared]:
+            shared += 1
+        lcps[index] = shared
+    trie = CompactedTrie(
+        [len(key) for key in keys], lcps, lambda key, depth: ord(keys[key][depth])
+    )
+    return keys, trie
+
+
+class TestCompactedTrie:
+    def test_prefix_ranges(self):
+        keys, trie = build_trie(["ab", "abc", "abd", "b", "ba"])
+        for pattern in ["a", "ab", "abc", "b", "ba", "", "c", "abe"]:
+            lo, hi = trie.descend([ord(c) for c in pattern])
+            expected = [i for i, key in enumerate(keys) if key.startswith(pattern)]
+            assert list(range(lo, hi)) == expected
+
+    def test_duplicate_keys(self):
+        keys, trie = build_trie(["aa", "aa", "ab"])
+        assert trie.matching_keys([ord("a"), ord("a")]) == [0, 1]
+
+    def test_empty_key(self):
+        keys, trie = build_trie(["", "a"])
+        assert trie.descend([]) == (0, 2)
+        assert trie.descend([ord("a")]) == (1, 2)
+
+    def test_node_count_bounded(self):
+        keys, trie = build_trie(["abc", "abd", "ae", "b"])
+        assert trie.key_count == 4
+        assert trie.node_count <= 2 * len(keys) + 1
+
+    def test_key_length_accessor(self):
+        keys, trie = build_trie(["xy", "xyz"])
+        assert trie.key_length(0) == 2
+
+    def test_iter_nodes_covers_all_leaves(self):
+        keys, trie = build_trie(["ca", "cb", "d"])
+        leaves = [node for node in trie.iter_nodes() if node.is_leaf()]
+        assert sum(len(node.terminal) for node in trie.iter_nodes()) == len(keys)
+        assert all(node.edge_length >= 0 for node in trie.iter_nodes())
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.text(alphabet="abc", max_size=6), min_size=1, max_size=12),
+        st.text(alphabet="abc", max_size=4),
+    )
+    def test_descend_matches_startswith(self, keys, pattern):
+        keys, trie = build_trie(keys)
+        lo, hi = trie.descend([ord(c) for c in pattern])
+        assert list(range(lo, hi)) == [
+            i for i, key in enumerate(keys) if key.startswith(pattern)
+        ]
+
+
+class TestSuffixTree:
+    def test_figure2_suffix_count(self):
+        # Fig. 2 of the paper: the suffix tree of CAGAGA$ has 7 leaves.
+        tree = SuffixTree([1, 0, 2, 0, 2, 0])  # CAGAGA with A<C<G coded 0<1<2
+        assert tree.length == 6
+        assert tree.count([0, 2, 0]) == 2      # AGA occurs twice
+
+    def test_occurrences_match_naive(self):
+        rng = random.Random(3)
+        text = [rng.randrange(3) for _ in range(50)]
+        tree = SuffixTree(text)
+        for _ in range(25):
+            m = rng.randint(1, 5)
+            pattern = [rng.randrange(3) for _ in range(m)]
+            assert tree.occurrences(pattern) == find_occurrences(text, pattern)
+
+    def test_contains_and_empty_pattern(self):
+        tree = SuffixTree([0, 1, 2])
+        assert tree.contains([1, 2])
+        assert not tree.contains([2, 1])
+        assert tree.count([]) == 4
+
+    def test_node_count_linear(self):
+        tree = SuffixTree([0, 1] * 20)
+        assert tree.node_count <= 2 * (tree.length + 1)
+
+    def test_suffix_array_order_exposed(self):
+        tree = SuffixTree([2, 1, 0])
+        assert sorted(tree.suffix_array_order.tolist()) == [0, 1, 2, 3]

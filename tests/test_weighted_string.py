@@ -1,0 +1,163 @@
+"""Tests for repro.core.weighted_string (the data model of Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import DNA, Alphabet
+from repro.core.weighted_string import WeightedString
+from repro.errors import WeightedStringError
+
+
+class TestConstruction:
+    def test_from_dicts_infers_alphabet(self, paper_example):
+        assert paper_example.alphabet.letters == ("A", "B")
+        assert len(paper_example) == 6
+
+    def test_from_string_is_certain(self):
+        ws = WeightedString.from_string("GATTACA", DNA)
+        assert ws.delta == 0.0
+        assert ws.occurrence_probability(DNA.encode("TTA"), 2) == 1.0
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString(np.array([[0.5, 0.4]]), Alphabet("AB"))
+
+    def test_normalize_rescales_rows(self):
+        ws = WeightedString(np.array([[2.0, 2.0]]), Alphabet("AB"), normalize=True)
+        assert ws.probability(0, 0) == pytest.approx(0.5)
+
+    def test_normalize_rejects_zero_rows(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString(np.array([[0.0, 0.0]]), Alphabet("AB"), normalize=True)
+
+    def test_negative_probabilities_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString(np.array([[1.5, -0.5]]), Alphabet("AB"))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString(np.array([[1.0, 0.0, 0.0]]), Alphabet("AB"))
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString(np.array([1.0, 0.0]), Alphabet("AB"))
+
+    def test_matrix_is_read_only(self, paper_example):
+        with pytest.raises(ValueError):
+            paper_example.matrix[0, 0] = 0.5
+
+    def test_empty_string(self):
+        ws = WeightedString(np.zeros((0, 4)), DNA)
+        assert len(ws) == 0
+        assert ws.delta == 0.0
+
+
+class TestProbabilities:
+    def test_paper_example1_occurrence_probability(self, paper_example):
+        # P(X[3..5] = ABA) = 3/4 * 1/5 * 1/2 = 3/40 (paper Example 1, 1-based).
+        pattern = paper_example.alphabet.encode("ABA")
+        assert paper_example.occurrence_probability(pattern, 2) == pytest.approx(3 / 40)
+
+    def test_occurrence_probability_out_of_range_is_zero(self, paper_example):
+        pattern = paper_example.alphabet.encode("AAAA")
+        assert paper_example.occurrence_probability(pattern, 4) == 0.0
+        assert paper_example.occurrence_probability(pattern, -1) == 0.0
+
+    def test_zero_probability_letter(self, paper_example):
+        # B at position 0 has probability 0.
+        assert paper_example.occurrence_probability([1], 0) == 0.0
+
+    def test_is_solid_matches_threshold(self, paper_example):
+        codes = paper_example.alphabet.encode("AAAA")
+        assert paper_example.is_solid(codes, 0, 4)  # probability 0.3 >= 1/4
+        assert not paper_example.is_solid(paper_example.alphabet.encode("ABAB"), 0, 4)
+
+    def test_solid_count_matches_paper_example4(self, paper_example):
+        # P = AB at position 1 occurs in ⌊(1/2)·4⌋ = 2 strings of the 4-estimation.
+        codes = paper_example.alphabet.encode("AB")
+        assert paper_example.solid_count(codes, 0, 4) == 2
+
+    def test_occurrences_brute_force(self, paper_example):
+        codes = paper_example.alphabet.encode("AAAA")
+        assert paper_example.occurrences(codes, 4) == [0]
+
+    def test_occurrences_empty_pattern(self, paper_example):
+        assert paper_example.occurrences([], 4) == list(range(7))
+
+    def test_maximal_solid_length(self, paper_example):
+        codes = paper_example.alphabet.encode("AAAAAA")
+        # AAAA at position 0 has probability 0.3; AAAAA has 0.15 < 1/4.
+        assert paper_example.maximal_solid_length(0, codes, 4) == 4
+
+    def test_log_probability(self, paper_example):
+        codes = paper_example.alphabet.encode("AA")
+        assert paper_example.log_probability(codes, 0) == pytest.approx(np.log(0.5))
+        assert paper_example.log_probability([1], 0) == float("-inf")
+
+
+class TestStructure:
+    def test_delta_of_paper_example(self, paper_example):
+        assert paper_example.delta == pytest.approx(5 / 6)
+
+    def test_uncertain_positions(self, paper_example):
+        assert list(paper_example.uncertain_positions()) == [1, 2, 3, 4, 5]
+
+    def test_letters_at(self, paper_example):
+        assert paper_example.letters_at(0) == [0]
+        assert paper_example.letters_at(1) == [0, 1]
+
+    def test_heavy_codes_breaks_ties_to_smallest(self, paper_example):
+        assert list(paper_example.heavy_codes()) == [0, 0, 0, 0, 0, 1]
+
+    def test_heavy_probabilities(self, paper_example):
+        assert paper_example.heavy_probabilities()[2] == pytest.approx(0.75)
+
+    def test_reverse(self, paper_example):
+        reverse = paper_example.reverse()
+        assert reverse.probability(0, 1) == pytest.approx(0.75)
+        assert reverse.reverse() == paper_example
+
+    def test_slice(self, paper_example):
+        middle = paper_example.slice(1, 4)
+        assert len(middle) == 3
+        assert middle.probability(0, 0) == pytest.approx(0.5)
+
+    def test_slice_validation(self, paper_example):
+        with pytest.raises(WeightedStringError):
+            paper_example.slice(4, 2)
+
+    def test_getitem_slice_and_row(self, paper_example):
+        assert len(paper_example[1:4]) == 3
+        assert paper_example[0][0] == pytest.approx(1.0)
+        with pytest.raises(WeightedStringError):
+            paper_example[::2]
+
+    def test_concat(self, paper_example):
+        double = paper_example.concat(paper_example)
+        assert len(double) == 12
+        with pytest.raises(WeightedStringError):
+            paper_example.concat(WeightedString.from_string("ACGT", DNA))
+
+    def test_to_dicts_roundtrip(self, paper_example):
+        rebuilt = WeightedString.from_dicts(
+            paper_example.to_dicts(), paper_example.alphabet
+        )
+        assert rebuilt == paper_example
+
+    def test_equality_and_repr(self, paper_example):
+        assert paper_example == paper_example
+        assert paper_example != paper_example.reverse()
+        assert "length=6" in repr(paper_example)
+
+    def test_entropy_bounds(self, paper_example):
+        assert 0.0 < paper_example.entropy() <= 1.0
+
+    def test_expected_size_bytes(self, paper_example):
+        assert paper_example.expected_size_bytes() == 6 * 2 * 8
+
+    def test_sample_string_respects_support(self, paper_example):
+        rng = np.random.default_rng(0)
+        sample = paper_example.sample_string(rng)
+        assert len(sample) == 6
+        assert sample[0] == 0  # position 0 is certainly A
+        assert all(0 <= code < 2 for code in sample)
