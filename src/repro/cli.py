@@ -2,9 +2,11 @@
 
 Installed as the ``repro-uncertain`` console script.  Three sub-commands:
 
-* ``info``    — Table 2-style characteristics of a named or PWM-file dataset;
-* ``build``   — build an index over a PWM file and report its statistics;
-* ``query``   — build an index and report the occurrences of given patterns.
+* ``info``        — Table 2-style characteristics of a named or PWM-file dataset;
+* ``build``       — build an index over a PWM file and report its statistics;
+* ``query``       — build an index and report the occurrences of given patterns;
+* ``query-batch`` — answer a whole pattern batch through the vectorised
+  batch engine and report throughput alongside the occurrences.
 
 The CLI is intentionally small: it exposes the library's public API for shell
 pipelines and smoke tests; programmatic users should import :mod:`repro`.
@@ -15,11 +17,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .core.weighted_string import WeightedString
 from .datasets.registry import DATASETS, dataset_characteristics, load_dataset
 from .errors import ReproError
-from .indexes import INDEX_CLASSES, build_index
+from .indexes import INDEX_CLASSES, BatchQueryEngine, build_index
 from .io.pwm import read_pwm
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +70,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_build_arguments(query)
     query.add_argument("patterns", nargs="+", help="patterns to locate (text over the alphabet)")
 
+    batch = subparsers.add_parser(
+        "query-batch",
+        help="answer a pattern batch through the vectorised engine",
+    )
+    add_build_arguments(batch)
+    batch.add_argument(
+        "--patterns-file",
+        help="file with one pattern per line (text over the alphabet)",
+    )
+    batch.add_argument(
+        "--no-occurrences",
+        action="store_true",
+        help="report only counts and throughput, not the occurrence lists",
+    )
+    batch.add_argument(
+        "patterns", nargs="*", help="patterns to locate (text over the alphabet)"
+    )
+
     return parser
 
 
@@ -97,11 +118,47 @@ def _command_query(arguments) -> dict:
     return {"index": index.stats.as_dict(), "occurrences": occurrences}
 
 
+def _command_query_batch(arguments) -> dict:
+    patterns = list(arguments.patterns)
+    if arguments.patterns_file:
+        try:
+            with open(arguments.patterns_file, "r", encoding="utf-8") as handle:
+                patterns.extend(line.strip() for line in handle if line.strip())
+        except OSError as error:
+            raise ReproError(f"cannot read patterns file: {error}") from error
+    if not patterns:
+        raise ReproError("no patterns given (positional or --patterns-file)")
+    source = _load_source(arguments)
+    index = build_index(source, arguments.z, kind=arguments.kind, ell=arguments.ell)
+    engine = BatchQueryEngine(index)
+    started = time.perf_counter()
+    results = engine.match_many(patterns)
+    elapsed = time.perf_counter() - started
+    report = {
+        "index": index.stats.as_dict(),
+        "patterns": engine.last_stats.get("patterns", len(patterns)),
+        "unique_patterns": engine.last_stats.get("unique_patterns", len(patterns)),
+        "total_occurrences": sum(len(result) for result in results),
+        "elapsed_seconds": elapsed,
+        "patterns_per_second": len(patterns) / elapsed if elapsed > 0 else None,
+    }
+    if not arguments.no_occurrences:
+        report["occurrences"] = {
+            pattern: result for pattern, result in zip(patterns, results)
+        }
+    return report
+
+
 def main(argv=None) -> int:
     """Entry point of the ``repro-uncertain`` console script."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    handlers = {"info": _command_info, "build": _command_build, "query": _command_query}
+    handlers = {
+        "info": _command_info,
+        "build": _command_build,
+        "query": _command_query,
+        "query-batch": _command_query_batch,
+    }
     try:
         result = handlers[arguments.command](arguments)
     except ReproError as error:

@@ -48,13 +48,13 @@ class HeavyString:
     well-formed weighted string (rows sum to 1), so logs are always finite.
     """
 
-    __slots__ = ("_codes", "_probabilities", "_log_prefix", "_alphabet", "_length")
+    __slots__ = ("_codes", "_probabilities", "_logs", "_log_prefix", "_alphabet", "_length")
 
     def __init__(self, source: WeightedString) -> None:
         self._codes = source.heavy_codes()
         self._probabilities = source.heavy_probabilities()
-        logs = np.log(np.maximum(self._probabilities, np.finfo(np.float64).tiny))
-        self._log_prefix = np.concatenate([[0.0], np.cumsum(logs)])
+        self._logs = np.log(np.maximum(self._probabilities, np.finfo(np.float64).tiny))
+        self._log_prefix = np.concatenate([[0.0], np.cumsum(self._logs)])
         self._alphabet = source.alphabet
         self._length = len(source)
 
@@ -84,12 +84,28 @@ class HeavyString:
         """The heavy string as text (``H_X``)."""
         return self._alphabet.decode(int(code) for code in self._codes)
 
+    @property
+    def log_probabilities(self) -> np.ndarray:
+        """Natural logs of the heavy probabilities, one per position."""
+        return self._logs
+
     # -- probabilities over ranges --------------------------------------------
     def log_range_product(self, start: int, stop: int) -> float:
         """Natural log of the product of heavy probabilities over ``[start, stop)``."""
         if start >= stop:
             return 0.0
         return float(self._log_prefix[stop] - self._log_prefix[start])
+
+    def log_range_products(self, starts, stops) -> np.ndarray:
+        """Vectorised :meth:`log_range_product` over arrays of ranges.
+
+        The log-prefix cache turns a whole batch of heavy-range products into
+        one subtraction; empty ranges (``start >= stop``) contribute 0.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.asarray(stops, dtype=np.int64)
+        clamped = np.maximum(stops, starts)
+        return self._log_prefix[clamped] - self._log_prefix[starts]
 
     def range_product(self, start: int, stop: int) -> float:
         """Product of heavy probabilities over ``[start, stop)`` (the PPH ratio)."""

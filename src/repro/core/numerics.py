@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import InvalidThresholdError
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "validate_threshold",
     "solid_count",
     "is_solid_probability",
+    "solid_probability_mask",
 ]
 
 #: Relative tolerance used when comparing ``z * probability`` with integers.
@@ -66,3 +69,14 @@ def is_solid_probability(probability: float, z: float) -> bool:
     ``solid_count(probability, z) >= 1``.
     """
     return solid_count(probability, z) >= 1
+
+
+def solid_probability_mask(probabilities: np.ndarray, z: float) -> np.ndarray:
+    """Vectorised :func:`is_solid_probability` over an array of probabilities.
+
+    Applies exactly the same relative-tolerance rule as the scalar helper
+    (``⌊z·p + tol·max(1, z·p)⌋ ≥ 1`` ⇔ ``z·p + tol·max(1, z·p) ≥ 1``), so a
+    batch verification and a per-candidate loop always agree.
+    """
+    scaled = z * np.asarray(probabilities, dtype=np.float64)
+    return scaled + RELATIVE_TOLERANCE * np.maximum(1.0, scaled) >= 1.0

@@ -17,7 +17,12 @@ import numpy as np
 
 from ..errors import WeightedStringError
 from .alphabet import Alphabet
-from .numerics import is_solid_probability, solid_count, validate_threshold
+from .numerics import (
+    is_solid_probability,
+    solid_count,
+    solid_probability_mask,
+    validate_threshold,
+)
 
 __all__ = ["WeightedString"]
 
@@ -47,7 +52,7 @@ class WeightedString:
     the half-open Python range ``[i-1, j)``.
     """
 
-    __slots__ = ("_probs", "_alphabet")
+    __slots__ = ("_probs", "_alphabet", "_log_probs")
 
     def __init__(
         self,
@@ -87,6 +92,7 @@ class WeightedString:
         probs.setflags(write=False)
         self._probs = probs
         self._alphabet = alphabet
+        self._log_probs = None  # lazily filled log-probability cache
 
     # ------------------------------------------------------------------ #
     # constructors                                                        #
@@ -160,6 +166,21 @@ class WeightedString:
         """The (read-only) ``(n × σ)`` probability matrix."""
         return self._probs
 
+    @property
+    def log_matrix(self) -> np.ndarray:
+        """The ``(n × σ)`` natural-log probability matrix (``-inf`` at zeros).
+
+        Computed once and cached; this is the substrate of every batched
+        probability computation (occurrence probabilities of whole candidate
+        sets are sums of rows of this matrix).
+        """
+        if self._log_probs is None:
+            with np.errstate(divide="ignore"):
+                logs = np.log(self._probs)
+            logs.setflags(write=False)
+            self._log_probs = logs
+        return self._log_probs
+
     def probability(self, position: int, code: int) -> float:
         """``p_position(code)``: probability of a letter code at a position."""
         return float(self._probs[position, code])
@@ -222,22 +243,57 @@ class WeightedString:
         z = validate_threshold(z)
         return solid_count(self.occurrence_probability(pattern, position), z)
 
+    def occurrence_log_probabilities(
+        self, pattern: Sequence[int], positions: Sequence[int]
+    ) -> np.ndarray:
+        """``ln P(X[i .. i+m-1] = pattern)`` for a whole array of starts.
+
+        Vectorised companion of :meth:`occurrence_probability`: the
+        ``(B × m)`` relevant entries of :attr:`log_matrix` are gathered with
+        one fancy-indexing operation and summed per row.  Out-of-range starts
+        and impossible factors yield ``-inf``.
+        """
+        codes = np.asarray(pattern, dtype=np.int64)
+        starts = np.asarray(positions, dtype=np.int64)
+        m = len(codes)
+        out = np.full(len(starts), -np.inf, dtype=np.float64)
+        if m == 0:
+            out[(starts >= 0) & (starts <= len(self))] = 0.0
+            return out
+        in_range = (starts >= 0) & (starts + m <= len(self))
+        if not in_range.any():
+            return out
+        valid_starts = starts[in_range]
+        gathered = self.log_matrix[
+            valid_starts[:, None] + np.arange(m, dtype=np.int64)[None, :],
+            codes[None, :],
+        ]
+        out[in_range] = gathered.sum(axis=1)
+        return out
+
+    def occurrence_probabilities(
+        self, pattern: Sequence[int], positions: Sequence[int]
+    ) -> np.ndarray:
+        """Occurrence probabilities of ``pattern`` at an array of starts."""
+        return np.exp(self.occurrence_log_probabilities(pattern, positions))
+
     def occurrences(self, pattern: Sequence[int], z: float) -> list[int]:
         """All z-valid occurrence positions of ``pattern`` (brute force).
 
         This is the reference oracle ``Occ_{1/z}(P, X)``; the indexes in
-        :mod:`repro.indexes` must return exactly this set.
+        :mod:`repro.indexes` must return exactly this set.  Computed over all
+        starts at once through the log-probability cache.
         """
         z = validate_threshold(z)
         m = len(pattern)
         if m == 0:
             return list(range(len(self) + 1))
-        positions = []
-        for start in range(len(self) - m + 1):
-            probability = self.occurrence_probability(pattern, start)
-            if is_solid_probability(probability, z):
-                positions.append(start)
-        return positions
+        if m > len(self):
+            return []
+        starts = np.arange(len(self) - m + 1, dtype=np.int64)
+        probabilities = self.occurrence_probabilities(pattern, starts)
+        solid = solid_probability_mask(probabilities, z)
+        return [int(start) for start in starts[solid]]
 
     def maximal_solid_length(self, position: int, letters: Sequence[int], z: float) -> int:
         """Longest prefix of ``letters`` that is solid when read from ``position``.

@@ -19,6 +19,7 @@ MWST-SE      MWST built by the space-efficient construction of Section 4
 from ..core.weighted_string import WeightedString
 from ..errors import ConstructionError
 from .base import UncertainStringIndex, brute_force_occurrences, coerce_pattern
+from .engine import BatchQueryEngine, locate_minimizer_batch
 from .minimizer_core import (
     FactorLeaf,
     LeafCollection,
@@ -35,12 +36,19 @@ from .mwst import (
 from .property_structures import PropertySuffixStructure
 from .se_construction import SpaceEfficientMWST, build_index_data_space_efficient
 from .space import DEFAULT_SPACE_MODEL, ConstructionTracker, IndexStats, SpaceModel
-from .verification import HeavyMismatchVerifier, verify_against_source
+from .verification import (
+    HeavyMismatchVerifier,
+    verify_against_source,
+    verify_candidate_batches,
+    verify_candidates_against_source,
+)
 from .wsa import WeightedSuffixArray
 from .wst import WeightedSuffixTree
 
 __all__ = [
     "UncertainStringIndex",
+    "BatchQueryEngine",
+    "locate_minimizer_batch",
     "brute_force_occurrences",
     "coerce_pattern",
     "WeightedSuffixTree",
@@ -59,6 +67,8 @@ __all__ = [
     "build_index_data_space_efficient",
     "HeavyMismatchVerifier",
     "verify_against_source",
+    "verify_candidate_batches",
+    "verify_candidates_against_source",
     "SpaceModel",
     "DEFAULT_SPACE_MODEL",
     "ConstructionTracker",

@@ -90,6 +90,26 @@ class UncertainStringIndex(abc.ABC):
         """Whether ``pattern`` has at least one z-valid occurrence."""
         return bool(self.locate(pattern))
 
+    def match_many(self, patterns: Sequence) -> list[list[int]]:
+        """Occurrence lists of a whole pattern batch, in input order.
+
+        Equivalent to ``[self.locate(p) for p in patterns]`` but routed
+        through the vectorised batch engine: duplicate patterns are answered
+        once, and index families with a batch strategy (``_batch_locate``)
+        verify whole candidate sets with array operations.
+        """
+        from .engine import BatchQueryEngine
+
+        return BatchQueryEngine(self).match_many(patterns)
+
+    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
+        """Batch query strategy hook (patterns already coerced and distinct).
+
+        The default answers each pattern through :meth:`locate`; index
+        families override this with vectorised implementations.
+        """
+        return [self.locate(codes) for codes in code_lists]
+
     # -- helpers for subclasses ------------------------------------------------------
     def _prepare_pattern(self, pattern) -> list[int]:
         codes = coerce_pattern(pattern, self._source)

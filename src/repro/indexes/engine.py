@@ -1,0 +1,178 @@
+"""The vectorized batch query engine (``match_many``).
+
+Serving heavy query traffic one pattern at a time leaves most of the work in
+Python-level loops: every pattern re-derives its minimizer, walks a search
+structure letter by letter and verifies each candidate with a per-position
+probability product.  This module batches all of it:
+
+* patterns are deduplicated once and answered once (shared candidate-dedup);
+* leftmost minimizers of the whole batch come from a single vectorised
+  argmin (:meth:`MinimizerScheme.leftmost_pattern_minimizers`);
+* leaf ranges of all query pieces are found with two ``np.searchsorted``
+  calls over cached byte keys (:meth:`LeafCollection.prefix_range_many`);
+* candidate occurrence positions are gathered with array slices and verified
+  in bulk through the source's log-probability cache, grouped by pattern
+  length (:func:`~repro.indexes.verification.verify_candidate_batches`).
+
+:class:`BatchQueryEngine` is the front door; every
+:class:`~repro.indexes.base.UncertainStringIndex` exposes it as
+``index.match_many(patterns)``.  Index families plug in their own batch
+strategy through the ``_batch_locate`` hook (the minimizer indexes use
+:func:`locate_minimizer_batch` below; the WST/WSA baselines share the
+deduplication and loop their per-pattern query).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import PatternError
+from .verification import verify_candidate_batches
+
+__all__ = ["BatchQueryEngine", "locate_minimizer_batch"]
+
+
+class BatchQueryEngine:
+    """Batched query front-end over any uncertain-string index.
+
+    The engine validates and deduplicates the incoming patterns, hands the
+    distinct ones to the index's ``_batch_locate`` strategy and fans the
+    answers back out to the original order.  Query statistics of the last
+    batch are kept on :attr:`last_stats` for benchmarks and the CLI.
+    """
+
+    def __init__(self, index) -> None:
+        self._index = index
+        self.last_stats: dict[str, int] = {}
+
+    @property
+    def index(self):
+        """The wrapped index."""
+        return self._index
+
+    def _convert(self, pattern) -> np.ndarray:
+        """Coerce one pattern to a code array (validation happens batched)."""
+        if isinstance(pattern, str):
+            return np.asarray(
+                self._index.source.alphabet.encode(pattern), dtype=np.int64
+            )
+        if not isinstance(pattern, (list, tuple, np.ndarray)):
+            pattern = list(pattern)
+        return np.array(pattern, dtype=np.int64, ndmin=1)
+
+    def _prepare_batch(self, patterns: Sequence) -> list[np.ndarray]:
+        """Coerce and validate a whole batch with one min/max reduction.
+
+        The happy path costs one concatenation; when anything is invalid,
+        every pattern is re-validated through the index's scalar
+        ``_prepare_pattern`` so the raised :class:`PatternError` is identical
+        to the per-pattern path's.
+        """
+        index = self._index
+        prepared = [self._convert(pattern) for pattern in patterns]
+        minimum = index.minimum_pattern_length
+        valid = all(len(codes) >= minimum and len(codes) > 0 for codes in prepared)
+        if valid and prepared:
+            flat = np.concatenate(prepared)
+            if len(flat) and (
+                int(flat.min()) < 0 or int(flat.max()) >= index.source.sigma
+            ):
+                valid = False
+        if not valid:
+            for codes in prepared:  # raise the canonical per-pattern error
+                index._prepare_pattern(codes)
+            raise PatternError("invalid pattern batch")  # pragma: no cover
+        return prepared
+
+    def match_many(self, patterns: Sequence) -> list[list[int]]:
+        """Occurrence lists of every pattern, in input order.
+
+        Each entry equals ``index.locate(pattern)`` exactly; invalid patterns
+        (empty, shorter than the index's minimum length, letters outside the
+        alphabet) raise the same :class:`~repro.errors.PatternError` the
+        per-pattern path raises.
+        """
+        prepared = self._prepare_batch(patterns)
+        unique_codes: list[np.ndarray] = []
+        assignment: list[int] = []
+        slots: dict[bytes, int] = {}
+        for codes in prepared:
+            key = codes.tobytes()
+            slot = slots.get(key)
+            if slot is None:
+                slot = len(unique_codes)
+                slots[key] = slot
+                unique_codes.append(codes)
+            assignment.append(slot)
+        unique_results = self._index._batch_locate(unique_codes)
+        self.last_stats = {
+            "patterns": len(prepared),
+            "unique_patterns": len(unique_codes),
+        }
+        return [list(unique_results[slot]) for slot in assignment]
+
+
+def locate_minimizer_batch(index, code_lists: list[list[int]]) -> list[list[int]]:
+    """Batch query strategy of the minimizer-based indexes.
+
+    Implements the Section-5 simple query (longer piece + verification) and
+    the Theorem-9 grid query over a whole batch: minimizers, leaf ranges,
+    candidate gathering and verification are all array operations; only the
+    per-pattern grid reporting remains scalar.
+    """
+    data = index.data
+    source = index.source
+    z = index.z
+    if not code_lists:
+        return []
+    arrays = [np.asarray(codes, dtype=np.int64) for codes in code_lists]
+    mus = [int(mu) for mu in data.scheme.leftmost_pattern_minimizers(arrays)]
+    # The forward piece reads rightward from the minimizer, the backward
+    # piece leftward (reversed); both are views, never copies.
+    forward_pieces = [arr[mu:] for arr, mu in zip(arrays, mus)]
+    backward_pieces = [arr[mu::-1] for arr, mu in zip(arrays, mus)]
+    candidates_per_row: list = [None] * len(code_lists)
+
+    if index.use_grid:
+        forward_ranges = data.forward.prefix_range_many(forward_pieces)
+        backward_ranges = data.backward.prefix_range_many(backward_pieces)
+        forward_positions = data.forward.positions
+        for row, mu in enumerate(mus):
+            flo, fhi = forward_ranges[row]
+            blo, bhi = backward_ranges[row]
+            if flo >= fhi or blo >= bhi:
+                continue
+            points = index._grid.report(int(flo), int(fhi), int(blo), int(bhi))
+            if not points:
+                continue
+            xs = np.fromiter((x for x, _ in points), dtype=np.int64, count=len(points))
+            candidates_per_row[row] = np.unique(forward_positions[xs] - mu)
+        return verify_candidate_batches(source, z, code_lists, candidates_per_row)
+
+    # Simple query: search only the longer piece of each pattern, batched per
+    # collection so each side is one vectorised range computation.
+    forward_rows = [
+        row
+        for row in range(len(arrays))
+        if len(forward_pieces[row]) >= len(backward_pieces[row])
+    ]
+    forward_row_set = set(forward_rows)
+    backward_rows = [
+        row for row in range(len(arrays)) if row not in forward_row_set
+    ]
+    for rows, collection, pieces in (
+        (forward_rows, data.forward, forward_pieces),
+        (backward_rows, data.backward, backward_pieces),
+    ):
+        if not rows:
+            continue
+        ranges = collection.prefix_range_many([pieces[row] for row in rows])
+        positions = collection.positions
+        for (lo, hi), row in zip(ranges, rows):
+            if lo < hi:
+                candidates_per_row[row] = np.unique(
+                    positions[int(lo) : int(hi)] - mus[row]
+                )
+    return verify_candidate_batches(source, z, code_lists, candidates_per_row)

@@ -88,6 +88,11 @@ class LeafCollection:
     #: Length of the materialised prefix used to pre-sort leaves cheaply.
     PRESORT_PREFIX = 24
 
+    #: Widest materialised prefix used by the vectorised batch search; longer
+    #: query pieces narrow the range on the first letters, then refine with
+    #: the exact scalar comparator.
+    SEARCH_PREFIX_LIMIT = 128
+
     def __init__(
         self,
         leaves: list[FactorLeaf],
@@ -100,6 +105,10 @@ class LeafCollection:
         self.raw_to_sorted = np.empty(len(self._leaves), dtype=np.int64)
         self._sort()
         self._trie: CompactedTrie | None = None
+        self._positions: np.ndarray | None = None
+        self._search_keys: np.ndarray | None = None
+        self._search_width = 0
+        self._max_letter: int | None = None
 
     # -- letter access -------------------------------------------------------------
     def letter(self, index: int, offset: int) -> int:
@@ -250,25 +259,130 @@ class LeafCollection:
             return False
         return True
 
-    def prefix_range(self, piece) -> tuple[int, int]:
-        """Sorted-index range of leaves that have ``piece`` as a prefix."""
+    def prefix_range(self, piece, lo: int = 0, hi: int | None = None) -> tuple[int, int]:
+        """Sorted-index range of leaves that have ``piece`` as a prefix.
+
+        ``lo`` / ``hi`` optionally restrict the search to a sorted-index
+        subrange known to bracket the answer (used by the batch search to
+        refine a coarse vectorised range).
+        """
         piece = [int(code) for code in piece]
-        lo, hi = 0, len(self._leaves)
-        while lo < hi:
-            mid = (lo + hi) // 2
+        upper = len(self._leaves) if hi is None else hi
+        lo_search, hi_search = lo, upper
+        while lo_search < hi_search:
+            mid = (lo_search + hi_search) // 2
             if self._leaf_less_than_piece(mid, piece, strict_prefix_smaller=True):
-                lo = mid + 1
+                lo_search = mid + 1
             else:
-                hi = mid
-        start = lo
-        lo, hi = start, len(self._leaves)
-        while lo < hi:
-            mid = (lo + hi) // 2
+                hi_search = mid
+        start = lo_search
+        lo_search, hi_search = start, upper
+        while lo_search < hi_search:
+            mid = (lo_search + hi_search) // 2
             if self._leaf_less_than_piece(mid, piece, strict_prefix_smaller=False):
-                lo = mid + 1
+                lo_search = mid + 1
             else:
-                hi = mid
-        return start, lo
+                hi_search = mid
+        return start, lo_search
+
+    # -- batch searching -------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """Minimizer positions of the leaves, aligned with the sorted order.
+
+        Cached so that a whole range of candidate positions can be gathered
+        with one slice instead of per-leaf attribute access.
+        """
+        if self._positions is None:
+            self._positions = np.array(
+                [leaf.position for leaf in self._leaves], dtype=np.int64
+            )
+        return self._positions
+
+    def prefix_matrix(self, width: int) -> np.ndarray:
+        """Materialised ``(count × width)`` matrix of leaf prefixes.
+
+        Entry ``[i, t]`` is the letter of sorted leaf ``i`` at offset ``t``,
+        or ``-1`` past the leaf's end (which sorts before every real letter,
+        matching the proper-prefix-first leaf order).
+        """
+        count = len(self._leaves)
+        if count == 0:
+            return np.empty((0, width), dtype=np.int64)
+        anchors = np.array([leaf.anchor for leaf in self._leaves], dtype=np.int64)
+        lengths = np.array([leaf.length for leaf in self._leaves], dtype=np.int64)
+        offsets = np.arange(width, dtype=np.int64)
+        gather = np.minimum(anchors[:, None] + offsets[None, :], len(self._reference) - 1)
+        matrix = self._reference[gather]
+        for index, leaf in enumerate(self._leaves):
+            for offset, code in leaf.mismatches:
+                if offset < width:
+                    matrix[index, offset] = code
+        matrix[offsets[None, :] >= lengths[:, None]] = -1
+        return matrix
+
+    def _batch_search_keys(self, width: int) -> np.ndarray | None:
+        """Fixed-width byte keys of the leaf prefixes, for ``np.searchsorted``.
+
+        Letters are shifted by +1 so that the past-end marker becomes the
+        zero byte; returns None when a *leaf* letter would not fit below the
+        upper-bound sentinel byte (code ≥ 254), in which case callers fall
+        back to the scalar search.  Query pieces may still carry larger
+        codes: every code above all leaf letters compares identically, so
+        queries saturate at byte 255 without changing the order.
+        """
+        if self._max_letter is None:
+            max_code = int(self._reference.max(initial=0))
+            for leaf in self._leaves:
+                for _, code in leaf.mismatches:
+                    max_code = max(max_code, int(code))
+            self._max_letter = max_code
+        if self._max_letter + 1 >= 255:
+            return None
+        if self._search_keys is None or self._search_width < width:
+            matrix = (self.prefix_matrix(width) + 1).astype(np.uint8)
+            self._search_keys = np.ascontiguousarray(matrix).view(f"S{width}")[:, 0]
+            self._search_width = width
+        return self._search_keys
+
+    def prefix_range_many(self, pieces: list) -> np.ndarray:
+        """Vectorised :meth:`prefix_range` over a batch of query pieces.
+
+        Returns a ``(B × 2)`` array of ``[lo, hi)`` sorted-index ranges.  All
+        lower and upper bounds are found with two ``np.searchsorted`` calls
+        over cached byte keys; pieces longer than the materialised prefix are
+        refined with the exact comparator inside the narrowed range.
+        """
+        ranges = np.zeros((len(pieces), 2), dtype=np.int64)
+        if not pieces or not self._leaves:
+            return ranges
+        width = min(max(len(piece) for piece in pieces), self.SEARCH_PREFIX_LIMIT)
+        keys = self._batch_search_keys(width)
+        if keys is None:
+            for row, piece in enumerate(pieces):
+                ranges[row] = self.prefix_range(piece)
+            return ranges
+        effective_width = self._search_width
+        low_queries = np.zeros((len(pieces), effective_width), dtype=np.uint8)
+        high_queries = np.full((len(pieces), effective_width), 255, dtype=np.uint8)
+        for row, piece in enumerate(pieces):
+            head = np.asarray(piece[:effective_width], dtype=np.int64) + 1
+            # Codes above every leaf letter (≤ 253 here) saturate at the
+            # sentinel byte: they can never equal a leaf letter, and 255 is
+            # greater than every leaf byte, so the order is preserved.
+            head = np.minimum(head, 255)
+            low_queries[row, : len(head)] = head
+            high_queries[row, : len(head)] = head
+        low_keys = np.ascontiguousarray(low_queries).view(f"S{effective_width}")[:, 0]
+        high_keys = np.ascontiguousarray(high_queries).view(f"S{effective_width}")[:, 0]
+        ranges[:, 0] = np.searchsorted(keys, low_keys, side="left")
+        ranges[:, 1] = np.searchsorted(keys, high_keys, side="right")
+        for row, piece in enumerate(pieces):
+            if len(piece) > effective_width:
+                ranges[row] = self.prefix_range(
+                    piece, lo=int(ranges[row, 0]), hi=int(ranges[row, 1])
+                )
+        return ranges
 
     # -- trie ------------------------------------------------------------------------------
     def build_trie(self) -> CompactedTrie:
@@ -321,9 +435,14 @@ class MinimizerIndexData:
     counters: dict = field(default_factory=dict)
 
     # -- query plumbing shared by all variants ------------------------------------------
-    def split_pattern(self, codes) -> tuple[int, list[int], list[int]]:
-        """Leftmost minimizer and the two query pieces (forward, backward)."""
-        mu = self.scheme.leftmost_pattern_minimizer(codes)
+    def split_pattern(self, codes, mu: int | None = None) -> tuple[int, list[int], list[int]]:
+        """Leftmost minimizer and the two query pieces (forward, backward).
+
+        ``mu`` may be passed in when it was already computed (the batch
+        engine computes the minimizers of a whole pattern batch at once).
+        """
+        if mu is None:
+            mu = self.scheme.leftmost_pattern_minimizer(codes)
         forward_piece = [int(code) for code in codes[mu:]]
         backward_piece = [int(code) for code in reversed(codes[: mu + 1])]
         return mu, forward_piece, backward_piece

@@ -25,6 +25,7 @@ from ..errors import ConstructionError
 from ..geometry.grid import Grid2D
 from ..sampling.minimizers import MinimizerScheme
 from .base import UncertainStringIndex
+from .engine import locate_minimizer_batch
 from .minimizer_core import MinimizerIndexData, build_index_data_from_estimation
 from .space import DEFAULT_SPACE_MODEL, ConstructionTracker, IndexStats, SpaceModel
 from .verification import verify_against_source
@@ -164,6 +165,10 @@ class MinimizerIndexBase(UncertainStringIndex):
             if verify_against_source(self._source, codes, candidate, self._z):
                 results.append(candidate)
         return sorted(results)
+
+    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
+        """Vectorised batch strategy shared by all minimizer variants."""
+        return locate_minimizer_batch(self, code_lists)
 
 
 class MinimizerWST(MinimizerIndexBase):

@@ -93,6 +93,10 @@ class WeightedSuffixArray(UncertainStringIndex):
         codes = self._prepare_pattern(pattern)
         return self._structure.locate(codes)
 
+    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
+        """Batch strategy: deduplicated patterns share one structure pass each."""
+        return self._structure.locate_many(code_lists)
+
     @property
     def structure(self) -> PropertySuffixStructure:
         """The underlying property suffix structure (for inspection/tests)."""

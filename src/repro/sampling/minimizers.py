@@ -26,7 +26,69 @@ import numpy as np
 from ..errors import ReproError
 from ..strings.karp_rabin import mix64, mix64_array
 
-__all__ = ["MinimizerScheme", "default_k"]
+__all__ = ["MinimizerScheme", "default_k", "sliding_window_argmin"]
+
+
+def sliding_window_argmin(values: np.ndarray, width: int) -> np.ndarray:
+    """Leftmost argmin of every length-``width`` window of ``values``.
+
+    Returns an array ``a`` of length ``len(values) - width + 1`` where
+    ``a[i]`` is the smallest index attaining ``min(values[i : i + width])``.
+    Runs in O(n) with pure array operations: values are cut into blocks of
+    ``width`` entries, running argminima are accumulated towards the right
+    (block prefixes) and towards the left (block suffixes), and every window
+    is the union of one block suffix and one block prefix.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    if width <= 0:
+        raise ReproError("window width must be positive")
+    if n < width:
+        return np.empty(0, dtype=np.int64)
+    if width == 1:
+        return np.arange(n, dtype=np.int64)
+    if np.issubdtype(values.dtype, np.integer):
+        sentinel = np.iinfo(values.dtype).max
+    else:
+        sentinel = np.inf
+    blocks = -(-n // width)
+    padded = np.full(blocks * width, sentinel, dtype=values.dtype)
+    padded[:n] = values
+    grid = padded.reshape(blocks, width)
+    index_grid = np.arange(blocks * width, dtype=np.int64).reshape(blocks, width)
+
+    # Prefix scan: leftmost index of the running minimum of each block prefix.
+    # A strictly smaller value starts a new argmin; ties keep the older
+    # (smaller) index, so accumulating the maximum of "event" indices yields
+    # the most recent strict improvement.
+    prefix_min = np.minimum.accumulate(grid, axis=1)
+    improved = np.empty(grid.shape, dtype=bool)
+    improved[:, 0] = True
+    improved[:, 1:] = grid[:, 1:] < prefix_min[:, :-1]
+    prefix_argmin = np.maximum.accumulate(np.where(improved, index_grid, 0), axis=1)
+
+    # Suffix scan (on reversed blocks): an equal value at an earlier original
+    # index also improves the leftmost argmin, hence "<=", and the most
+    # recent improvement carries the smallest original index.
+    reversed_grid = grid[:, ::-1]
+    suffix_min = np.minimum.accumulate(reversed_grid, axis=1)
+    improved[:, 0] = True
+    improved[:, 1:] = reversed_grid[:, 1:] <= suffix_min[:, :-1]
+    far = np.iinfo(np.int64).max
+    suffix_argmin = np.minimum.accumulate(
+        np.where(improved, index_grid[:, ::-1], far), axis=1
+    )[:, ::-1]
+    suffix_min = suffix_min[:, ::-1]
+
+    starts = np.arange(n - width + 1, dtype=np.int64)
+    ends = starts + width - 1
+    left_value = suffix_min[starts // width, starts % width]
+    left_index = suffix_argmin[starts // width, starts % width]
+    right_value = prefix_min[ends // width, ends % width]
+    right_index = prefix_argmin[ends // width, ends % width]
+    # The block suffix covers the earlier part of the window, so on ties it
+    # holds the leftmost occurrence of the window minimum.
+    return np.where(left_value <= right_value, left_index, right_index)
 
 
 def default_k(ell: int, sigma: int) -> int:
@@ -91,14 +153,18 @@ class MinimizerScheme:
         return self.ell - self.k + 1
 
     def kmer_codes(self, codes: Sequence[int]) -> np.ndarray:
-        """Integer codes of all k-mers of ``codes`` (length ``n - k + 1``)."""
+        """Integer codes of all k-mers of ``codes`` (length ``n - k + 1``).
+
+        Accepts one string (1D) or a batch of equal-length strings (2D, one
+        row per string); k-mers are always read along the last axis.
+        """
         codes = np.asarray(codes, dtype=np.int64)
-        n = len(codes)
+        n = codes.shape[-1]
         if n < self.k:
-            return np.empty(0, dtype=np.int64)
-        result = np.zeros(n - self.k + 1, dtype=np.int64)
+            return np.empty(codes.shape[:-1] + (0,), dtype=np.int64)
+        result = np.zeros(codes.shape[:-1] + (n - self.k + 1,), dtype=np.int64)
         for offset in range(self.k):
-            result = result * self.sigma + codes[offset : n - self.k + 1 + offset]
+            result = result * self.sigma + codes[..., offset : n - self.k + 1 + offset]
         return result
 
     def order_values(self, kmer_codes: np.ndarray) -> np.ndarray:
@@ -139,6 +205,25 @@ class MinimizerScheme:
             )
         return self.window_minimizer(pattern)
 
+    def leftmost_pattern_minimizers(self, patterns: Sequence[Sequence[int]]) -> np.ndarray:
+        """Vectorised :meth:`leftmost_pattern_minimizer` over a pattern batch.
+
+        Only the first ℓ letters of each pattern matter, so the batch is
+        packed into a ``(B × ℓ)`` matrix and all minimizer offsets are
+        computed with a single argmin.
+        """
+        if len(patterns) == 0:
+            return np.empty(0, dtype=np.int64)
+        windows = np.empty((len(patterns), self.ell), dtype=np.int64)
+        for row, pattern in enumerate(patterns):
+            if len(pattern) < self.ell:
+                raise ReproError(
+                    f"pattern of length {len(pattern)} is shorter than ell={self.ell}"
+                )
+            windows[row] = np.asarray(pattern[: self.ell], dtype=np.int64)
+        values = self.order_values(self.kmer_codes(windows))
+        return np.argmin(values, axis=1).astype(np.int64)
+
     # -- whole strings ------------------------------------------------------------------
     def minimizer_positions(
         self,
@@ -157,31 +242,17 @@ class MinimizerScheme:
         n = len(codes)
         if n < self.ell:
             return []
-        kmers = self.kmer_codes(codes)
-        values = self.order_values(kmers)
+        values = self.order_values(self.kmer_codes(codes))
         window_count = n - self.ell + 1
-        selected: set[int] = set()
-        # Monotone deque holding k-mer start positions with non-decreasing
-        # order values; ties keep the earlier position at the front so the
-        # front is always the *leftmost* occurrence of the smallest k-mer.
-        deque_positions: list[int] = []
-        head = 0
-        width = self.window_kmers
-        for kmer_start in range(len(values)):
-            while len(deque_positions) > head and values[deque_positions[-1]] > values[kmer_start]:
-                deque_positions.pop()
-            deque_positions.append(kmer_start)
-            window_start = kmer_start - width + 1
-            if window_start < 0:
-                continue
-            while deque_positions[head] < window_start:
-                head += 1
-            if window_start >= window_count:
-                continue
-            if valid_window is not None and not valid_window[window_start]:
-                continue
-            selected.add(int(deque_positions[head]))
-        return sorted(selected)
+        # Leftmost argmin of every window of ℓ - k + 1 consecutive k-mers;
+        # window i covers k-mer starts [i, i + ℓ - k], i.e. text window
+        # [i, i + ℓ).
+        window_minima = sliding_window_argmin(values, self.window_kmers)
+        window_minima = window_minima[:window_count]
+        if valid_window is not None:
+            mask = np.asarray(valid_window, dtype=bool)[:window_count]
+            window_minima = window_minima[mask]
+        return [int(position) for position in np.unique(window_minima)]
 
     def density(self, codes: Sequence[int]) -> float:
         """Specific density of the scheme on ``codes`` (Definition 1)."""

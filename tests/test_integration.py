@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import WeightedString
+from repro import Alphabet, WeightedString
 from repro.datasets.genomes import efm_like
 from repro.datasets.patterns import sample_valid_patterns
 from repro.datasets.rssi import rssi_like
@@ -79,7 +79,9 @@ def weighted_strings(draw):
         else:
             weight = draw(st.integers(min_value=1, max_value=7))
             rows.append({"A": weight / 8, "B": 1 - weight / 8})
-    return WeightedString.from_dicts(rows)
+    # Pin the two-letter alphabet: an all-A draw must not shrink it to
+    # size 1, since the pattern strategies draw codes over {0, 1}.
+    return WeightedString.from_dicts(rows, alphabet=Alphabet(["A", "B"]))
 
 
 class TestHypothesisIndexCorrectness:

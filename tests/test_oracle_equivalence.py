@@ -1,0 +1,140 @@
+"""Cross-index oracle harness: every variant must equal brute force exactly.
+
+A seeded randomized sweep over alphabet size σ, threshold z (integral and
+fractional) and window length ℓ: for each generated weighted string, all six
+index variants (WST, WSA, MWST, MWSA, MWST-G, MWSA-G) plus the
+space-efficient construction and the batch engine must return exactly the
+brute-force ``Occ_{1/z}`` oracle on a mixed pattern workload (valid samples
+from the z-estimation, uniform random patterns, and mutated valid patterns).
+
+With 54 seeded cases and every variant checked in each, this exceeds the
+50-cases-per-variant bar and pins the query semantics while hot paths are
+rewritten.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import Alphabet
+from repro.core.estimation import build_z_estimation
+from repro.core.weighted_string import WeightedString
+from repro.datasets.patterns import mutate_pattern, sample_valid_patterns
+from repro.indexes import brute_force_occurrences, build_index
+
+#: The paper's six variants plus the space-efficient construction.
+VARIANTS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G", "MWST-SE")
+BASELINES = ("WST", "WSA")
+
+#: (σ, z, ℓ, n) sweeps; z includes fractional thresholds.
+CONFIGS = (
+    (2, 2.0, 3, 34),
+    (2, 4.0, 4, 40),
+    (2, 8.0, 5, 46),
+    (3, 2.0, 4, 36),
+    (3, 4.0, 3, 42),
+    (3, 6.5, 5, 38),
+    (4, 2.0, 5, 40),
+    (4, 4.0, 6, 44),
+    (5, 3.0, 4, 36),
+)
+SEEDS = tuple(range(6))
+
+CASES = [
+    pytest.param(sigma, z, ell, n, seed, id=f"s{sigma}-z{z:g}-l{ell}-seed{seed}")
+    for (sigma, z, ell, n) in CONFIGS
+    for seed in SEEDS
+]
+
+
+def random_source(n: int, sigma: int, seed: int) -> WeightedString:
+    """A reproducible weighted string mixing certain and uncertain positions."""
+    rng = np.random.default_rng(seed * 1000 + n + sigma)
+    alphabet = Alphabet([chr(ord("A") + code) for code in range(sigma)])
+    matrix = np.zeros((n, sigma), dtype=np.float64)
+    for position in range(n):
+        if rng.random() < 0.5:
+            weights = rng.choice([0.0, 1.0, 1.0, 2.0, 4.0], size=sigma)
+            if weights.sum() == 0.0:
+                weights[rng.integers(sigma)] = 1.0
+            matrix[position] = weights / weights.sum()
+        else:
+            matrix[position, rng.integers(sigma)] = 1.0
+    return WeightedString(matrix, alphabet)
+
+
+def pattern_workload(source, estimation, z, ell, seed) -> list[list[int]]:
+    """Valid, random and mutated patterns spanning both sides of ℓ and 2ℓ-1."""
+    rng = np.random.default_rng(seed + 99)
+    patterns: list[list[int]] = []
+    for m in (ell, ell + 1, 2 * ell - 1, 2 * ell):
+        if m > len(source):
+            continue
+        try:
+            patterns.extend(
+                sample_valid_patterns(
+                    source, z, m=m, count=2, estimation=estimation, seed=seed + m
+                )
+            )
+        except Exception:
+            pass  # no valid window of this length under this z — fine
+        patterns.append(
+            [int(code) for code in rng.integers(0, source.sigma, size=m)]
+        )
+    mutated = [
+        mutate_pattern(pattern, source.sigma, 1, seed=seed + index)
+        for index, pattern in enumerate(patterns[:4])
+    ]
+    return patterns + mutated
+
+
+@pytest.mark.parametrize("sigma,z,ell,n,seed", CASES)
+def test_all_variants_match_brute_force_oracle(sigma, z, ell, n, seed):
+    source = random_source(n, sigma, seed)
+    estimation = build_z_estimation(source, z)
+    patterns = pattern_workload(source, estimation, z, ell, seed)
+    assert patterns, "workload generation produced no patterns"
+    oracle = {
+        tuple(pattern): brute_force_occurrences(source, pattern, z)
+        for pattern in patterns
+    }
+    for kind in VARIANTS:
+        index = build_index(source, z, kind=kind, ell=ell, estimation=estimation)
+        supported = [
+            pattern
+            for pattern in patterns
+            if len(pattern) >= index.minimum_pattern_length
+        ]
+        for pattern in supported:
+            assert index.locate(pattern) == oracle[tuple(pattern)], (
+                f"{kind} disagrees with the oracle on {pattern}"
+            )
+        # The batch engine must agree with the oracle (hence with locate).
+        batch = index.match_many(supported)
+        assert batch == [oracle[tuple(pattern)] for pattern in supported], (
+            f"{kind} batch engine disagrees with the oracle"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_baselines_match_oracle_on_short_patterns(seed):
+    """Baselines also serve patterns below ℓ, down to single letters."""
+    source = random_source(30, 3, seed)
+    z = 4.0
+    estimation = build_z_estimation(source, z)
+    rng = np.random.default_rng(seed)
+    patterns = [
+        [int(code) for code in rng.integers(0, source.sigma, size=m)]
+        for m in (1, 2, 3)
+        for _ in range(3)
+    ]
+    for kind in BASELINES:
+        index = build_index(source, z, kind=kind, estimation=estimation)
+        for pattern in patterns:
+            assert index.locate(pattern) == brute_force_occurrences(
+                source, pattern, z
+            )
+        assert index.match_many(patterns) == [
+            brute_force_occurrences(source, pattern, z) for pattern in patterns
+        ]
