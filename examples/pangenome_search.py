@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.datasets.genomes import efm_like
 from repro.datasets.patterns import mutate_pattern
-from repro.indexes import SpaceEfficientMWST, WeightedSuffixArray
+from repro.indexes import build_index
 
 GENOME_LENGTH = 20_000
 READ_LENGTH = 64
@@ -51,8 +51,8 @@ def main() -> None:
     print(f"simulated pangenome: {dataset.describe()}")
 
     print("\nbuilding indexes (threshold 1/z = 1/%d, minimum read length %d)..." % (Z, READ_LENGTH))
-    space_efficient = SpaceEfficientMWST.build(weighted, Z, ell=READ_LENGTH)
-    baseline = WeightedSuffixArray.build(weighted, Z)
+    space_efficient = build_index(weighted, Z, kind="MWST-SE", ell=READ_LENGTH)
+    baseline = build_index(weighted, Z, kind="WSA")
     print(f"  MWST-SE: size {space_efficient.stats.index_size_bytes / 1e6:.2f} MB, "
           f"construction space {space_efficient.stats.construction_space_bytes / 1e6:.2f} MB")
     print(f"  WSA    : size {baseline.stats.index_size_bytes / 1e6:.2f} MB, "

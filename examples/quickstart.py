@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro import WeightedString, build_z_estimation
 from repro.core.heavy import HeavyString
-from repro.indexes import MinimizerWSA, WeightedSuffixArray, brute_force_occurrences
+from repro.indexes import brute_force_occurrences, build_index
 
 
 def main() -> None:
@@ -44,9 +44,9 @@ def main() -> None:
     for j in range(estimation.width):
         print(f"  S{j + 1} = {estimation.text(j)}   pi = {estimation.ends[j].tolist()}")
 
-    # --- Indexing and querying. ----------------------------------------------
-    baseline = WeightedSuffixArray.build(uncertain, z)
-    minimizer_index = MinimizerWSA.build(uncertain, z, ell=4)
+    # --- Indexing and querying (through the central index factory). ----------
+    baseline = build_index(uncertain, z, kind="WSA")
+    minimizer_index = build_index(uncertain, z, kind="MWSA", ell=4)
 
     for text in ("AAAA", "BAAB", "BABA", "ABAA"):
         expected = brute_force_occurrences(uncertain, text, z)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from repro.core.heavy import HeavyString
 from repro.datasets.patterns import sample_valid_patterns
 from repro.datasets.rssi import rssi_like
-from repro.indexes import MinimizerWSA, brute_force_occurrences
+from repro.indexes import brute_force_occurrences, build_index
 
 STREAM_LENGTH = 4_000
 MOTIF_LENGTH = 12
@@ -32,7 +32,7 @@ def main() -> None:
     print(f"most likely signal levels (first 30 steps): {heavy.text()[:60]}...")
 
     for z in Z_VALUES:
-        index = MinimizerWSA.build(stream, z, ell=MOTIF_LENGTH)
+        index = build_index(stream, z, kind="MWSA", ell=MOTIF_LENGTH)
         motifs = sample_valid_patterns(stream, z, MOTIF_LENGTH, count=5, seed=7)
         print(f"\nthreshold 1/z = 1/{z}  "
               f"(index size {index.stats.index_size_bytes / 1e6:.2f} MB, "

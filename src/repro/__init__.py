@@ -51,6 +51,7 @@ __all__ = [
     "GridMinimizerWST",
     "GridMinimizerWSA",
     "SpaceEfficientMWST",
+    "ShardedIndex",
     "build_index",
 ]
 
@@ -62,6 +63,7 @@ _INDEX_EXPORTS = {
     "GridMinimizerWST",
     "GridMinimizerWSA",
     "SpaceEfficientMWST",
+    "ShardedIndex",
     "build_index",
     "brute_force_occurrences",
 }

@@ -21,6 +21,7 @@ from ..datasets.registry import DATASETS, dataset_characteristics
 from ..datasets.rssi import rssi_family, rssi_like
 from ..indexes.space import DEFAULT_SPACE_MODEL
 from .harness import ARRAY_KINDS, SCALES, SE_KINDS, TREE_KINDS, BenchScale, build_index_suite, query_workload, sweep_rows
+from .measure import timed
 from .report import format_series, format_table
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "fig14",
     "fig15",
     "fig16",
+    "shardscale",
     "ALL_EXPERIMENTS",
     "run_all",
 ]
@@ -426,6 +428,101 @@ def fig16(scale="tiny") -> ExperimentResult:
     )
 
 
+# --------------------------------------------------------------------------- #
+# Sharded construction and the index store (not a paper figure)                 #
+# --------------------------------------------------------------------------- #
+def shardscale(scale="tiny") -> ExperimentResult:
+    """Build throughput vs shard count/workers, plus store save/load times.
+
+    Not a paper figure: this experiment tracks the scaling behaviour of the
+    sharded index architecture.  Every configuration builds the same
+    synthetic sparse-uncertainty input; the single-shard serial build is the
+    baseline every speedup column refers to.  The last rows measure the
+    binary index store: saving the largest sharded build, reloading it
+    (memory-mapped) and verifying the reloaded index answers a spot-check
+    query batch identically.
+    """
+    import os
+    import tempfile
+
+    from ..datasets.synthetic import sparse_uncertainty_string
+    from ..indexes import build_index
+    from ..io.store import load_index, save_index
+
+    scale = _resolve_scale(scale)
+    z, ell, kind = 8.0, 16, "MWSA"
+    source = sparse_uncertainty_string(scale.shard_length, 4, delta=0.1, seed=11)
+    patterns = query_workload(source, z, m=ell, count=scale.pattern_count, seed=0)
+    rows = []
+    baseline_seconds = None
+    built = None
+    for shard_count in scale.shard_counts:
+        for workers in scale.shard_workers:
+            if workers > shard_count:
+                continue
+            index, seconds = timed(
+                build_index,
+                source,
+                z,
+                kind=kind,
+                ell=ell,
+                shards=shard_count,
+                workers=workers,
+            )
+            if baseline_seconds is None:
+                baseline_seconds = seconds
+            built = index
+            rows.append(
+                {
+                    "dataset": "SYN-SPARSE",
+                    "n": len(source),
+                    "index": kind,
+                    "shards": shard_count,
+                    "workers": workers,
+                    "construction_seconds": seconds,
+                    "positions_per_second": len(source) / seconds if seconds else None,
+                    "speedup_vs_single": baseline_seconds / seconds if seconds else None,
+                    "index_size_mb": index.stats.index_size_bytes / 1e6,
+                }
+            )
+    store_rows = []
+    if built is not None:
+        handle, path = tempfile.mkstemp(suffix=".idx")
+        os.close(handle)
+        try:
+            _, save_seconds = timed(save_index, path, built)
+            loaded, load_seconds = timed(load_index, path)
+            loaded_results, query_seconds = timed(loaded.match_many, patterns)
+            store_rows.append(
+                {
+                    "dataset": "SYN-SPARSE",
+                    "n": len(source),
+                    "store_bytes": os.path.getsize(path),
+                    "save_seconds": save_seconds,
+                    "load_seconds": load_seconds,
+                    "loaded_query_seconds": query_seconds,
+                    "loaded_matches_built": loaded_results
+                    == built.match_many(patterns),
+                }
+            )
+        finally:
+            os.unlink(path)
+    text = "Shard scaling — build throughput\n" + format_table(
+        rows,
+        ["shards", "workers", "construction_seconds", "positions_per_second",
+         "speedup_vs_single", "index_size_mb"],
+    )
+    if store_rows:
+        text += "\nIndex store — save/load round trip\n" + format_table(
+            store_rows,
+            ["store_bytes", "save_seconds", "load_seconds",
+             "loaded_query_seconds", "loaded_matches_built"],
+        )
+    return ExperimentResult(
+        "shardscale", "Sharded build scaling and index store", rows + store_rows, text
+    )
+
+
 #: All experiments in paper order.
 ALL_EXPERIMENTS = {
     "table2": table2,
@@ -440,6 +537,7 @@ ALL_EXPERIMENTS = {
     "fig14": fig14,
     "fig15": fig15,
     "fig16": fig16,
+    "shardscale": shardscale,
 }
 
 

@@ -1,12 +1,16 @@
 """Command-line interface: build indexes, run queries, inspect datasets.
 
-Installed as the ``repro-uncertain`` console script.  Three sub-commands:
+Installed as the ``repro-uncertain`` console script.  Four sub-commands:
 
 * ``info``        — Table 2-style characteristics of a named or PWM-file dataset;
-* ``build``       — build an index over a PWM file and report its statistics;
-* ``query``       — build an index and report the occurrences of given patterns;
+* ``build``       — build an index (optionally sharded via ``--shards`` /
+  ``--workers``) and report its statistics; ``--store FILE`` saves the built
+  index to the binary index store;
+* ``query``       — locate patterns; the index is either built on the spot or
+  reloaded from a store file with ``--store`` (no rebuild);
 * ``query-batch`` — answer a whole pattern batch through the vectorised
-  batch engine and report throughput alongside the occurrences.
+  batch engine (fanning out across shards for sharded indexes) and report
+  throughput alongside the occurrences.
 
 The CLI is intentionally small: it exposes the library's public API for shell
 pipelines and smoke tests; programmatic users should import :mod:`repro`.
@@ -24,6 +28,7 @@ from .datasets.registry import DATASETS, dataset_characteristics, load_dataset
 from .errors import ReproError
 from .indexes import INDEX_CLASSES, BatchQueryEngine, build_index
 from .io.pwm import read_pwm
+from .io.store import load_index, save_index
 
 __all__ = ["main", "build_parser"]
 
@@ -34,6 +39,47 @@ def _load_source(arguments) -> WeightedString:
     if arguments.dataset:
         return load_dataset(arguments.dataset, arguments.length)
     raise ReproError("either --pwm FILE or --dataset NAME must be given")
+
+
+def _build_index(arguments):
+    """Build the index a sub-command asked for (sharded when --shards is given)."""
+    source = _load_source(arguments)
+    if arguments.z is None:
+        raise ReproError("--z is required when building an index")
+    return build_index(
+        source,
+        arguments.z,
+        kind=arguments.kind or "MWSA",
+        ell=arguments.ell,
+        shards=arguments.shards,
+        workers=arguments.workers,
+        max_pattern_len=arguments.max_pattern_len,
+    )
+
+
+#: Build options that contradict --store on the query sub-commands: a stored
+#: index already fixes its source, threshold and construction parameters.
+_BUILD_OPTIONS = (
+    "dataset", "pwm", "length", "z", "ell", "kind", "shards", "workers",
+    "max_pattern_len",
+)
+
+
+def _obtain_index(arguments):
+    """The index to query: reloaded from a store file, or built on the spot."""
+    if arguments.store:
+        conflicting = [
+            f"--{name.replace('_', '-')}"
+            for name in _BUILD_OPTIONS
+            if getattr(arguments, name) is not None
+        ]
+        if conflicting:
+            raise ReproError(
+                f"--store loads a saved index; it cannot be combined with "
+                f"build options ({', '.join(conflicting)})"
+            )
+        return load_index(arguments.store)
+    return _build_index(arguments)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,32 +95,56 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--pwm", help="position-weight-matrix file to describe")
     info.add_argument("--length", type=int, help="override the dataset length")
 
-    def add_build_arguments(sub) -> None:
-        group = sub.add_mutually_exclusive_group(required=True)
+    def add_build_arguments(sub, *, source_required: bool = True) -> None:
+        group = sub.add_mutually_exclusive_group(required=source_required)
         group.add_argument("--dataset", choices=sorted(DATASETS), help="named synthetic dataset")
         group.add_argument("--pwm", help="position-weight-matrix file to index")
         sub.add_argument("--length", type=int, help="override the dataset length")
-        sub.add_argument("--z", type=float, required=True, help="threshold parameter (1/z)")
+        sub.add_argument(
+            "--z", type=float, required=source_required, help="threshold parameter (1/z)"
+        )
         sub.add_argument("--ell", type=int, help="minimum pattern length (minimizer indexes)")
         sub.add_argument(
             "--kind",
-            default="MWSA",
             choices=sorted(INDEX_CLASSES),
             help="index kind to build (default: MWSA)",
+        )
+        sub.add_argument(
+            "--shards", type=int, help="build a sharded index over this many chunks"
+        )
+        sub.add_argument(
+            "--workers", type=int, help="parallel shard-build processes (with --shards)"
+        )
+        sub.add_argument(
+            "--max-pattern-len",
+            type=int,
+            help="largest query length a sharded index must support "
+            "(sets the shard overlap; default: 2*ell)",
         )
 
     build = subparsers.add_parser("build", help="build an index and print its statistics")
     add_build_arguments(build)
+    build.add_argument(
+        "--store", help="save the built index to this binary index-store file"
+    )
 
-    query = subparsers.add_parser("query", help="build an index and locate patterns")
-    add_build_arguments(query)
+    query = subparsers.add_parser(
+        "query", help="locate patterns (building the index or loading it from a store)"
+    )
+    add_build_arguments(query, source_required=False)
+    query.add_argument(
+        "--store", help="load the index from this store file instead of building"
+    )
     query.add_argument("patterns", nargs="+", help="patterns to locate (text over the alphabet)")
 
     batch = subparsers.add_parser(
         "query-batch",
         help="answer a pattern batch through the vectorised engine",
     )
-    add_build_arguments(batch)
+    add_build_arguments(batch, source_required=False)
+    batch.add_argument(
+        "--store", help="load the index from this store file instead of building"
+    )
     batch.add_argument(
         "--patterns-file",
         help="file with one pattern per line (text over the alphabet)",
@@ -106,14 +176,18 @@ def _command_info(arguments) -> dict:
 
 
 def _command_build(arguments) -> dict:
-    source = _load_source(arguments)
-    index = build_index(source, arguments.z, kind=arguments.kind, ell=arguments.ell)
-    return index.stats.as_dict()
+    index = _build_index(arguments)
+    report = index.stats.as_dict()
+    if arguments.store:
+        started = time.perf_counter()
+        save_index(arguments.store, index)
+        report["store"] = arguments.store
+        report["store_seconds"] = time.perf_counter() - started
+    return report
 
 
 def _command_query(arguments) -> dict:
-    source = _load_source(arguments)
-    index = build_index(source, arguments.z, kind=arguments.kind, ell=arguments.ell)
+    index = _obtain_index(arguments)
     occurrences = {pattern: index.locate(pattern) for pattern in arguments.patterns}
     return {"index": index.stats.as_dict(), "occurrences": occurrences}
 
@@ -128,8 +202,7 @@ def _command_query_batch(arguments) -> dict:
             raise ReproError(f"cannot read patterns file: {error}") from error
     if not patterns:
         raise ReproError("no patterns given (positional or --patterns-file)")
-    source = _load_source(arguments)
-    index = build_index(source, arguments.z, kind=arguments.kind, ell=arguments.ell)
+    index = _obtain_index(arguments)
     engine = BatchQueryEngine(index)
     started = time.perf_counter()
     results = engine.match_many(patterns)

@@ -13,12 +13,21 @@ MWST-G       MWST + 2D-grid query (Theorem 9).
 MWSA-G       MWSA + 2D-grid query (Theorem 9).
 MWST-SE      MWST built by the space-efficient construction of Section 4
              (never materialises the z-estimation).
+SHARDED      Any of the above, built per overlapping chunk in parallel and
+             queried through a merging front-end (``build_index(shards=N)``).
 ===========  ===============================================================
+
+Construction goes through the central factory in :mod:`.registry`
+(:func:`build_index`, :class:`ConstructionPipeline`); built indexes persist
+through the binary store in :mod:`repro.io.store`.
 """
 
-from ..core.weighted_string import WeightedString
-from ..errors import ConstructionError
-from .base import UncertainStringIndex, brute_force_occurrences, coerce_pattern
+from .base import (
+    UncertainStringIndex,
+    brute_force_occurrences,
+    coerce_pattern,
+    coerce_pattern_array,
+)
 from .engine import BatchQueryEngine, locate_minimizer_batch
 from .minimizer_core import (
     FactorLeaf,
@@ -34,7 +43,18 @@ from .mwst import (
     MinimizerWST,
 )
 from .property_structures import PropertySuffixStructure
+from .registry import (
+    INDEX_CLASSES,
+    REGISTRY,
+    ConstructionPipeline,
+    IndexSpec,
+    available_kinds,
+    build_index,
+    get_spec,
+    register_index,
+)
 from .se_construction import SpaceEfficientMWST, build_index_data_space_efficient
+from .sharded import Shard, ShardedIndex, plan_shards
 from .space import DEFAULT_SPACE_MODEL, ConstructionTracker, IndexStats, SpaceModel
 from .verification import (
     HeavyMismatchVerifier,
@@ -51,6 +71,7 @@ __all__ = [
     "locate_minimizer_batch",
     "brute_force_occurrences",
     "coerce_pattern",
+    "coerce_pattern_array",
     "WeightedSuffixTree",
     "WeightedSuffixArray",
     "MinimizerWST",
@@ -58,6 +79,9 @@ __all__ = [
     "GridMinimizerWST",
     "GridMinimizerWSA",
     "SpaceEfficientMWST",
+    "ShardedIndex",
+    "Shard",
+    "plan_shards",
     "MinimizerIndexBase",
     "MinimizerIndexData",
     "LeafCollection",
@@ -74,45 +98,11 @@ __all__ = [
     "ConstructionTracker",
     "IndexStats",
     "INDEX_CLASSES",
+    "REGISTRY",
+    "IndexSpec",
+    "ConstructionPipeline",
+    "register_index",
+    "get_spec",
+    "available_kinds",
     "build_index",
 ]
-
-#: Registry of every index class keyed by its display name.
-INDEX_CLASSES = {
-    cls.name: cls
-    for cls in (
-        WeightedSuffixTree,
-        WeightedSuffixArray,
-        MinimizerWST,
-        MinimizerWSA,
-        GridMinimizerWST,
-        GridMinimizerWSA,
-        SpaceEfficientMWST,
-    )
-}
-
-
-def build_index(
-    source: WeightedString,
-    z: float,
-    *,
-    kind: str = "MWSA",
-    ell: int | None = None,
-    **options,
-) -> UncertainStringIndex:
-    """Build an index by name (``"WST"``, ``"WSA"``, ``"MWSA"``, ``"MWST-SE"``, ...).
-
-    The minimizer-based kinds require ``ell`` (the minimum supported pattern
-    length); the baselines ignore it.  Any remaining keyword options are
-    passed to the specific ``build`` classmethod.
-    """
-    try:
-        cls = INDEX_CLASSES[kind]
-    except KeyError:
-        known = ", ".join(sorted(INDEX_CLASSES))
-        raise ConstructionError(f"unknown index kind {kind!r}; known kinds: {known}") from None
-    if issubclass(cls, MinimizerIndexBase):
-        if ell is None:
-            raise ConstructionError(f"index kind {kind!r} requires the ell parameter")
-        return cls.build(source, z, ell, **options)
-    return cls.build(source, z, **options)

@@ -11,24 +11,50 @@ from __future__ import annotations
 import abc
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..core.numerics import validate_threshold
 from ..core.weighted_string import WeightedString
 from ..errors import PatternError
 from .space import IndexStats
 
-__all__ = ["UncertainStringIndex", "coerce_pattern", "brute_force_occurrences"]
+__all__ = [
+    "UncertainStringIndex",
+    "coerce_pattern",
+    "coerce_pattern_array",
+    "brute_force_occurrences",
+]
+
+
+def coerce_pattern_array(
+    pattern, source: WeightedString, *, validate: bool = True
+) -> np.ndarray:
+    """Convert a pattern given as text or as letter codes into a code array.
+
+    This is the one conversion routine shared by the scalar query path and
+    the batch engine; ``validate=False`` skips the per-letter range check so
+    batch callers can validate a whole batch with a single reduction (they
+    re-run the validating path on failure to raise the canonical error).
+    """
+    if isinstance(pattern, str):
+        codes = np.asarray(source.alphabet.encode(pattern), dtype=np.int64)
+    else:
+        if not isinstance(pattern, (list, tuple, np.ndarray)):
+            pattern = list(pattern)
+        codes = np.array(pattern, dtype=np.int64, ndmin=1)
+    if validate and len(codes):
+        lowest, highest = int(codes.min()), int(codes.max())
+        if lowest < 0 or highest >= source.sigma:
+            offender = lowest if lowest < 0 else highest
+            raise PatternError(
+                f"letter code {offender} outside alphabet of size {source.sigma}"
+            )
+    return codes
 
 
 def coerce_pattern(pattern, source: WeightedString) -> list[int]:
     """Convert a pattern given as text or as letter codes into a code list."""
-    if isinstance(pattern, str):
-        return source.alphabet.encode(pattern)
-    codes = [int(code) for code in pattern]
-    sigma = source.sigma
-    for code in codes:
-        if not 0 <= code < sigma:
-            raise PatternError(f"letter code {code} outside alphabet of size {sigma}")
-    return codes
+    return [int(code) for code in coerce_pattern_array(pattern, source)]
 
 
 def brute_force_occurrences(source: WeightedString, pattern, z: float) -> list[int]:
@@ -77,6 +103,16 @@ class UncertainStringIndex(abc.ABC):
         """Smallest pattern length the index supports (ℓ; 1 for the baselines)."""
         return 1
 
+    @property
+    def maximum_pattern_length(self) -> int | None:
+        """Largest supported pattern length (``None`` when unbounded).
+
+        Monolithic indexes answer patterns of any length; a
+        :class:`~repro.indexes.sharded.ShardedIndex` is only complete up to
+        the pattern length its shard overlap was planned for.
+        """
+        return None
+
     # -- queries -----------------------------------------------------------------
     @abc.abstractmethod
     def locate(self, pattern) -> list[int]:
@@ -120,6 +156,12 @@ class UncertainStringIndex(abc.ABC):
             )
         if len(codes) == 0:
             raise PatternError("empty patterns are not supported")
+        maximum = self.maximum_pattern_length
+        if maximum is not None and len(codes) > maximum:
+            raise PatternError(
+                f"{self.name} was built for patterns of length <= "
+                f"{maximum}, got {len(codes)}"
+            )
         return codes
 
     def __repr__(self) -> str:

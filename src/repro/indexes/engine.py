@@ -29,6 +29,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import PatternError
+from .base import coerce_pattern_array
 from .verification import verify_candidate_batches
 
 __all__ = ["BatchQueryEngine", "locate_minimizer_batch"]
@@ -53,14 +54,13 @@ class BatchQueryEngine:
         return self._index
 
     def _convert(self, pattern) -> np.ndarray:
-        """Coerce one pattern to a code array (validation happens batched)."""
-        if isinstance(pattern, str):
-            return np.asarray(
-                self._index.source.alphabet.encode(pattern), dtype=np.int64
-            )
-        if not isinstance(pattern, (list, tuple, np.ndarray)):
-            pattern = list(pattern)
-        return np.array(pattern, dtype=np.int64, ndmin=1)
+        """Coerce one pattern to a code array (validation happens batched).
+
+        Delegates to :func:`~repro.indexes.base.coerce_pattern_array` — the
+        same conversion the scalar query path uses — with the per-letter
+        range check deferred to the batched min/max reduction below.
+        """
+        return coerce_pattern_array(pattern, self._index.source, validate=False)
 
     def _prepare_batch(self, patterns: Sequence) -> list[np.ndarray]:
         """Coerce and validate a whole batch with one min/max reduction.
@@ -73,7 +73,13 @@ class BatchQueryEngine:
         index = self._index
         prepared = [self._convert(pattern) for pattern in patterns]
         minimum = index.minimum_pattern_length
-        valid = all(len(codes) >= minimum and len(codes) > 0 for codes in prepared)
+        maximum = index.maximum_pattern_length
+        valid = all(
+            len(codes) >= minimum
+            and len(codes) > 0
+            and (maximum is None or len(codes) <= maximum)
+            for codes in prepared
+        )
         if valid and prepared:
             flat = np.concatenate(prepared)
             if len(flat) and (

@@ -98,12 +98,24 @@ class LeafCollection:
         leaves: list[FactorLeaf],
         reference: np.ndarray,
         lce: LCEIndex | None = None,
+        *,
+        presorted: bool = False,
+        trie_lcps: np.ndarray | None = None,
     ) -> None:
+        """``presorted=True`` trusts the given leaf order; ``trie_lcps`` seeds
+        the adjacent-LCP cache so reloaded collections build tries without an
+        LCE index (both are used by the binary index store)."""
         self._reference = np.asarray(reference, dtype=np.int64)
         self._lce = lce
+        self._cached_lcps = (
+            None if trie_lcps is None else np.asarray(trie_lcps, dtype=np.int64)
+        )
         self._leaves = list(leaves)
-        self.raw_to_sorted = np.empty(len(self._leaves), dtype=np.int64)
-        self._sort()
+        if presorted:
+            self.raw_to_sorted = np.arange(len(self._leaves), dtype=np.int64)
+        else:
+            self.raw_to_sorted = np.empty(len(self._leaves), dtype=np.int64)
+            self._sort()
         self._trie: CompactedTrie | None = None
         self._positions: np.ndarray | None = None
         self._search_keys: np.ndarray | None = None
@@ -385,14 +397,22 @@ class LeafCollection:
         return ranges
 
     # -- trie ------------------------------------------------------------------------------
+    def adjacent_lcps(self) -> np.ndarray:
+        """LCP of each consecutive sorted leaf pair (cached; persisted by the store)."""
+        if self._cached_lcps is None:
+            lcps = np.zeros(len(self._leaves), dtype=np.int64)
+            for index in range(1, len(self._leaves)):
+                lcps[index] = self._leaf_lcp(index - 1, index)
+            self._cached_lcps = lcps
+        return self._cached_lcps
+
     def build_trie(self) -> CompactedTrie:
         """Compacted trie over the sorted leaves (the tree-index variants)."""
         if self._trie is None:
-            lcps = [0] * len(self._leaves)
-            for index in range(1, len(self._leaves)):
-                lcps[index] = self._leaf_lcp(index - 1, index)
             self._trie = CompactedTrie(
-                [leaf.length for leaf in self._leaves], lcps, self.letter
+                [leaf.length for leaf in self._leaves],
+                self.adjacent_lcps(),
+                self.letter,
             )
         return self._trie
 

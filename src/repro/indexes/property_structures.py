@@ -63,6 +63,37 @@ class PropertySuffixStructure:
         self.estimation_width = width
         self.estimation_length = length
 
+    @classmethod
+    def from_arrays(
+        cls,
+        text: np.ndarray,
+        sa: np.ndarray,
+        lcp: np.ndarray | None,
+        rank_positions: np.ndarray,
+        rank_valid_lengths: np.ndarray,
+        width: int,
+        length: int,
+    ) -> "PropertySuffixStructure":
+        """Reassemble a structure from its persisted arrays (the index store).
+
+        Skips the estimation concatenation and the suffix sort entirely; only
+        the O(N log N)-word range-maximum table — a query-acceleration cache,
+        not a construction artefact — is derived from the loaded arrays.
+        """
+        structure = cls.__new__(cls)
+        structure.text = np.asarray(text, dtype=np.int64)
+        structure.sa = np.asarray(sa, dtype=np.int64)
+        structure.lcp = None if lcp is None else np.asarray(lcp, dtype=np.int64)
+        structure.position_in_x = None  # derivable; not needed after construction
+        structure.rank_positions = np.asarray(rank_positions, dtype=np.int64)
+        structure.rank_valid_lengths = np.asarray(rank_valid_lengths, dtype=np.int64)
+        structure.report_structure = (
+            SparseTableRMaxQ(structure.rank_valid_lengths) if len(structure.sa) else None
+        )
+        structure.estimation_width = int(width)
+        structure.estimation_length = int(length)
+        return structure
+
     # -- size helpers --------------------------------------------------------------
     @property
     def entry_count(self) -> int:

@@ -1,0 +1,259 @@
+"""Sharded indexes: overlapping chunks built in parallel, queried as one.
+
+A :class:`ShardedIndex` splits a weighted string into ``shard_count``
+near-equal chunks and builds one monolithic index (any registered kind) per
+chunk.  Consecutive shards overlap by ``max_pattern_len - 1`` positions, so
+every occurrence of a pattern of length ``m <= max_pattern_len`` is fully
+contained in at least one shard; each shard *owns* the occurrences starting
+inside its core (non-overlap) range, which makes the merged answer an exact,
+duplicate-free reconstruction of the monolithic answer:
+
+* ``locate`` / ``count`` / ``exists`` shift each shard's local positions by
+  the shard start, keep only owned starts and merge;
+* ``match_many`` (through the batch engine's ``_batch_locate`` hook) fans the
+  deduplicated pattern batch out across the shards and merges per pattern.
+
+Shard construction is embarrassingly parallel: with ``workers > 1`` the
+shards are built in separate processes via :mod:`multiprocessing` and the
+finished indexes are shipped back, which is what makes the build wall-clock
+scale with cores (and, later, with machines).  Patterns longer than
+``max_pattern_len`` could straddle more than one shard and are rejected with
+the same :class:`~repro.errors.PatternError` discipline as too-short
+patterns on the minimizer indexes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.weighted_string import WeightedString
+from ..errors import ConstructionError
+from .base import UncertainStringIndex
+from .space import IndexStats
+
+__all__ = ["Shard", "ShardedIndex", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One chunk of the shard plan.
+
+    The shard's index covers global positions ``[start, end)``; the shard
+    owns occurrences starting in ``[start, core_end)`` (its core range), and
+    ``[core_end, end)`` is the overlap into the next shard's core.
+    """
+
+    start: int
+    core_end: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Number of positions the shard's index covers."""
+        return self.end - self.start
+
+
+def plan_shards(n: int, shard_count: int, overlap: int) -> list[Shard]:
+    """Split ``[0, n)`` into ``shard_count`` cores with ``overlap`` lookahead.
+
+    Cores are near-equal; each shard extends ``overlap`` positions past its
+    core (clamped to ``n``) so patterns starting in the core never overhang
+    the shard.
+    """
+    if shard_count <= 0:
+        raise ConstructionError("shard_count must be positive")
+    if overlap < 0:
+        raise ConstructionError("shard overlap cannot be negative")
+    shard_count = min(shard_count, n) or 1
+    bounds = [round(index * n / shard_count) for index in range(shard_count + 1)]
+    return [
+        Shard(start=bounds[index], core_end=bounds[index + 1],
+              end=min(bounds[index + 1] + overlap, n))
+        for index in range(shard_count)
+    ]
+
+
+def _build_shard(payload):
+    """Build one shard's index (module-level so worker processes can import it)."""
+    matrix, alphabet, z, kind, ell, options = payload
+    from .registry import build_index
+
+    source = WeightedString(matrix, alphabet)
+    return build_index(source, z, kind=kind, ell=ell, **options)
+
+
+class ShardedIndex(UncertainStringIndex):
+    """A horizontally sharded uncertain-string index.
+
+    Built through :meth:`build` (or ``build_index(..., shards=N)``); answers
+    are bit-identical to the equivalent monolithic index for every pattern of
+    length in ``[minimum_pattern_length, max_pattern_len]``.
+    """
+
+    name = "SHARDED"
+
+    def __init__(
+        self,
+        source: WeightedString,
+        z: float,
+        shards: list[Shard],
+        indexes: list[UncertainStringIndex],
+        kind: str,
+        max_pattern_len: int,
+        stats: IndexStats,
+    ) -> None:
+        super().__init__(source, z)
+        self._shards = shards
+        self._indexes = indexes
+        self._kind = kind
+        self._max_pattern_len = max_pattern_len
+        self._stats = stats
+        self.name = f"SHARDED[{kind}]"
+
+    # -- construction -----------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        source: WeightedString,
+        z: float,
+        *,
+        kind: str = "MWSA",
+        ell: int | None = None,
+        shard_count: int = 1,
+        workers: int | None = None,
+        max_pattern_len: int | None = None,
+        estimation=None,  # noqa: ARG003 — accepted for harness symmetry
+        **options,
+    ) -> "ShardedIndex":
+        """Build ``shard_count`` per-chunk indexes of ``kind`` (in parallel).
+
+        ``max_pattern_len`` fixes the overlap (``max_pattern_len - 1``) and
+        the largest supported query length; it defaults to ``2·ell`` for the
+        minimizer kinds (covering the workloads of the paper's figures) and
+        must be given explicitly for the baselines.  ``workers`` > 1 builds
+        the shards in that many processes.  A shared ``estimation`` is
+        accepted for call-site symmetry with the monolithic builds but
+        ignored: each shard estimates its own chunk.
+        """
+        from .registry import get_spec
+
+        spec = get_spec(kind)  # validate the inner kind up front
+        if spec.needs_ell and ell is None:
+            raise ConstructionError(f"index kind {kind!r} requires the ell parameter")
+        if max_pattern_len is None:
+            if ell is None:
+                raise ConstructionError(
+                    "sharded builds need max_pattern_len (or ell to default it "
+                    "to 2*ell): the shard overlap must bound the query length"
+                )
+            max_pattern_len = 2 * ell
+        if max_pattern_len < 1 or (ell is not None and max_pattern_len < ell):
+            raise ConstructionError(
+                f"max_pattern_len {max_pattern_len} cannot be smaller than the "
+                f"minimum pattern length"
+            )
+        started = time.perf_counter()
+        shards = plan_shards(len(source), shard_count, max_pattern_len - 1)
+        payloads = [
+            (
+                source.matrix[shard.start : shard.end],
+                source.alphabet,
+                z,
+                kind,
+                ell,
+                options,
+            )
+            for shard in shards
+        ]
+        if workers is not None and workers > 1 and len(shards) > 1:
+            import multiprocessing
+
+            with multiprocessing.Pool(min(workers, len(shards))) as pool:
+                indexes = pool.map(_build_shard, payloads)
+        else:
+            indexes = [_build_shard(payload) for payload in payloads]
+        stats = IndexStats(
+            name=f"SHARDED[{kind}]",
+            index_size_bytes=sum(index.stats.index_size_bytes for index in indexes),
+            construction_space_bytes=max(
+                (index.stats.construction_space_bytes for index in indexes), default=0
+            ),
+            construction_seconds=time.perf_counter() - started,
+            counters={
+                "shards": len(shards),
+                "kind": kind,
+                "overlap": max_pattern_len - 1,
+                "workers": workers or 1,
+                "shard_lengths": [shard.length for shard in shards],
+            },
+        )
+        return cls(source, z, shards, indexes, kind, max_pattern_len, stats)
+
+    # -- shape ------------------------------------------------------------------------
+    @property
+    def shards(self) -> list[Shard]:
+        """The shard plan (for inspection, storage and tests)."""
+        return self._shards
+
+    @property
+    def shard_indexes(self) -> list[UncertainStringIndex]:
+        """The per-shard indexes, in shard order."""
+        return self._indexes
+
+    @property
+    def kind(self) -> str:
+        """The per-shard index kind."""
+        return self._kind
+
+    @property
+    def minimum_pattern_length(self) -> int:
+        return max(
+            (index.minimum_pattern_length for index in self._indexes), default=1
+        )
+
+    @property
+    def maximum_pattern_length(self) -> int:
+        return self._max_pattern_len
+
+    # -- queries ----------------------------------------------------------------------
+    @staticmethod
+    def _accumulate(shard: Shard, local_positions, owned: set[int]) -> None:
+        """Shift one shard's local starts and keep only the starts it owns.
+
+        A global start belongs to the shard whose core contains it, so
+        filtering on the core upper bound yields each occurrence exactly once.
+        """
+        for position in local_positions:
+            globally = shard.start + int(position)
+            if globally < shard.core_end:
+                owned.add(globally)
+
+    def locate(self, pattern) -> list[int]:
+        codes = self._prepare_pattern(pattern)
+        owned: set[int] = set()
+        for shard, index in zip(self._shards, self._indexes):
+            if shard.length >= len(codes):
+                self._accumulate(shard, index.locate(codes), owned)
+        return sorted(owned)
+
+    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
+        """Fan the deduplicated batch out across the shards and merge back.
+
+        Each shard is handed only the patterns that fit inside it (the same
+        guard the scalar path applies), so short tail shards never run the
+        batch machinery on patterns they cannot contain.
+        """
+        owned: list[set[int]] = [set() for _ in code_lists]
+        for shard, index in zip(self._shards, self._indexes):
+            rows = [
+                row
+                for row in range(len(code_lists))
+                if len(code_lists[row]) <= shard.length
+            ]
+            if not rows:
+                continue
+            shard_results = index._batch_locate([code_lists[row] for row in rows])
+            for row, local_positions in zip(rows, shard_results):
+                self._accumulate(shard, local_positions, owned[row])
+        return [sorted(positions) for positions in owned]

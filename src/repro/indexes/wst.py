@@ -24,6 +24,24 @@ from .space import DEFAULT_SPACE_MODEL, ConstructionTracker, IndexStats, SpaceMo
 __all__ = ["WeightedSuffixTree"]
 
 
+class _SuffixLetterAccessor:
+    """Letter accessor over the concatenated suffix text.
+
+    A named class (rather than a closure) so built trees can cross process
+    boundaries — the sharded builder ships finished indexes back from its
+    worker processes by pickling them.
+    """
+
+    __slots__ = ("text", "sa")
+
+    def __init__(self, text, sa) -> None:
+        self.text = text
+        self.sa = sa
+
+    def __call__(self, key: int, depth: int) -> int:
+        return int(self.text[self.sa[key] + depth])
+
+
 class WeightedSuffixTree(UncertainStringIndex):
     """The WST baseline: property suffix tree over the z-estimation."""
 
@@ -69,11 +87,7 @@ class WeightedSuffixTree(UncertainStringIndex):
         text = structure.text
         sa = structure.sa
         lengths = len(text) - sa
-        trie = CompactedTrie(
-            lengths,
-            structure.lcp,
-            lambda key, depth: int(text[sa[key] + depth]),
-        )
+        trie = CompactedTrie(lengths, structure.lcp, _SuffixLetterAccessor(text, sa))
         tracker.allocate(space_model.tree_nodes(trie.node_count))
         stats = IndexStats(
             name=cls.name,
@@ -121,3 +135,8 @@ class WeightedSuffixTree(UncertainStringIndex):
     def node_count(self) -> int:
         """Number of explicit suffix-tree nodes."""
         return self._trie.node_count
+
+    @property
+    def structure(self) -> PropertySuffixStructure:
+        """The underlying property suffix structure (for inspection/storage)."""
+        return self._structure

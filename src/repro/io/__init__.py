@@ -1,4 +1,4 @@
-"""File formats: FASTA, SNP tables, position weight matrices, JSON artefacts."""
+"""File formats: FASTA, SNP tables, PWMs, JSON artefacts, the binary index store."""
 
 from .fasta import read_fasta, write_fasta
 from .pwm import read_pwm, write_pwm
@@ -8,6 +8,7 @@ from .serialization import (
     save_estimation,
     save_weighted_string,
 )
+from .store import STORE_FORMAT, STORE_VERSION, load_index, save_index
 from .vcf import (
     read_snp_table,
     weighted_string_from_reference_and_snps,
@@ -26,4 +27,8 @@ __all__ = [
     "load_weighted_string",
     "save_estimation",
     "load_estimation",
+    "save_index",
+    "load_index",
+    "STORE_FORMAT",
+    "STORE_VERSION",
 ]

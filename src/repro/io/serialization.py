@@ -27,6 +27,7 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+_SUPPORTED_VERSIONS = (1,)
 
 
 def save_weighted_string(path, weighted: WeightedString) -> None:
@@ -41,13 +42,19 @@ def save_weighted_string(path, weighted: WeightedString) -> None:
 
 
 def load_weighted_string(path) -> WeightedString:
-    """Read a weighted string from a JSON file written by :func:`save_weighted_string`."""
+    """Read a weighted string from a JSON file written by :func:`save_weighted_string`.
+
+    Probabilities round-trip at full float64 precision: JSON floats are
+    written with ``repr`` (shortest exact representation) and the loaded
+    matrix is *not* re-normalised — rescaling rows would perturb the stored
+    values by one ulp and break bit-identical reloads.
+    """
     payload = _load_payload(path, "repro.weighted_string")
     alphabet = Alphabet(payload["alphabet"])
     matrix = np.asarray(payload["probabilities"], dtype=np.float64)
     if matrix.size == 0:
         matrix = matrix.reshape(0, alphabet.size)
-    return WeightedString(matrix, alphabet, normalize=True)
+    return WeightedString(matrix, alphabet)
 
 
 def save_estimation(path, estimation: ZEstimation) -> None:
@@ -81,12 +88,16 @@ def _load_payload(path, expected_format: str) -> dict:
         raise SerializationError(f"cannot read {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise SerializationError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{path} does not contain a JSON object")
     if payload.get("format") != expected_format:
         raise SerializationError(
             f"{path} has format {payload.get('format')!r}, expected {expected_format!r}"
         )
-    if payload.get("version") != _FORMAT_VERSION:
+    if payload.get("version") not in _SUPPORTED_VERSIONS:
+        supported = ", ".join(str(version) for version in _SUPPORTED_VERSIONS)
         raise SerializationError(
-            f"{path} has unsupported version {payload.get('version')!r}"
+            f"{path} has unsupported version {payload.get('version')!r} "
+            f"(supported: {supported})"
         )
     return payload

@@ -1,0 +1,429 @@
+"""The binary index store: save built indexes, memory-map them back.
+
+Index construction is the expensive part of every workflow (z-estimation,
+suffix sorting, minimizer sampling); the store persists the *constructed*
+artefacts so a saved index answers queries after a cheap reload instead of a
+rebuild.  One file holds one index — monolithic or sharded — in a simple
+container:
+
+======  ====================================================================
+bytes   content
+======  ====================================================================
+0–7     magic ``b"RPROIDX\\n"``
+8–15    little-endian ``uint64``: byte length of the JSON header
+16–     JSON header: ``format`` / ``version`` fields, the index metadata and
+        an array manifest ``{name: {dtype, shape, offset}}``
+...     64-byte-aligned raw array blobs (C order, native dtypes)
+======  ====================================================================
+
+Arrays are loaded with :func:`numpy.memmap` by default, so the probability
+matrix and the leaf/suffix arrays stay on disk until touched; pass
+``mmap=False`` to read everything into RAM.  The heavy construction stages
+are never re-run on load — only small query-acceleration caches (compacted
+tries, range-maximum tables, 2D grids) are re-derived from the persisted
+arrays.  Unknown magic numbers, formats or versions raise
+:class:`~repro.errors.SerializationError` with the supported versions listed.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.heavy import HeavyString
+from ..core.weighted_string import WeightedString
+from ..errors import SerializationError
+from ..sampling.minimizers import MinimizerScheme
+from ..version import __version__
+
+__all__ = ["save_index", "load_index", "STORE_FORMAT", "STORE_VERSION"]
+
+_MAGIC = b"RPROIDX\n"
+_ALIGNMENT = 64
+
+STORE_FORMAT = "repro.index_store"
+STORE_VERSION = 1
+_SUPPORTED_VERSIONS = (1,)
+
+
+# --------------------------------------------------------------------------- #
+# container reading / writing                                                  #
+# --------------------------------------------------------------------------- #
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _write_container(path, meta: dict, arrays: dict[str, np.ndarray]) -> None:
+    manifest = {}
+    offset = 0
+    blobs = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        manifest[name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+        }
+        blobs.append((offset, array))
+        offset += array.nbytes
+    header = {
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
+        "writer": __version__,
+        "meta": meta,
+        "arrays": manifest,
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    data_start = _align(len(_MAGIC) + 8 + len(header_bytes))
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<Q", len(header_bytes)))
+        handle.write(header_bytes)
+        for blob_offset, array in blobs:
+            handle.seek(data_start + blob_offset)
+            handle.write(array.tobytes())
+
+
+class _Container:
+    """A parsed store file: the header plus lazy array access."""
+
+    def __init__(self, path, mmap: bool) -> None:
+        self.path = Path(path)
+        self.mmap = mmap
+        try:
+            with open(self.path, "rb") as handle:
+                magic = handle.read(len(_MAGIC))
+                if magic != _MAGIC:
+                    raise SerializationError(
+                        f"{self.path} is not a repro index store (bad magic)"
+                    )
+                (header_length,) = struct.unpack("<Q", handle.read(8))
+                header = json.loads(handle.read(header_length).decode("utf-8"))
+        except OSError as exc:
+            raise SerializationError(f"cannot read {self.path}: {exc}") from exc
+        except (json.JSONDecodeError, struct.error, UnicodeDecodeError) as exc:
+            raise SerializationError(
+                f"{self.path} has a corrupt index-store header: {exc}"
+            ) from exc
+        if header.get("format") != STORE_FORMAT:
+            raise SerializationError(
+                f"{self.path} has format {header.get('format')!r}, "
+                f"expected {STORE_FORMAT!r}"
+            )
+        if header.get("version") not in _SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
+            raise SerializationError(
+                f"{self.path} has unsupported index-store version "
+                f"{header.get('version')!r} (supported: {supported})"
+            )
+        self.meta = header["meta"]
+        self._manifest = header["arrays"]
+        self._data_start = _align(len(_MAGIC) + 8 + header_length)
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            spec = self._manifest[name]
+        except KeyError:
+            raise SerializationError(
+                f"{self.path} is missing the stored array {name!r}"
+            ) from None
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        offset = self._data_start + spec["offset"]
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if count == 0:  # zero-byte blobs cannot be memory-mapped
+            return np.empty(shape, dtype=dtype)
+        if self.mmap:
+            return np.memmap(self.path, dtype=dtype, mode="r", offset=offset, shape=shape)
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            flat = np.fromfile(handle, dtype=dtype, count=count)
+        return flat.reshape(shape)
+
+
+# --------------------------------------------------------------------------- #
+# leaf collections                                                             #
+# --------------------------------------------------------------------------- #
+def _pack_collection(arrays: dict, prefix: str, collection) -> None:
+    leaves = list(collection)
+    arrays[f"{prefix}.anchor"] = np.array([l.anchor for l in leaves], dtype=np.int64)
+    arrays[f"{prefix}.length"] = np.array([l.length for l in leaves], dtype=np.int64)
+    arrays[f"{prefix}.position"] = np.array([l.position for l in leaves], dtype=np.int64)
+    arrays[f"{prefix}.source"] = np.array([l.source for l in leaves], dtype=np.int64)
+    starts = np.zeros(len(leaves) + 1, dtype=np.int64)
+    offsets: list[int] = []
+    codes: list[int] = []
+    for row, leaf in enumerate(leaves):
+        for offset, code in leaf.mismatches:
+            offsets.append(offset)
+            codes.append(code)
+        starts[row + 1] = len(offsets)
+    arrays[f"{prefix}.mm_start"] = starts
+    arrays[f"{prefix}.mm_offset"] = np.array(offsets, dtype=np.int64)
+    arrays[f"{prefix}.mm_code"] = np.array(codes, dtype=np.int64)
+
+
+def _unpack_collection(container: _Container, prefix: str, reference, lcps=None):
+    from ..indexes.minimizer_core import FactorLeaf, LeafCollection
+
+    anchor = container.array(f"{prefix}.anchor")
+    length = container.array(f"{prefix}.length")
+    position = container.array(f"{prefix}.position")
+    source_ids = container.array(f"{prefix}.source")
+    starts = container.array(f"{prefix}.mm_start")
+    offsets = container.array(f"{prefix}.mm_offset")
+    codes = container.array(f"{prefix}.mm_code")
+    leaves = []
+    for row in range(len(anchor)):
+        lo, hi = int(starts[row]), int(starts[row + 1])
+        mismatches = tuple(
+            (int(offsets[index]), int(codes[index])) for index in range(lo, hi)
+        )
+        leaves.append(
+            FactorLeaf(
+                anchor=int(anchor[row]),
+                length=int(length[row]),
+                mismatches=mismatches,
+                position=int(position[row]),
+                source=int(source_ids[row]),
+            )
+        )
+    return LeafCollection(leaves, reference, presorted=True, trie_lcps=lcps)
+
+
+# --------------------------------------------------------------------------- #
+# per-family packing                                                           #
+# --------------------------------------------------------------------------- #
+def _stats_meta(stats) -> dict:
+    return {
+        "name": stats.name,
+        "index_size_bytes": stats.index_size_bytes,
+        "construction_space_bytes": stats.construction_space_bytes,
+        "construction_seconds": stats.construction_seconds,
+        "counters": stats.counters,
+    }
+
+
+def _stats_from_meta(meta: dict):
+    from ..indexes.space import IndexStats
+
+    counters = dict(meta.get("counters", {}))
+    counters["loaded_from_store"] = True
+    return IndexStats(
+        name=meta.get("name", ""),
+        index_size_bytes=int(meta.get("index_size_bytes", 0)),
+        construction_space_bytes=int(meta.get("construction_space_bytes", 0)),
+        construction_seconds=float(meta.get("construction_seconds", 0.0)),
+        counters=counters,
+    )
+
+
+def _pack_body(index, arrays: dict, prefix: str) -> dict:
+    """Pack one index's artefacts (everything but its source matrix)."""
+    from ..indexes.mwst import MinimizerIndexBase
+    from ..indexes.sharded import ShardedIndex
+    from ..indexes.wsa import WeightedSuffixArray
+    from ..indexes.wst import WeightedSuffixTree
+
+    if isinstance(index, ShardedIndex):
+        shard_metas = []
+        for number, (shard, shard_index) in enumerate(
+            zip(index.shards, index.shard_indexes)
+        ):
+            body = _pack_body(shard_index, arrays, f"{prefix}s{number}.")
+            body["plan"] = [shard.start, shard.core_end, shard.end]
+            shard_metas.append(body)
+        return {
+            "family": "sharded",
+            "kind": index.kind,
+            "max_pattern_len": index.maximum_pattern_length,
+            "shards": shard_metas,
+            "stats": _stats_meta(index.stats),
+        }
+    if isinstance(index, MinimizerIndexBase):
+        data = index.data
+        _pack_collection(arrays, f"{prefix}fwd", data.forward)
+        _pack_collection(arrays, f"{prefix}bwd", data.backward)
+        if index.use_trie:
+            arrays[f"{prefix}fwd.lcp"] = data.forward.adjacent_lcps()
+            arrays[f"{prefix}bwd.lcp"] = data.backward.adjacent_lcps()
+        if data.pairs is not None:
+            arrays[f"{prefix}pairs"] = np.array(data.pairs, dtype=np.int64).reshape(
+                len(data.pairs), 2
+            )
+        scheme = data.scheme
+        return {
+            "family": "minimizer",
+            "kind": index.name,
+            "ell": data.ell,
+            "construction": data.construction,
+            "counters": data.counters,
+            "scheme": {
+                "ell": scheme.ell,
+                "sigma": scheme.sigma,
+                "k": scheme.k,
+                "order": scheme.order,
+            },
+            "has_pairs": data.pairs is not None,
+            "stats": _stats_meta(index.stats),
+        }
+    if isinstance(index, (WeightedSuffixArray, WeightedSuffixTree)):
+        structure = index.structure
+        arrays[f"{prefix}ps.text"] = structure.text
+        arrays[f"{prefix}ps.sa"] = structure.sa
+        if structure.lcp is not None:
+            arrays[f"{prefix}ps.lcp"] = structure.lcp
+        arrays[f"{prefix}ps.rank_positions"] = structure.rank_positions
+        arrays[f"{prefix}ps.rank_valid_lengths"] = structure.rank_valid_lengths
+        return {
+            "family": "wst" if isinstance(index, WeightedSuffixTree) else "wsa",
+            "kind": index.name,
+            "estimation_width": structure.estimation_width,
+            "estimation_length": structure.estimation_length,
+            "stats": _stats_meta(index.stats),
+        }
+    raise SerializationError(
+        f"indexes of type {type(index).__name__} cannot be stored yet"
+    )
+
+
+def _unpack_body(container: _Container, meta: dict, prefix: str, source, z: float):
+    family = meta.get("family")
+    if family == "sharded":
+        return _unpack_sharded(container, meta, prefix, source, z)
+    if family == "minimizer":
+        return _unpack_minimizer(container, meta, prefix, source, z)
+    if family in {"wst", "wsa"}:
+        return _unpack_baseline(container, meta, prefix, source, z)
+    raise SerializationError(f"unknown stored index family {family!r}")
+
+
+def _unpack_minimizer(container: _Container, meta: dict, prefix: str, source, z: float):
+    from ..indexes.minimizer_core import MinimizerIndexData
+    from ..indexes.registry import get_spec
+
+    cls = get_spec(meta["kind"]).cls
+    scheme_meta = meta["scheme"]
+    scheme = MinimizerScheme(
+        scheme_meta["ell"], scheme_meta["sigma"], scheme_meta["k"], scheme_meta["order"]
+    )
+    heavy = HeavyString(source)
+    forward_lcps = backward_lcps = None
+    if cls.use_trie:
+        forward_lcps = container.array(f"{prefix}fwd.lcp")
+        backward_lcps = container.array(f"{prefix}bwd.lcp")
+    forward = _unpack_collection(container, f"{prefix}fwd", heavy.codes, forward_lcps)
+    backward = _unpack_collection(
+        container, f"{prefix}bwd", heavy.codes[::-1].copy(), backward_lcps
+    )
+    pairs = None
+    if meta.get("has_pairs"):
+        pairs_array = container.array(f"{prefix}pairs")
+        pairs = [(int(x), int(y)) for x, y in pairs_array]
+    data = MinimizerIndexData(
+        source=source,
+        z=z,
+        ell=int(meta["ell"]),
+        scheme=scheme,
+        heavy=heavy,
+        forward=forward,
+        backward=backward,
+        pairs=pairs,
+        construction=meta.get("construction", "estimation"),
+        counters=dict(meta.get("counters", {})),
+    )
+    grid = None
+    if cls.use_grid:
+        from ..geometry.grid import Grid2D
+
+        if pairs is None:
+            raise SerializationError(
+                f"stored {meta['kind']} index is missing its grid pairing"
+            )
+        grid = Grid2D(pairs)
+    return cls(source, z, data, _stats_from_meta(meta["stats"]), grid)
+
+
+def _unpack_baseline(container: _Container, meta: dict, prefix: str, source, z: float):
+    from ..indexes.property_structures import PropertySuffixStructure
+    from ..indexes.wsa import WeightedSuffixArray
+    from ..indexes.wst import WeightedSuffixTree, _SuffixLetterAccessor
+    from ..strings.trie import CompactedTrie
+
+    with_lcp = meta["family"] == "wst"
+    lcp = container.array(f"{prefix}ps.lcp") if with_lcp else None
+    structure = PropertySuffixStructure.from_arrays(
+        container.array(f"{prefix}ps.text"),
+        container.array(f"{prefix}ps.sa"),
+        lcp,
+        container.array(f"{prefix}ps.rank_positions"),
+        container.array(f"{prefix}ps.rank_valid_lengths"),
+        int(meta["estimation_width"]),
+        int(meta["estimation_length"]),
+    )
+    stats = _stats_from_meta(meta["stats"])
+    if meta["family"] == "wsa":
+        return WeightedSuffixArray(source, z, structure, stats)
+    lengths = len(structure.text) - structure.sa
+    trie = CompactedTrie(
+        lengths, structure.lcp, _SuffixLetterAccessor(structure.text, structure.sa)
+    )
+    return WeightedSuffixTree(source, z, structure, trie, stats)
+
+
+def _unpack_sharded(container: _Container, meta: dict, prefix: str, source, z: float):
+    from ..indexes.sharded import Shard, ShardedIndex
+
+    shards = []
+    indexes = []
+    for number, shard_meta in enumerate(meta["shards"]):
+        start, core_end, end = (int(value) for value in shard_meta["plan"])
+        shards.append(Shard(start=start, core_end=core_end, end=end))
+        shard_source = WeightedString(source.matrix[start:end], source.alphabet)
+        indexes.append(
+            _unpack_body(container, shard_meta, f"{prefix}s{number}.", shard_source, z)
+        )
+    return ShardedIndex(
+        source,
+        z,
+        shards,
+        indexes,
+        meta["kind"],
+        int(meta["max_pattern_len"]),
+        _stats_from_meta(meta["stats"]),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# public API                                                                   #
+# --------------------------------------------------------------------------- #
+def save_index(path, index) -> None:
+    """Write a built index (monolithic or sharded) to a store file."""
+    arrays: dict[str, np.ndarray] = {}
+    body = _pack_body(index, arrays, "")
+    arrays["source"] = index.source.matrix
+    meta = {
+        "z": index.z,
+        "alphabet": list(index.source.alphabet.letters),
+        "body": body,
+    }
+    _write_container(path, meta, arrays)
+
+
+def load_index(path, *, mmap: bool = True):
+    """Reload a stored index; queries work immediately, nothing is rebuilt.
+
+    With ``mmap=True`` (the default) the stored arrays — including the
+    probability matrix — are memory-mapped read-only and paged in on first
+    use; ``mmap=False`` reads them into RAM instead.
+    """
+    container = _Container(path, mmap)
+    meta = container.meta
+    alphabet = Alphabet(meta["alphabet"])
+    source = WeightedString(container.array("source"), alphabet)
+    return _unpack_body(container, meta["body"], "", source, float(meta["z"]))

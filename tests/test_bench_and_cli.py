@@ -155,3 +155,127 @@ class TestCli:
 
     def test_info_requires_a_source(self, capsys):
         assert cli_main(["info"]) == 1
+
+    def test_query_batch_positional_patterns(self, tmp_path, capsys, paper_example):
+        path = tmp_path / "example.pwm"
+        write_pwm(path, paper_example)
+        assert (
+            cli_main(
+                ["query-batch", "--pwm", str(path), "--z", "4", "--kind", "MWSA",
+                 "--ell", "4", "AAAA", "AAAA", "ABAA"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patterns"] == 3
+        assert payload["unique_patterns"] == 2
+        assert payload["occurrences"]["AAAA"] == [0]
+        assert payload["patterns_per_second"] > 0
+
+    def test_query_batch_patterns_file(self, tmp_path, capsys, paper_example):
+        path = tmp_path / "example.pwm"
+        write_pwm(path, paper_example)
+        patterns_file = tmp_path / "patterns.txt"
+        patterns_file.write_text("AAAA\nABAA\n\n")
+        assert (
+            cli_main(
+                ["query-batch", "--pwm", str(path), "--z", "4", "--kind", "MWSA",
+                 "--ell", "4", "--patterns-file", str(patterns_file),
+                 "--no-occurrences"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patterns"] == 2
+        assert "occurrences" not in payload
+
+    def test_query_batch_without_patterns_fails(self, tmp_path, capsys, paper_example):
+        path = tmp_path / "example.pwm"
+        write_pwm(path, paper_example)
+        assert (
+            cli_main(
+                ["query-batch", "--pwm", str(path), "--z", "4", "--kind", "MWSA",
+                 "--ell", "4"]
+            )
+            == 1
+        )
+        assert "no patterns" in capsys.readouterr().err
+
+
+class TestCliStore:
+    def _write_pwm(self, tmp_path, source):
+        path = tmp_path / "example.pwm"
+        write_pwm(path, source)
+        return path
+
+    def test_build_saves_to_store(self, tmp_path, capsys, paper_example):
+        pwm = self._write_pwm(tmp_path, paper_example)
+        store = tmp_path / "example.idx"
+        assert (
+            cli_main(
+                ["build", "--pwm", str(pwm), "--z", "4", "--kind", "MWSA",
+                 "--ell", "4", "--store", str(store)]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"] == str(store)
+        assert store.stat().st_size > 0
+
+    def test_query_loads_from_store(self, tmp_path, capsys, paper_example):
+        pwm = self._write_pwm(tmp_path, paper_example)
+        store = tmp_path / "example.idx"
+        assert (
+            cli_main(
+                ["build", "--pwm", str(pwm), "--z", "4", "--kind", "MWSA",
+                 "--ell", "4", "--store", str(store)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert cli_main(["query", "--store", str(store), "AAAA"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["occurrences"]["AAAA"] == [0]
+        assert payload["index"]["loaded_from_store"] is True
+
+    def test_query_batch_loads_sharded_store(self, tmp_path, capsys, paper_example):
+        pwm = self._write_pwm(tmp_path, paper_example)
+        store = tmp_path / "sharded.idx"
+        assert (
+            cli_main(
+                ["build", "--pwm", str(pwm), "--z", "4", "--kind", "MWSA",
+                 "--ell", "4", "--shards", "2", "--store", str(store)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            cli_main(["query-batch", "--store", str(store), "AAAA", "ABAA"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["occurrences"]["AAAA"] == [0]
+        assert payload["index"]["shards"] == 2
+
+    def test_query_without_store_or_source_fails(self, capsys):
+        assert cli_main(["query", "AAAA"]) == 1
+        assert "either --pwm FILE or --dataset NAME" in capsys.readouterr().err
+
+    def test_query_missing_store_reported_cleanly(self, tmp_path, capsys):
+        assert cli_main(["query", "--store", str(tmp_path / "absent.idx"), "AAAA"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_store_conflicting_build_options_rejected(self, tmp_path, capsys, paper_example):
+        pwm = self._write_pwm(tmp_path, paper_example)
+        store = tmp_path / "example.idx"
+        assert (
+            cli_main(
+                ["build", "--pwm", str(pwm), "--z", "4", "--kind", "MWSA",
+                 "--ell", "4", "--store", str(store)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # A stored index fixes z; silently answering at the stored threshold
+        # while the user asked for another would be wrong.
+        assert cli_main(["query", "--store", str(store), "--z", "16", "AAAA"]) == 1
+        assert "--z" in capsys.readouterr().err

@@ -1,0 +1,157 @@
+"""The binary index store: round trips, memory mapping, format validation."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.indexes import build_index
+from repro.io.store import STORE_FORMAT, load_index, save_index
+
+ALL_KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G", "MWST-SE")
+
+
+@pytest.fixture(scope="module")
+def stored_source():
+    from repro.datasets.synthetic import sparse_uncertainty_string
+
+    return sparse_uncertainty_string(200, 4, delta=0.3, seed=7)
+
+
+def _patterns(source, count=15, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        [int(code) for code in rng.integers(0, source.sigma, size=m)]
+        for m in (4, 5, 7)
+        for _ in range(count // 3)
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_every_kind_round_trips(self, tmp_path, stored_source, kind):
+        index = build_index(stored_source, 4, kind=kind, ell=4)
+        path = tmp_path / f"{kind}.idx"
+        save_index(path, index)
+        loaded = load_index(path)
+        patterns = _patterns(stored_source)
+        assert loaded.match_many(patterns) == index.match_many(patterns)
+        assert loaded.locate(patterns[0]) == index.locate(patterns[0])
+        assert loaded.z == index.z
+        assert loaded.minimum_pattern_length == index.minimum_pattern_length
+
+    def test_loaded_stats_marked_and_preserved(self, tmp_path, stored_source):
+        index = build_index(stored_source, 4, kind="MWSA", ell=4)
+        path = tmp_path / "mwsa.idx"
+        save_index(path, index)
+        loaded = load_index(path)
+        assert loaded.stats.counters["loaded_from_store"] is True
+        assert loaded.stats.index_size_bytes == index.stats.index_size_bytes
+        assert loaded.stats.name == index.stats.name
+
+    def test_mmap_and_ram_modes_agree(self, tmp_path, stored_source):
+        index = build_index(stored_source, 4, kind="MWSA-G", ell=4)
+        path = tmp_path / "grid.idx"
+        save_index(path, index)
+        mapped = load_index(path, mmap=True)
+        in_ram = load_index(path, mmap=False)
+        patterns = _patterns(stored_source)
+        assert mapped.match_many(patterns) == in_ram.match_many(patterns)
+        # The default load memory-maps the probability matrix from the file
+        # (WeightedString re-wraps the array, so check the buffer it's backed by).
+        def file_backed(array) -> bool:
+            while isinstance(array, np.ndarray):
+                if isinstance(array, np.memmap):
+                    return True
+                array = array.base
+            return array is not None and type(array).__name__ == "mmap"
+
+        assert file_backed(mapped.source.matrix)
+        assert not file_backed(in_ram.source.matrix)
+
+    def test_sharded_round_trip(self, tmp_path, stored_source):
+        index = build_index(
+            stored_source, 4, kind="MWSA", ell=4, shards=3, max_pattern_len=10
+        )
+        path = tmp_path / "sharded.idx"
+        save_index(path, index)
+        loaded = load_index(path)
+        patterns = _patterns(stored_source)
+        assert loaded.match_many(patterns) == index.match_many(patterns)
+        assert loaded.maximum_pattern_length == 10
+        assert [
+            (shard.start, shard.core_end, shard.end) for shard in loaded.shards
+        ] == [(shard.start, shard.core_end, shard.end) for shard in index.shards]
+
+    def test_exact_probability_round_trip(self, tmp_path, stored_source):
+        index = build_index(stored_source, 4, kind="WSA")
+        path = tmp_path / "wsa.idx"
+        save_index(path, index)
+        loaded = load_index(path)
+        assert np.array_equal(
+            np.asarray(loaded.source.matrix), stored_source.matrix
+        )
+
+
+class TestFormatValidation:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.idx"
+        path.write_bytes(b"NOTANIDX" + b"\x00" * 32)
+        with pytest.raises(SerializationError, match="bad magic"):
+            load_index(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="cannot read"):
+            load_index(tmp_path / "absent.idx")
+
+    def _write_header_only(self, path, header: dict) -> None:
+        header_bytes = json.dumps(header).encode("utf-8")
+        path.write_bytes(
+            b"RPROIDX\n" + struct.pack("<Q", len(header_bytes)) + header_bytes
+        )
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "future.idx"
+        self._write_header_only(
+            path, {"format": STORE_FORMAT, "version": 99, "meta": {}, "arrays": {}}
+        )
+        with pytest.raises(SerializationError, match="version"):
+            load_index(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.idx"
+        self._write_header_only(
+            path, {"format": "someone.elses", "version": 1, "meta": {}, "arrays": {}}
+        )
+        with pytest.raises(SerializationError, match="format"):
+            load_index(path)
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.idx"
+        path.write_bytes(b"RPROIDX\n" + struct.pack("<Q", 10) + b"not json!!")
+        with pytest.raises(SerializationError, match="corrupt"):
+            load_index(path)
+
+    def test_unknown_family_rejected(self, tmp_path):
+        path = tmp_path / "family.idx"
+        self._write_header_only(
+            path,
+            {
+                "format": STORE_FORMAT,
+                "version": 1,
+                "meta": {
+                    "z": 4,
+                    "alphabet": ["A", "B"],
+                    "body": {"family": "martian"},
+                },
+                "arrays": {
+                    "source": {"dtype": "<f8", "shape": [0, 2], "offset": 0}
+                },
+            },
+        )
+        with pytest.raises(SerializationError, match="family"):
+            load_index(path)

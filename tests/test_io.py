@@ -153,3 +153,35 @@ class TestJsonSerialisation:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(SerializationError):
             load_weighted_string(tmp_path / "absent.json")
+
+    def test_probabilities_roundtrip_at_full_float64_precision(self, tmp_path):
+        from repro.core.alphabet import Alphabet
+        from repro.core.weighted_string import WeightedString
+
+        # Awkward irrational-ish rows whose sums are 1 only up to float error;
+        # the reload must reproduce every entry bit for bit (no renormalising).
+        rng = np.random.default_rng(17)
+        matrix = rng.random((40, 3))
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        original = WeightedString(matrix, Alphabet("ABC"))
+        path = tmp_path / "precise.json"
+        save_weighted_string(path, original)
+        loaded = load_weighted_string(path)
+        assert np.array_equal(loaded.matrix, original.matrix)
+
+    def test_unsupported_version_rejected_with_clear_error(self, tmp_path, paper_example):
+        import json
+
+        path = tmp_path / "future.json"
+        save_weighted_string(path, paper_example)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError, match="unsupported version 99"):
+            load_weighted_string(path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SerializationError, match="JSON object"):
+            load_weighted_string(path)

@@ -3,9 +3,11 @@
 A seeded randomized sweep over alphabet size σ, threshold z (integral and
 fractional) and window length ℓ: for each generated weighted string, all six
 index variants (WST, WSA, MWST, MWSA, MWST-G, MWSA-G) plus the
-space-efficient construction and the batch engine must return exactly the
-brute-force ``Occ_{1/z}`` oracle on a mixed pattern workload (valid samples
-from the z-estimation, uniform random patterns, and mutated valid patterns).
+space-efficient construction, the sharded architecture (a 3-shard MWSA whose
+overlap makes boundary-straddling patterns exact) and the batch engine must
+return exactly the brute-force ``Occ_{1/z}`` oracle on a mixed pattern
+workload (valid samples from the z-estimation, uniform random patterns, and
+mutated valid patterns).
 
 With 54 seeded cases and every variant checked in each, this exceeds the
 50-cases-per-variant bar and pins the query semantics while hot paths are
@@ -23,8 +25,9 @@ from repro.core.weighted_string import WeightedString
 from repro.datasets.patterns import mutate_pattern, sample_valid_patterns
 from repro.indexes import brute_force_occurrences, build_index
 
-#: The paper's six variants plus the space-efficient construction.
-VARIANTS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G", "MWST-SE")
+#: The paper's six variants, the space-efficient construction, and the
+#: sharded architecture (built as 3 overlapping MWSA shards).
+VARIANTS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G", "MWST-SE", "SHARDED")
 BASELINES = ("WST", "WSA")
 
 #: (σ, z, ℓ, n) sweeps; z includes fractional thresholds.
@@ -100,7 +103,12 @@ def test_all_variants_match_brute_force_oracle(sigma, z, ell, n, seed):
         for pattern in patterns
     }
     for kind in VARIANTS:
-        index = build_index(source, z, kind=kind, ell=ell, estimation=estimation)
+        if kind == "SHARDED":
+            index = build_index(
+                source, z, kind="MWSA", ell=ell, shards=3, max_pattern_len=2 * ell
+            )
+        else:
+            index = build_index(source, z, kind=kind, ell=ell, estimation=estimation)
         supported = [
             pattern
             for pattern in patterns

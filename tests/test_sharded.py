@@ -1,0 +1,209 @@
+"""Sharded index architecture: planning, equivalence, parallel builds.
+
+The oracle-equivalence cases assert the ISSUE-2 acceptance criterion:
+``ShardedIndex`` answers are identical to the monolithic index and to brute
+force across shard counts {1, 2, 7}, including patterns that straddle shard
+boundaries.  The wall-clock speedup demonstration runs only on machines with
+at least 4 cores (CI runners); single-core boxes still exercise the
+multiprocessing path for correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError, PatternError
+from repro.indexes import (
+    ConstructionPipeline,
+    ShardedIndex,
+    brute_force_occurrences,
+    build_index,
+    plan_shards,
+)
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def _source(factory, n=60, sigma=3, seed=5):
+    return factory(n, sigma=sigma, uncertain_fraction=0.5, seed=seed)
+
+
+class TestPlanShards:
+    def test_cores_partition_the_input(self):
+        shards = plan_shards(100, 7, overlap=9)
+        assert shards[0].start == 0
+        assert shards[-1].core_end == 100
+        for left, right in zip(shards, shards[1:]):
+            assert left.core_end == right.start
+        for shard in shards:
+            assert shard.end == min(shard.core_end + 9, 100)
+
+    def test_more_shards_than_positions(self):
+        shards = plan_shards(3, 10, overlap=2)
+        assert len(shards) == 3
+        assert [shard.start for shard in shards] == [0, 1, 2]
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ConstructionError):
+            plan_shards(10, 0, overlap=1)
+        with pytest.raises(ConstructionError):
+            plan_shards(10, 2, overlap=-1)
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    @pytest.mark.parametrize("kind", ("MWSA", "WSA"))
+    def test_matches_monolithic_and_brute_force(
+        self, random_weighted_string_factory, shard_count, kind
+    ):
+        source = _source(random_weighted_string_factory)
+        z, ell = 4.0, 4
+        mono = build_index(source, z, kind=kind, ell=ell)
+        sharded = build_index(
+            source, z, kind=kind, ell=ell, shards=shard_count, max_pattern_len=2 * ell
+        )
+        rng = np.random.default_rng(shard_count)
+        patterns = [
+            [int(code) for code in rng.integers(0, source.sigma, size=m)]
+            for m in (ell, ell + 2, 2 * ell)
+            for _ in range(4)
+        ]
+        # Boundary-straddling patterns: factors of the heavy string centred on
+        # every shard boundary, so each one spans two cores.
+        heavy = source.heavy_codes()
+        for shard in sharded.shards[1:]:
+            boundary = shard.start
+            start = max(0, boundary - ell + 1)
+            stop = min(len(source), boundary + ell - 1)
+            if stop - start >= ell:
+                patterns.append([int(code) for code in heavy[start:stop]])
+        for pattern in patterns:
+            expected = brute_force_occurrences(source, pattern, z)
+            assert mono.locate(pattern) == expected
+            assert sharded.locate(pattern) == expected, (
+                f"{kind} x{shard_count} disagrees on {pattern}"
+            )
+        assert sharded.match_many(patterns) == mono.match_many(patterns)
+
+    def test_single_shard_equals_monolithic_sizes(self, random_weighted_string_factory):
+        source = _source(random_weighted_string_factory)
+        mono = build_index(source, 4, kind="MWSA", ell=4)
+        sharded = build_index(source, 4, kind="MWSA", ell=4, shards=1)
+        assert sharded.stats.index_size_bytes == mono.stats.index_size_bytes
+        assert sharded.stats.counters["shards"] == 1
+
+    def test_grid_variant_shards(self, random_weighted_string_factory):
+        source = _source(random_weighted_string_factory, n=50)
+        z, ell = 4.0, 4
+        mono = build_index(source, z, kind="MWSA-G", ell=ell)
+        sharded = build_index(source, z, kind="MWSA-G", ell=ell, shards=3)
+        rng = np.random.default_rng(9)
+        patterns = [
+            [int(code) for code in rng.integers(0, source.sigma, size=m)]
+            for m in (ell, 2 * ell - 1)
+            for _ in range(5)
+        ]
+        assert sharded.match_many(patterns) == mono.match_many(patterns)
+
+
+class TestShardedValidation:
+    def test_pattern_longer_than_overlap_rejected(self, random_weighted_string_factory):
+        source = _source(random_weighted_string_factory)
+        sharded = build_index(
+            source, 4, kind="MWSA", ell=4, shards=2, max_pattern_len=6
+        )
+        assert sharded.maximum_pattern_length == 6
+        too_long = [0] * 7
+        with pytest.raises(PatternError):
+            sharded.locate(too_long)
+        with pytest.raises(PatternError):
+            sharded.match_many([[0] * 6, too_long])
+
+    def test_needs_max_pattern_len_or_ell(self, random_weighted_string_factory):
+        source = _source(random_weighted_string_factory)
+        with pytest.raises(ConstructionError):
+            ShardedIndex.build(source, 4, kind="WSA", shard_count=2)
+        index = ShardedIndex.build(
+            source, 4, kind="WSA", shard_count=2, max_pattern_len=5
+        )
+        assert index.minimum_pattern_length == 1
+        pattern = [0, 1]
+        assert index.locate(pattern) == brute_force_occurrences(source, pattern, 4)
+
+    def test_unknown_inner_kind_rejected(self, random_weighted_string_factory):
+        source = _source(random_weighted_string_factory)
+        with pytest.raises(ConstructionError):
+            build_index(source, 4, kind="NOPE", ell=4, shards=2)
+
+
+class TestParallelBuild:
+    def test_parallel_build_matches_serial(self, random_weighted_string_factory):
+        source = _source(random_weighted_string_factory, n=80)
+        serial = build_index(source, 4, kind="MWSA", ell=4, shards=4)
+        parallel = build_index(source, 4, kind="MWSA", ell=4, shards=4, workers=2)
+        rng = np.random.default_rng(3)
+        patterns = [
+            [int(code) for code in rng.integers(0, source.sigma, size=5)]
+            for _ in range(10)
+        ]
+        assert parallel.match_many(patterns) == serial.match_many(patterns)
+        assert parallel.stats.counters["workers"] == 2
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="the wall-clock speedup demonstration needs at least 4 cores",
+    )
+    def test_parallel_build_beats_single_shard_wall_clock(self):
+        from repro.datasets.synthetic import sparse_uncertainty_string
+
+        source = sparse_uncertainty_string(20_000, 4, delta=0.1, seed=11)
+        z, ell = 16.0, 32
+        started = time.perf_counter()
+        single = build_index(source, z, kind="MWSA", ell=ell, shards=1)
+        single_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        sharded = build_index(
+            source, z, kind="MWSA", ell=ell, shards=8, workers=4
+        )
+        sharded_seconds = time.perf_counter() - started
+        assert sharded_seconds < single_seconds, (
+            f"parallel sharded build took {sharded_seconds:.2f}s, "
+            f"single-shard build {single_seconds:.2f}s"
+        )
+        rng = np.random.default_rng(1)
+        patterns = [
+            [int(code) for code in rng.integers(0, source.sigma, size=ell)]
+            for _ in range(20)
+        ]
+        assert sharded.match_many(patterns) == single.match_many(patterns)
+
+
+class TestConstructionPipeline:
+    def test_stages_are_shared(self, random_weighted_string_factory):
+        source = _source(random_weighted_string_factory)
+        pipeline = ConstructionPipeline(source, 4, ell=4)
+        first = pipeline.estimation()
+        assert pipeline.estimation() is first
+        data = pipeline.index_data()
+        assert pipeline.index_data() is data
+        wsa = pipeline.build("WSA")
+        mwsa = pipeline.build("MWSA")
+        mwst_g = pipeline.build("MWST-G")
+        assert mwsa.data is data and mwst_g.data is data
+        pattern = [0, 1, 0, 1]
+        expected = brute_force_occurrences(source, pattern, 4)
+        for index in (wsa, mwsa, mwst_g):
+            assert index.locate(pattern) == expected
+
+    def test_pipeline_requires_ell_for_minimizer_stages(
+        self, random_weighted_string_factory
+    ):
+        source = _source(random_weighted_string_factory)
+        pipeline = ConstructionPipeline(source, 4)
+        assert pipeline.build("WSA").locate([0]) is not None
+        with pytest.raises(ConstructionError):
+            pipeline.index_data()
