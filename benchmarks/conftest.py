@@ -18,8 +18,38 @@ if str(SOURCE_ROOT) not in sys.path:  # allow running without installation
     sys.path.insert(0, str(SOURCE_ROOT))
 
 from repro.bench.harness import SCALES  # noqa: E402
+from repro.bench.metadata import run_metadata  # noqa: E402
 from repro.core.estimation import build_z_estimation  # noqa: E402
 from repro.datasets.registry import load_dataset  # noqa: E402
+
+
+#: Metadata fields stable across runs on one machine/toolchain.  Only these
+#: belong in ``machine_info`` — pytest-benchmark warns whenever a compared
+#: run's machine_info differs, so per-run fields (timestamp, git sha) would
+#: turn every ``--benchmark-compare`` into a spurious mismatch warning.
+_STABLE_MACHINE_KEYS = (
+    "python_version",
+    "python_implementation",
+    "numpy_version",
+    "platform",
+    "machine",
+    "cpu_count",
+)
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Add the stable toolchain facts to every saved ``machine_info``."""
+    metadata = run_metadata()
+    machine_info.update({key: metadata[key] for key in _STABLE_MACHINE_KEYS})
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp the full run metadata (git sha, timestamp, versions) on the JSON.
+
+    Keeps ``BENCH_*.json`` trajectories attributable across machines and
+    commits without polluting the comparison-sensitive ``machine_info``.
+    """
+    output_json["run_metadata"] = run_metadata()
 
 
 @pytest.fixture(scope="session")

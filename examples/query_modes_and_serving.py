@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Query modes and the serving layer: rich results over one index.
+
+Every index variant answers every query mode through the unified planner:
+
+* ``locate``       — the classic sorted occurrence positions;
+* ``locate_probs`` — positions plus their exact occurrence probabilities;
+* ``topk``         — the k most probable occurrences, ranked;
+* ``count`` / ``exists`` — cardinality-only answers;
+* per-query ``z`` overrides and multi-z sweeps.
+
+The second half fronts the index with a cached ``QueryService`` — the
+serving building block behind ``python -m repro.cli serve`` — and shows the
+cache statistics after a skewed request stream.
+
+Run with:  python examples/query_modes_and_serving.py
+"""
+
+from __future__ import annotations
+
+from repro import WeightedString
+from repro.indexes import Query, build_index
+from repro.service import QueryService
+
+
+def main() -> None:
+    # The paper's Example 1 string (length 6 over {A, B}), indexed at z = 4.
+    uncertain = WeightedString.from_dicts(
+        [
+            {"A": 1.0},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.75, "B": 0.25},
+            {"A": 0.8, "B": 0.2},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.25, "B": 0.75},
+        ]
+    )
+    index = build_index(uncertain, 4, kind="MWSA", ell=2)
+
+    # --- Rich query modes -------------------------------------------------
+    print("locate       :", index.locate("AB"))
+    print("locate_probs :", index.locate_probs("AB"))
+    print("topk (k=2)   :", index.topk("AB", 2))
+    print("count / exists:", index.count("AB"), index.exists("BBBB"))
+
+    # Per-query threshold override: answer at a stricter 1/z without rebuilding.
+    strict = index.query("AB", z=2)
+    print("locate at z=2:", strict.positions)
+
+    # Multi-z sweep: one request, one sub-result per threshold.
+    sweep = index.query("AB", mode="count", zs=(2, 3, 4))
+    print("count sweep  :", [(result.z, result.count) for result in sweep.sweep])
+
+    # --- The serving layer ------------------------------------------------
+    service = QueryService(index, cache_size=64)
+    hot, cold = "AB", "BA"
+    for pattern in [hot, hot, cold, hot, hot, cold, hot]:  # skewed traffic
+        service.query(pattern)
+    service.query(Query(hot, mode="topk", k=1))  # a different mode: new entry
+    stats = service.stats()
+    print(
+        f"service      : {stats['queries']} queries, "
+        f"hit rate {stats['hit_rate']:.0%}, {stats['entries']} cached results"
+    )
+
+
+if __name__ == "__main__":
+    main()

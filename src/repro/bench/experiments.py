@@ -39,6 +39,7 @@ __all__ = [
     "fig15",
     "fig16",
     "shardscale",
+    "servemix",
     "ALL_EXPERIMENTS",
     "run_all",
 ]
@@ -523,6 +524,80 @@ def shardscale(scale="tiny") -> ExperimentResult:
     )
 
 
+# --------------------------------------------------------------------------- #
+# Serving mix through the cached QueryService (not a paper figure)              #
+# --------------------------------------------------------------------------- #
+def servemix(scale="tiny") -> ExperimentResult:
+    """Skewed serving traffic through ``QueryService``, cache on vs off.
+
+    Not a paper figure: this experiment tracks the serving layer.  A Zipf
+    request stream (a few hot patterns dominating, the shape of production
+    query traffic) is answered through a :class:`~repro.service.QueryService`
+    twice — with the LRU result cache disabled and enabled — and the rows
+    report throughput, hit rate and evictions.  The cached run must answer
+    identically and, on any skewed mix, faster.
+    """
+    import time
+
+    from ..datasets.patterns import (
+        sample_random_patterns,
+        sample_valid_patterns,
+        sample_zipf_workload,
+    )
+    from ..datasets.synthetic import sparse_uncertainty_string
+    from ..indexes import build_index
+    from ..service import QueryService
+
+    scale = _resolve_scale(scale)
+    z, ell, kind = 8.0, 16, "MWSA"
+    source = sparse_uncertainty_string(scale.shard_length, 4, delta=0.1, seed=11)
+    index = build_index(source, z, kind=kind, ell=ell)
+    pool_size = scale.serve_unique_patterns
+    valid_count = (7 * pool_size) // 10
+    pool = sample_valid_patterns(source, z, m=ell, count=valid_count, seed=1)
+    pool += sample_random_patterns(source, m=ell, count=pool_size - valid_count, seed=2)
+    requests = sample_zipf_workload(
+        pool, scale.serve_request_count, s=scale.serve_zipf_s, seed=7
+    )
+    rows = []
+    baseline_results = None
+    for enabled in (False, True):
+        service = QueryService(
+            index, cache_size=2 * pool_size, cache_enabled=enabled
+        )
+        started = time.perf_counter()
+        results = [service.query(pattern) for pattern in requests]
+        elapsed = time.perf_counter() - started
+        answers = [result.positions for result in results]
+        if baseline_results is None:
+            baseline_results = answers
+        stats = service.stats()
+        rows.append(
+            {
+                "dataset": "SYN-SPARSE",
+                "n": len(source),
+                "index": kind,
+                "cache": "on" if enabled else "off",
+                "requests": len(requests),
+                "unique_patterns": pool_size,
+                "zipf_s": scale.serve_zipf_s,
+                "elapsed_seconds": elapsed,
+                "queries_per_second": len(requests) / elapsed if elapsed else None,
+                "hit_rate": stats["hit_rate"],
+                "evictions": stats["evictions"],
+                "matches_uncached": answers == baseline_results,
+            }
+        )
+    text = "Serving mix — QueryService, Zipf traffic, cache off vs on\n" + format_table(
+        rows,
+        ["cache", "requests", "unique_patterns", "queries_per_second",
+         "hit_rate", "evictions", "matches_uncached"],
+    )
+    return ExperimentResult(
+        "servemix", "Cached serving throughput on a skewed pattern mix", rows, text
+    )
+
+
 #: All experiments in paper order.
 ALL_EXPERIMENTS = {
     "table2": table2,
@@ -538,6 +613,7 @@ ALL_EXPERIMENTS = {
     "fig15": fig15,
     "fig16": fig16,
     "shardscale": shardscale,
+    "servemix": servemix,
 }
 
 

@@ -46,6 +46,11 @@ class BenchScale:
     shard_length: int = 2_000
     shard_counts: tuple = (1, 2, 4)
     shard_workers: tuple = (1, 2)
+    #: Serving-mix experiment: request count, hot-pattern pool size and the
+    #: Zipf skew exponent of the request stream.
+    serve_request_count: int = 600
+    serve_unique_patterns: int = 60
+    serve_zipf_s: float = 1.2
 
     def dataset(self, name: str, *, seed: int | None = None) -> WeightedString:
         """Load a dataset at this scale."""
@@ -79,6 +84,8 @@ SCALES: dict[str, BenchScale] = {
         shard_length=2_000,
         shard_counts=(1, 2, 4),
         shard_workers=(1, 2),
+        serve_request_count=600,
+        serve_unique_patterns=60,
     ),
     "small": BenchScale(
         name="small",
@@ -97,6 +104,8 @@ SCALES: dict[str, BenchScale] = {
         shard_length=20_000,
         shard_counts=(1, 2, 4, 8),
         shard_workers=(1, 4),
+        serve_request_count=5_000,
+        serve_unique_patterns=200,
     ),
     "paper": BenchScale(
         name="paper",
@@ -120,6 +129,8 @@ SCALES: dict[str, BenchScale] = {
         shard_length=200_000,
         shard_counts=(1, 2, 4, 8, 16),
         shard_workers=(1, 4, 8),
+        serve_request_count=50_000,
+        serve_unique_patterns=1_000,
     ),
 }
 

@@ -1,16 +1,25 @@
-"""Command-line interface: build indexes, run queries, inspect datasets.
+"""Command-line interface: build indexes, run queries, inspect datasets, serve.
 
-Installed as the ``repro-uncertain`` console script.  Four sub-commands:
+Installed as the ``repro-uncertain`` console script.  Five sub-commands:
 
 * ``info``        — Table 2-style characteristics of a named or PWM-file dataset;
 * ``build``       — build an index (optionally sharded via ``--shards`` /
   ``--workers``) and report its statistics; ``--store FILE`` saves the built
   index to the binary index store;
-* ``query``       — locate patterns; the index is either built on the spot or
+* ``query``       — answer patterns in any query mode (``--mode`` /
+  ``--topk`` / ``--probs``); the index is either built on the spot or
   reloaded from a store file with ``--store`` (no rebuild);
 * ``query-batch`` — answer a whole pattern batch through the vectorised
-  batch engine (fanning out across shards for sharded indexes) and report
-  throughput alongside the occurrences.
+  query planner (fanning out across shards for sharded indexes) and report
+  throughput alongside the results;
+* ``serve``       — a line-oriented stdin/stdout JSON query loop over a
+  cached :class:`~repro.service.QueryService` (one request per line, one
+  JSON response per line).
+
+``--json`` on the query sub-commands switches to a stable machine-readable
+schema (positions, probabilities, timing, planner statistics).  Exit codes:
+0 on success, 2 for malformed patterns (:class:`~repro.errors.PatternError`),
+1 for every other usage error.
 
 The CLI is intentionally small: it exposes the library's public API for shell
 pipelines and smoke tests; programmatic users should import :mod:`repro`.
@@ -25,10 +34,11 @@ import time
 
 from .core.weighted_string import WeightedString
 from .datasets.registry import DATASETS, dataset_characteristics, load_dataset
-from .errors import ReproError
-from .indexes import INDEX_CLASSES, BatchQueryEngine, build_index
+from .errors import PatternError, ReproError
+from .indexes import INDEX_CLASSES, Query, QueryMode, QueryPlanner, build_index
 from .io.pwm import read_pwm
 from .io.store import load_index, save_index
+from .service import QueryService
 
 __all__ = ["main", "build_parser"]
 
@@ -122,6 +132,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(sets the shard overlap; default: 2*ell)",
         )
 
+    def add_query_mode_arguments(sub) -> None:
+        sub.add_argument(
+            "--mode",
+            choices=[mode.value for mode in QueryMode],
+            help="query mode (default: locate)",
+        )
+        sub.add_argument(
+            "--topk", type=int, metavar="K",
+            help="report the K most probable occurrences (implies --mode topk)",
+        )
+        sub.add_argument(
+            "--probs", action="store_true",
+            help="report occurrence probabilities (implies --mode locate_probs)",
+        )
+        sub.add_argument(
+            "--json", action="store_true",
+            help="machine-readable output: positions, probabilities, timing, "
+            "planner statistics (stable schema)",
+        )
+
     build = subparsers.add_parser("build", help="build an index and print its statistics")
     add_build_arguments(build)
     build.add_argument(
@@ -129,22 +159,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     query = subparsers.add_parser(
-        "query", help="locate patterns (building the index or loading it from a store)"
+        "query", help="answer patterns (building the index or loading it from a store)"
     )
     add_build_arguments(query, source_required=False)
     query.add_argument(
         "--store", help="load the index from this store file instead of building"
     )
+    add_query_mode_arguments(query)
     query.add_argument("patterns", nargs="+", help="patterns to locate (text over the alphabet)")
 
     batch = subparsers.add_parser(
         "query-batch",
-        help="answer a pattern batch through the vectorised engine",
+        help="answer a pattern batch through the vectorised query planner",
     )
     add_build_arguments(batch, source_required=False)
     batch.add_argument(
         "--store", help="load the index from this store file instead of building"
     )
+    add_query_mode_arguments(batch)
     batch.add_argument(
         "--patterns-file",
         help="file with one pattern per line (text over the alphabet)",
@@ -156,6 +188,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "patterns", nargs="*", help="patterns to locate (text over the alphabet)"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="line-oriented JSON query loop over stdin/stdout (cached serving)",
+    )
+    add_build_arguments(serve, source_required=False)
+    serve.add_argument(
+        "--store", help="load the index from this store file instead of building"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache capacity (default: 1024 results)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
     )
 
     return parser
@@ -186,10 +234,62 @@ def _command_build(arguments) -> dict:
     return report
 
 
+def _resolve_query_mode(arguments) -> tuple[str, int | None]:
+    """The effective query mode and k from --mode / --topk / --probs."""
+    mode = arguments.mode
+    k = arguments.topk
+    if k is not None:
+        if mode not in (None, "topk"):
+            raise ReproError(f"--topk cannot be combined with --mode {mode}")
+        mode = "topk"
+    elif mode == "topk":
+        raise ReproError("--mode topk needs --topk K")
+    if arguments.probs:
+        if mode not in (None, "locate", "locate_probs"):
+            raise ReproError(f"--probs cannot be combined with --mode {mode}")
+        mode = "locate_probs"
+    return mode or "locate", k
+
+
+def _machine_report(index, mode: str, results, elapsed: float, **extra) -> dict:
+    """The stable --json schema shared by ``query`` and ``query-batch``."""
+    report = {
+        "schema": "repro.query.v1",
+        "mode": mode,
+        "elapsed_seconds": elapsed,
+        "index": {
+            "name": index.stats.name,
+            "z": index.z,
+            "length": len(index.source),
+        },
+        "results": [result.as_dict() for result in results],
+    }
+    report.update(extra)
+    return report
+
+
 def _command_query(arguments) -> dict:
     index = _obtain_index(arguments)
-    occurrences = {pattern: index.locate(pattern) for pattern in arguments.patterns}
-    return {"index": index.stats.as_dict(), "occurrences": occurrences}
+    mode, k = _resolve_query_mode(arguments)
+    queries = [Query(pattern, mode=mode, k=k) for pattern in arguments.patterns]
+    started = time.perf_counter()
+    results = index.query_many(queries)
+    elapsed = time.perf_counter() - started
+    if arguments.json:
+        return _machine_report(index, mode, results, elapsed)
+    report = {"index": index.stats.as_dict()}
+    if mode == "locate":
+        report["occurrences"] = {
+            pattern: result.positions
+            for pattern, result in zip(arguments.patterns, results)
+        }
+    else:
+        report["mode"] = mode
+        report["results"] = {
+            pattern: result.as_dict()
+            for pattern, result in zip(arguments.patterns, results)
+        }
+    return report
 
 
 def _command_query_batch(arguments) -> dict:
@@ -203,23 +303,108 @@ def _command_query_batch(arguments) -> dict:
     if not patterns:
         raise ReproError("no patterns given (positional or --patterns-file)")
     index = _obtain_index(arguments)
-    engine = BatchQueryEngine(index)
+    mode, k = _resolve_query_mode(arguments)
+    planner = QueryPlanner(index)
     started = time.perf_counter()
-    results = engine.match_many(patterns)
+    results = planner.execute([Query(pattern, mode=mode, k=k) for pattern in patterns])
     elapsed = time.perf_counter() - started
-    report = {
-        "index": index.stats.as_dict(),
-        "patterns": engine.last_stats.get("patterns", len(patterns)),
-        "unique_patterns": engine.last_stats.get("unique_patterns", len(patterns)),
-        "total_occurrences": sum(len(result) for result in results),
+    stats = planner.last_stats
+    throughput = {
+        "patterns": stats.get("patterns", len(patterns)),
+        "unique_patterns": stats.get("unique_patterns", len(patterns)),
+        "strategy": stats.get("strategy"),
+        "total_occurrences": sum(result.count or 0 for result in results),
         "elapsed_seconds": elapsed,
         "patterns_per_second": len(patterns) / elapsed if elapsed > 0 else None,
     }
+    if arguments.json:
+        return _machine_report(index, mode, results, elapsed, **throughput)
+    report = {"index": index.stats.as_dict(), **throughput}
     if not arguments.no_occurrences:
-        report["occurrences"] = {
-            pattern: result for pattern, result in zip(patterns, results)
-        }
+        if mode == "locate":
+            report["occurrences"] = {
+                pattern: result.positions
+                for pattern, result in zip(patterns, results)
+            }
+        else:
+            report["mode"] = mode
+            report["results"] = {
+                pattern: result.as_dict()
+                for pattern, result in zip(patterns, results)
+            }
     return report
+
+
+def _serve_request(service: QueryService, line: str) -> dict:
+    """Answer one line of the serve protocol (never raises for bad requests)."""
+    try:
+        if line == "stats":
+            return {"stats": service.stats()}
+        if line.startswith("{"):
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(f"invalid JSON request: {error}") from error
+            if not isinstance(request, dict):
+                raise ReproError("a JSON request must be an object")
+            if request.get("cmd") == "stats":
+                return {"stats": service.stats()}
+            pattern = request.get("pattern")
+            if pattern is None:
+                raise ReproError("a JSON request needs a 'pattern' field")
+            zs = request.get("zs")
+            query = Query(
+                pattern,
+                mode=request.get("mode", "locate"),
+                k=request.get("k"),
+                z=request.get("z"),
+                # An explicitly given empty sweep must raise, not silently
+                # degrade to a single-z answer of the wrong shape.
+                zs=None if zs is None else tuple(zs),
+            )
+        else:
+            query = Query(line)
+        hits_before = service.hits
+        started = time.perf_counter()
+        result = service.query(query)
+        micros = 1e6 * (time.perf_counter() - started)
+        response = result.as_dict()
+        response["cached"] = service.hits > hits_before
+        response["micros"] = round(micros, 3)
+        return response
+    except (ReproError, TypeError, ValueError) as error:
+        # TypeError/ValueError cover structurally broken requests (wrong
+        # field types, unhashable patterns): a serving loop must survive any
+        # input line, not just well-typed-but-invalid ones.
+        return {"error": str(error), "request": line}
+
+
+def _command_serve(arguments) -> None:
+    """The stdin/stdout serving loop (one JSON response line per request line).
+
+    Protocol: a bare line is a ``locate`` query for that pattern; a JSON
+    object line may carry ``pattern`` / ``mode`` / ``k`` / ``z`` / ``zs``
+    fields (or ``{"cmd": "stats"}``); the literal line ``stats`` reports the
+    service counters.  Malformed requests produce an ``{"error": ...}`` line
+    and the loop continues.  On end of input a final ``{"stats": ...}`` line
+    is emitted.
+    """
+    index = _obtain_index(arguments)
+    service = QueryService(
+        index,
+        cache_size=arguments.cache_size,
+        cache_enabled=not arguments.no_cache,
+    )
+    stdout = sys.stdout
+    for raw in sys.stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        stdout.write(json.dumps(_serve_request(service, line)) + "\n")
+        stdout.flush()
+    stdout.write(json.dumps({"stats": service.stats()}) + "\n")
+    stdout.flush()
+    return None
 
 
 def main(argv=None) -> int:
@@ -231,13 +416,18 @@ def main(argv=None) -> int:
         "build": _command_build,
         "query": _command_query,
         "query-batch": _command_query_batch,
+        "serve": _command_serve,
     }
     try:
         result = handlers[arguments.command](arguments)
+    except PatternError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    print(json.dumps(result, indent=2, default=str))
+    if result is not None:
+        print(json.dumps(result, indent=2, default=str))
     return 0
 
 

@@ -19,6 +19,7 @@ __all__ = [
     "paper_pattern_count",
     "sample_valid_patterns",
     "sample_random_patterns",
+    "sample_zipf_workload",
     "mutate_pattern",
 ]
 
@@ -90,6 +91,33 @@ def sample_random_patterns(
         [int(code) for code in rng.integers(0, source.sigma, size=m)]
         for _ in range(count)
     ]
+
+
+def sample_zipf_workload(
+    patterns: list,
+    count: int,
+    *,
+    s: float = 1.2,
+    seed: int | None = None,
+) -> list:
+    """A skewed request stream over a pattern pool (serving-workload model).
+
+    Draws ``count`` requests where the pattern of rank ``r`` (1-based, in
+    pool order) is requested with probability proportional to ``1/r^s`` —
+    the classic Zipf model of production query traffic, in which a few hot
+    patterns dominate.  This is the workload of the ``servemix`` experiment
+    and :mod:`benchmarks.bench_query_service`.
+    """
+    if not patterns:
+        raise DatasetError("the pattern pool of a Zipf workload cannot be empty")
+    if count < 0:
+        raise DatasetError("request count must be non-negative")
+    ranks = np.arange(1, len(patterns) + 1, dtype=np.float64)
+    weights = ranks ** (-float(s))
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(patterns), size=count, p=weights)
+    return [patterns[int(pick)] for pick in picks]
 
 
 def mutate_pattern(

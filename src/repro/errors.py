@@ -33,6 +33,15 @@ class PatternError(ReproError):
     """
 
 
+class QueryError(ReproError):
+    """A query request is malformed or asks more than the index can answer.
+
+    Raised for invalid mode/parameter combinations (``topk`` without ``k``)
+    and for per-query threshold overrides looser than the threshold the
+    index was built for (occurrences below ``1/z`` are not indexed).
+    """
+
+
 class ConstructionError(ReproError):
     """An index could not be constructed from the given inputs."""
 

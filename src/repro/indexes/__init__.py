@@ -19,10 +19,14 @@ SHARDED      Any of the above, built per overlapping chunk in parallel and
 
 Construction goes through the central factory in :mod:`.registry`
 (:func:`build_index`, :class:`ConstructionPipeline`); built indexes persist
-through the binary store in :mod:`repro.io.store`.
+through the binary store in :mod:`repro.io.store`.  Every query — any mode
+(``exists`` / ``count`` / ``locate`` / ``locate_probs`` / ``topk``), scalar
+or batched, on any variant — executes through the unified planner in
+:mod:`.query`; :mod:`repro.service` adds the cached serving layer on top.
 """
 
 from .base import (
+    EMPTY_PATTERN_MESSAGE,
     UncertainStringIndex,
     brute_force_occurrences,
     coerce_pattern,
@@ -43,6 +47,7 @@ from .mwst import (
     MinimizerWST,
 )
 from .property_structures import PropertySuffixStructure
+from .query import ExecutionPlan, Query, QueryMode, QueryPlanner, QueryResult
 from .registry import (
     INDEX_CLASSES,
     REGISTRY,
@@ -58,6 +63,7 @@ from .sharded import Shard, ShardedIndex, plan_shards
 from .space import DEFAULT_SPACE_MODEL, ConstructionTracker, IndexStats, SpaceModel
 from .verification import (
     HeavyMismatchVerifier,
+    exact_occurrence_products,
     verify_against_source,
     verify_candidate_batches,
     verify_candidates_against_source,
@@ -72,6 +78,12 @@ __all__ = [
     "brute_force_occurrences",
     "coerce_pattern",
     "coerce_pattern_array",
+    "EMPTY_PATTERN_MESSAGE",
+    "Query",
+    "QueryMode",
+    "QueryResult",
+    "QueryPlanner",
+    "ExecutionPlan",
     "WeightedSuffixTree",
     "WeightedSuffixArray",
     "MinimizerWST",
@@ -90,6 +102,7 @@ __all__ = [
     "build_index_data_from_estimation",
     "build_index_data_space_efficient",
     "HeavyMismatchVerifier",
+    "exact_occurrence_products",
     "verify_against_source",
     "verify_candidate_batches",
     "verify_candidates_against_source",

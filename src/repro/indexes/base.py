@@ -23,7 +23,12 @@ __all__ = [
     "coerce_pattern",
     "coerce_pattern_array",
     "brute_force_occurrences",
+    "EMPTY_PATTERN_MESSAGE",
 ]
+
+#: The one canonical complaint about empty patterns: scalar queries, batch
+#: queries and the brute-force oracle all raise ``PatternError`` with it.
+EMPTY_PATTERN_MESSAGE = "empty patterns are not supported"
 
 
 def coerce_pattern_array(
@@ -58,20 +63,32 @@ def coerce_pattern(pattern, source: WeightedString) -> list[int]:
 
 
 def brute_force_occurrences(source: WeightedString, pattern, z: float) -> list[int]:
-    """Reference oracle: all z-valid occurrences by direct probability products."""
+    """Reference oracle: all z-valid occurrences by direct probability products.
+
+    Rejects empty patterns with the same :class:`~repro.errors.PatternError`
+    every index raises, so oracle tests and index queries agree on the edge
+    case too (an empty pattern "occurs everywhere" under the mathematical
+    definition, which is never what a caller meant).
+    """
     z = validate_threshold(z)
-    return source.occurrences(coerce_pattern(pattern, source), z)
+    codes = coerce_pattern(pattern, source)
+    if not codes:
+        raise PatternError(EMPTY_PATTERN_MESSAGE)
+    return source.occurrences(codes, z)
 
 
 class UncertainStringIndex(abc.ABC):
     """Abstract base class of every index over a weighted string.
 
     Concrete indexes are constructed through their ``build`` classmethods and
-    expose three queries:
-
-    * :meth:`locate` — the sorted list of valid occurrence positions,
-    * :meth:`count` — their number,
-    * :meth:`exists` — whether there is at least one.
+    implement one required strategy — :meth:`_locate_codes`, the scalar query
+    over validated letter codes — plus optional vectorised strategies
+    (:meth:`_batch_locate`, :meth:`_batch_locate_probs`).  Every public query
+    entry point (:meth:`locate` / :meth:`count` / :meth:`exists` /
+    :meth:`locate_probs` / :meth:`topk` / :meth:`query` / :meth:`query_many`
+    / :meth:`match_many`) routes through the unified
+    :class:`~repro.indexes.query.QueryPlanner`, which validates patterns,
+    deduplicates them and picks a strategy.
     """
 
     #: Short display name used by the benchmark reports (e.g. ``"MWSA"``).
@@ -114,17 +131,55 @@ class UncertainStringIndex(abc.ABC):
         return None
 
     # -- queries -----------------------------------------------------------------
-    @abc.abstractmethod
+    def query(self, request, **options):
+        """Answer one :class:`~repro.indexes.query.Query` through the planner.
+
+        ``request`` is either a built :class:`~repro.indexes.query.Query` or
+        a bare pattern, in which case any keyword options (``mode``, ``k``,
+        ``z``, ``zs``) are forwarded to the Query constructor.  Options
+        alongside a prebuilt Query are rejected — silently dropping an
+        override would answer a different question than the caller asked.
+        """
+        from ..errors import QueryError
+        from .query import Query, QueryPlanner
+
+        if isinstance(request, Query):
+            if options:
+                raise QueryError(
+                    f"query options {sorted(options)} cannot be combined with a "
+                    "prebuilt Query; set them on the Query itself"
+                )
+        else:
+            request = Query(request, **options)
+        return QueryPlanner(self).execute([request])[0]
+
+    def query_many(self, requests: Sequence):
+        """Answer a whole batch of queries/patterns through the planner."""
+        from .query import QueryPlanner
+
+        return QueryPlanner(self).execute(requests)
+
     def locate(self, pattern) -> list[int]:
         """Sorted positions of all z-valid occurrences of ``pattern``."""
+        return self.query(pattern).positions
 
     def count(self, pattern) -> int:
         """Number of z-valid occurrences of ``pattern``."""
-        return len(self.locate(pattern))
+        return self.query(pattern, mode="count").count
 
     def exists(self, pattern) -> bool:
         """Whether ``pattern`` has at least one z-valid occurrence."""
-        return bool(self.locate(pattern))
+        return self.query(pattern, mode="exists").exists
+
+    def locate_probs(self, pattern) -> list[tuple[int, float]]:
+        """Sorted ``(position, occurrence probability)`` pairs of ``pattern``."""
+        result = self.query(pattern, mode="locate_probs")
+        return list(zip(result.positions, result.probabilities))
+
+    def topk(self, pattern, k: int) -> list[tuple[int, float]]:
+        """The ``k`` most probable occurrences, most probable first."""
+        result = self.query(pattern, mode="topk", k=k)
+        return list(zip(result.positions, result.probabilities))
 
     def match_many(self, patterns: Sequence) -> list[list[int]]:
         """Occurrence lists of a whole pattern batch, in input order.
@@ -138,24 +193,47 @@ class UncertainStringIndex(abc.ABC):
 
         return BatchQueryEngine(self).match_many(patterns)
 
-    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
+    # -- query strategy hooks -----------------------------------------------------
+    @abc.abstractmethod
+    def _locate_codes(self, codes) -> list[int]:
+        """Scalar query strategy (pattern already coerced and validated)."""
+
+    def _batch_locate(self, code_lists: list) -> list[list[int]]:
         """Batch query strategy hook (patterns already coerced and distinct).
 
-        The default answers each pattern through :meth:`locate`; index
+        The default answers each pattern through the scalar strategy; index
         families override this with vectorised implementations.
         """
-        return [self.locate(codes) for codes in code_lists]
+        return [self._locate_codes(codes) for codes in code_lists]
+
+    def _batch_locate_probs(self, code_lists: list) -> list[tuple[list[int], np.ndarray]]:
+        """Batch strategy that also reports exact occurrence probabilities.
+
+        Default: occurrences from :meth:`_batch_locate`, probabilities from
+        one :func:`~repro.indexes.verification.exact_occurrence_products`
+        gather per pattern (this is how the WST/WSA baselines answer — their
+        property structures never compute probabilities).  The minimizer
+        families override this to surface the products straight out of their
+        verification stage; the sharded index fans it out per shard.
+        """
+        from .verification import exact_occurrence_products
+
+        all_positions = self._batch_locate(code_lists)
+        return [
+            (positions, exact_occurrence_products(self._source, codes, positions))
+            for codes, positions in zip(code_lists, all_positions)
+        ]
 
     # -- helpers for subclasses ------------------------------------------------------
     def _prepare_pattern(self, pattern) -> list[int]:
         codes = coerce_pattern(pattern, self._source)
+        if len(codes) == 0:
+            raise PatternError(EMPTY_PATTERN_MESSAGE)
         if len(codes) < self.minimum_pattern_length:
             raise PatternError(
                 f"{self.name} was built for patterns of length >= "
                 f"{self.minimum_pattern_length}, got {len(codes)}"
             )
-        if len(codes) == 0:
-            raise PatternError("empty patterns are not supported")
         maximum = self.maximum_pattern_length
         if maximum is not None and len(codes) > maximum:
             raise PatternError(

@@ -1,9 +1,9 @@
-"""The vectorized batch query engine (``match_many``).
+"""The vectorized batch query front-end and the minimizer batch strategy.
 
 Serving heavy query traffic one pattern at a time leaves most of the work in
 Python-level loops: every pattern re-derives its minimizer, walks a search
 structure letter by letter and verifies each candidate with a per-position
-probability product.  This module batches all of it:
+probability product.  The batch path vectorises all of it:
 
 * patterns are deduplicated once and answered once (shared candidate-dedup);
 * leftmost minimizers of the whole batch come from a single vectorised
@@ -14,10 +14,13 @@ probability product.  This module batches all of it:
   in bulk through the source's log-probability cache, grouped by pattern
   length (:func:`~repro.indexes.verification.verify_candidate_batches`).
 
-:class:`BatchQueryEngine` is the front door; every
+:class:`BatchQueryEngine` is the compatibility front door (every
 :class:`~repro.indexes.base.UncertainStringIndex` exposes it as
-``index.match_many(patterns)``.  Index families plug in their own batch
-strategy through the ``_batch_locate`` hook (the minimizer indexes use
+``index.match_many(patterns)``); since the planner/executor refactor it is a
+thin wrapper around :class:`~repro.indexes.query.QueryPlanner`, which owns
+validation, deduplication and strategy choice for *all* query modes.  Index
+families plug their batch strategies in through the ``_batch_locate`` /
+``_batch_locate_probs`` hooks (the minimizer indexes use
 :func:`locate_minimizer_batch` below; the WST/WSA baselines share the
 deduplication and loop their per-pattern query).
 """
@@ -28,69 +31,35 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..errors import PatternError
-from .base import coerce_pattern_array
+from .query import Query, QueryPlanner
 from .verification import verify_candidate_batches
 
 __all__ = ["BatchQueryEngine", "locate_minimizer_batch"]
 
 
 class BatchQueryEngine:
-    """Batched query front-end over any uncertain-string index.
+    """Batched ``locate`` front-end over any uncertain-string index.
 
-    The engine validates and deduplicates the incoming patterns, hands the
-    distinct ones to the index's ``_batch_locate`` strategy and fans the
-    answers back out to the original order.  Query statistics of the last
-    batch are kept on :attr:`last_stats` for benchmarks and the CLI.
+    Kept as the stable entry point of the original batch API
+    (``match_many`` + :attr:`last_stats`); planning, validation and strategy
+    choice live in the shared :class:`~repro.indexes.query.QueryPlanner`,
+    so the engine answers exactly like ``index.query_many`` in ``locate``
+    mode.
     """
 
     def __init__(self, index) -> None:
-        self._index = index
+        self._planner = QueryPlanner(index)
         self.last_stats: dict[str, int] = {}
 
     @property
     def index(self):
         """The wrapped index."""
-        return self._index
+        return self._planner.index
 
-    def _convert(self, pattern) -> np.ndarray:
-        """Coerce one pattern to a code array (validation happens batched).
-
-        Delegates to :func:`~repro.indexes.base.coerce_pattern_array` — the
-        same conversion the scalar query path uses — with the per-letter
-        range check deferred to the batched min/max reduction below.
-        """
-        return coerce_pattern_array(pattern, self._index.source, validate=False)
-
-    def _prepare_batch(self, patterns: Sequence) -> list[np.ndarray]:
-        """Coerce and validate a whole batch with one min/max reduction.
-
-        The happy path costs one concatenation; when anything is invalid,
-        every pattern is re-validated through the index's scalar
-        ``_prepare_pattern`` so the raised :class:`PatternError` is identical
-        to the per-pattern path's.
-        """
-        index = self._index
-        prepared = [self._convert(pattern) for pattern in patterns]
-        minimum = index.minimum_pattern_length
-        maximum = index.maximum_pattern_length
-        valid = all(
-            len(codes) >= minimum
-            and len(codes) > 0
-            and (maximum is None or len(codes) <= maximum)
-            for codes in prepared
-        )
-        if valid and prepared:
-            flat = np.concatenate(prepared)
-            if len(flat) and (
-                int(flat.min()) < 0 or int(flat.max()) >= index.source.sigma
-            ):
-                valid = False
-        if not valid:
-            for codes in prepared:  # raise the canonical per-pattern error
-                index._prepare_pattern(codes)
-            raise PatternError("invalid pattern batch")  # pragma: no cover
-        return prepared
+    @property
+    def planner(self) -> QueryPlanner:
+        """The underlying query planner (rich statistics, all modes)."""
+        return self._planner
 
     def match_many(self, patterns: Sequence) -> list[list[int]]:
         """Occurrence lists of every pattern, in input order.
@@ -100,33 +69,27 @@ class BatchQueryEngine:
         alphabet) raise the same :class:`~repro.errors.PatternError` the
         per-pattern path raises.
         """
-        prepared = self._prepare_batch(patterns)
-        unique_codes: list[np.ndarray] = []
-        assignment: list[int] = []
-        slots: dict[bytes, int] = {}
-        for codes in prepared:
-            key = codes.tobytes()
-            slot = slots.get(key)
-            if slot is None:
-                slot = len(unique_codes)
-                slots[key] = slot
-                unique_codes.append(codes)
-            assignment.append(slot)
-        unique_results = self._index._batch_locate(unique_codes)
+        results = self._planner.execute([Query(pattern) for pattern in patterns])
+        stats = self._planner.last_stats
         self.last_stats = {
-            "patterns": len(prepared),
-            "unique_patterns": len(unique_codes),
+            "patterns": stats["patterns"],
+            "unique_patterns": stats["unique_patterns"],
         }
-        return [list(unique_results[slot]) for slot in assignment]
+        return [result.positions for result in results]
 
 
-def locate_minimizer_batch(index, code_lists: list[list[int]]) -> list[list[int]]:
+def locate_minimizer_batch(
+    index, code_lists: list, *, with_probabilities: bool = False
+):
     """Batch query strategy of the minimizer-based indexes.
 
     Implements the Section-5 simple query (longer piece + verification) and
     the Theorem-9 grid query over a whole batch: minimizers, leaf ranges,
     candidate gathering and verification are all array operations; only the
-    per-pattern grid reporting remains scalar.
+    per-pattern grid reporting remains scalar.  With
+    ``with_probabilities=True`` the verification stage reports each
+    surviving occurrence's exact probability product alongside its position
+    (``(positions, probabilities)`` pairs instead of bare position lists).
     """
     data = index.data
     source = index.source
@@ -155,7 +118,10 @@ def locate_minimizer_batch(index, code_lists: list[list[int]]) -> list[list[int]
                 continue
             xs = np.fromiter((x for x, _ in points), dtype=np.int64, count=len(points))
             candidates_per_row[row] = np.unique(forward_positions[xs] - mu)
-        return verify_candidate_batches(source, z, code_lists, candidates_per_row)
+        return verify_candidate_batches(
+            source, z, code_lists, candidates_per_row,
+            with_probabilities=with_probabilities,
+        )
 
     # Simple query: search only the longer piece of each pattern, batched per
     # collection so each side is one vectorised range computation.
@@ -181,4 +147,7 @@ def locate_minimizer_batch(index, code_lists: list[list[int]]) -> list[list[int]
                 candidates_per_row[row] = np.unique(
                     positions[int(lo) : int(hi)] - mus[row]
                 )
-    return verify_candidate_batches(source, z, code_lists, candidates_per_row)
+    return verify_candidate_batches(
+        source, z, code_lists, candidates_per_row,
+        with_probabilities=with_probabilities,
+    )

@@ -156,8 +156,8 @@ class MinimizerIndexBase(UncertainStringIndex):
         lo, hi = self._range(data.backward, self._backward_trie, backward_piece)
         return data.candidate_positions(range(lo, hi), data.backward, mu)
 
-    def locate(self, pattern) -> list[int]:
-        codes = self._prepare_pattern(pattern)
+    def _locate_codes(self, codes) -> list[int]:
+        """Scalar strategy: candidate generation + per-candidate verification."""
         results = []
         for candidate in self._candidates(codes):
             if candidate < 0 or candidate + len(codes) > len(self._source):
@@ -166,9 +166,13 @@ class MinimizerIndexBase(UncertainStringIndex):
                 results.append(candidate)
         return sorted(results)
 
-    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
+    def _batch_locate(self, code_lists: list) -> list[list[int]]:
         """Vectorised batch strategy shared by all minimizer variants."""
         return locate_minimizer_batch(self, code_lists)
+
+    def _batch_locate_probs(self, code_lists: list):
+        """Batch strategy surfacing the verification stage's exact products."""
+        return locate_minimizer_batch(self, code_lists, with_probabilities=True)
 
 
 class MinimizerWST(MinimizerIndexBase):

@@ -31,7 +31,6 @@ from .minimizer_core import MinimizerIndexData, build_index_data_from_estimation
 from .mwst import (
     GridMinimizerWSA,
     GridMinimizerWST,
-    MinimizerIndexBase,
     MinimizerWSA,
     MinimizerWST,
 )

@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.weighted_string import WeightedString
 from ..errors import ConstructionError
 from .base import UncertainStringIndex
@@ -229,31 +231,67 @@ class ShardedIndex(UncertainStringIndex):
             if globally < shard.core_end:
                 owned.add(globally)
 
-    def locate(self, pattern) -> list[int]:
-        codes = self._prepare_pattern(pattern)
+    def _locate_codes(self, codes) -> list[int]:
+        """Scalar strategy: per-shard scalar queries, ownership-filtered merge."""
         owned: set[int] = set()
         for shard, index in zip(self._shards, self._indexes):
             if shard.length >= len(codes):
-                self._accumulate(shard, index.locate(codes), owned)
+                self._accumulate(shard, index._locate_codes(codes), owned)
         return sorted(owned)
 
-    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
-        """Fan the deduplicated batch out across the shards and merge back.
+    def _fitting_rows(self, code_lists: list, shard: Shard) -> list[int]:
+        """Rows of the batch whose patterns fit inside ``shard``.
 
-        Each shard is handed only the patterns that fit inside it (the same
-        guard the scalar path applies), so short tail shards never run the
-        batch machinery on patterns they cannot contain.
+        The same guard the scalar path applies, so short tail shards never
+        run the batch machinery on patterns they cannot contain.
         """
+        return [
+            row
+            for row in range(len(code_lists))
+            if len(code_lists[row]) <= shard.length
+        ]
+
+    def _batch_locate(self, code_lists: list) -> list[list[int]]:
+        """Fan the deduplicated batch out across the shards and merge back."""
         owned: list[set[int]] = [set() for _ in code_lists]
         for shard, index in zip(self._shards, self._indexes):
-            rows = [
-                row
-                for row in range(len(code_lists))
-                if len(code_lists[row]) <= shard.length
-            ]
+            rows = self._fitting_rows(code_lists, shard)
             if not rows:
                 continue
             shard_results = index._batch_locate([code_lists[row] for row in rows])
             for row, local_positions in zip(rows, shard_results):
                 self._accumulate(shard, local_positions, owned[row])
         return [sorted(positions) for positions in owned]
+
+    def _batch_locate_probs(self, code_lists: list):
+        """Probability-carrying fan-out: merge per-shard ``(positions, probs)``.
+
+        A shard computes each occurrence's probability from its own slice of
+        the probability matrix — the very same ``float64`` entries in the
+        same order as the monolithic index — so merged probabilities are
+        bit-identical to the monolithic answer.
+        """
+        owned: list[dict[int, float]] = [{} for _ in code_lists]
+        for shard, index in zip(self._shards, self._indexes):
+            rows = self._fitting_rows(code_lists, shard)
+            if not rows:
+                continue
+            shard_results = index._batch_locate_probs(
+                [code_lists[row] for row in rows]
+            )
+            for row, (local_positions, probabilities) in zip(rows, shard_results):
+                mapping = owned[row]
+                for position, probability in zip(local_positions, probabilities):
+                    globally = shard.start + int(position)
+                    if globally < shard.core_end:
+                        mapping[globally] = float(probability)
+        out = []
+        for mapping in owned:
+            positions = sorted(mapping)
+            out.append(
+                (
+                    positions,
+                    np.array([mapping[p] for p in positions], dtype=np.float64),
+                )
+            )
+        return out

@@ -31,8 +31,45 @@ __all__ = [
     "verify_against_source",
     "verify_candidates_against_source",
     "verify_candidate_batches",
+    "exact_occurrence_products",
     "HeavyMismatchVerifier",
 ]
+
+
+def exact_occurrence_products(
+    source: WeightedString, pattern: Sequence[int], positions
+) -> np.ndarray:
+    """Exact occurrence probabilities of ``pattern`` at an array of starts.
+
+    Unlike :meth:`WeightedString.occurrence_probabilities` — which sums the
+    log-probability cache and exponentiates, and is the substrate of every
+    *solidity decision* — this computes the direct left-to-right ``float64``
+    product ``p(P[0]) · p(P[1]) · ...`` per start, bit-identical to the
+    scalar :meth:`WeightedString.occurrence_probability` loop.  It is what
+    every reported probability (``locate_probs`` / ``topk`` results) comes
+    from, so reported values equal the brute-force O(n·m) oracle exactly.
+    Out-of-range starts yield 0.0.
+    """
+    codes = np.asarray(pattern, dtype=np.int64)
+    starts = np.asarray(positions, dtype=np.int64)
+    m = len(codes)
+    n = len(source)
+    out = np.zeros(len(starts), dtype=np.float64)
+    if m == 0:
+        out[(starts >= 0) & (starts <= n)] = 1.0
+        return out
+    in_range = (starts >= 0) & (starts + m <= n)
+    if not in_range.any():
+        return out
+    valid_starts = starts[in_range]
+    gathered = source.matrix[
+        valid_starts[:, None] + np.arange(m, dtype=np.int64)[None, :],
+        codes[None, :],
+    ]
+    # np.multiply.reduce applies the multiplications left to right, exactly
+    # like the scalar loop, so the products carry identical rounding.
+    out[in_range] = np.multiply.reduce(gathered, axis=1)
+    return out
 
 
 def verify_against_source(
@@ -63,7 +100,9 @@ def verify_candidate_batches(
     z: float,
     patterns: Sequence[Sequence[int]],
     candidates_per_pattern: Sequence,
-) -> list[list[int]]:
+    *,
+    with_probabilities: bool = False,
+) -> list:
     """Verify the candidate sets of a whole pattern batch with grouped array ops.
 
     For every pattern ``patterns[i]`` with candidate start array
@@ -75,9 +114,22 @@ def verify_candidate_batches(
     the batch size.  This is the bulk engine behind
     :meth:`UncertainStringIndex.match_many`;
     :func:`verify_candidates_against_source` is its one-pattern sibling.
+
+    With ``with_probabilities=True`` each entry becomes a
+    ``(positions, probabilities)`` pair: the verification stage computes the
+    per-occurrence products anyway, and the rich query modes
+    (``locate_probs`` / ``topk``) surface them instead of discarding them.
+    Reported values come from one extra exact-product gather per length
+    group (:func:`exact_occurrence_products` semantics), while the solidity
+    *decision* keeps using the log-cache probabilities — so ``locate``
+    results stay bit-identical and reported probabilities match the
+    brute-force product oracle exactly.
     """
     z = validate_threshold(z)
     results: list[list[int]] = [[] for _ in patterns]
+    probabilities_out: list[np.ndarray] = [
+        np.zeros(0, dtype=np.float64) for _ in patterns
+    ]
     by_length: dict[int, list[int]] = {}
     for row, candidates in enumerate(candidates_per_pattern):
         if candidates is not None and len(candidates):
@@ -94,16 +146,27 @@ def verify_candidate_batches(
         in_range = (starts >= 0) & (starts + m <= n)
         safe_starts = np.where(in_range, starts, 0)
         offsets = np.arange(m, dtype=np.int64)
-        gathered = log_matrix[
-            safe_starts[:, None] + offsets[None, :], pattern_matrix[pattern_of]
-        ]
+        letter_rows = safe_starts[:, None] + offsets[None, :]
+        letter_columns = pattern_matrix[pattern_of]
+        gathered = log_matrix[letter_rows, letter_columns]
         probabilities = np.exp(gathered.sum(axis=1))
         solid = solid_probability_mask(probabilities, z) & in_range
+        if with_probabilities:
+            products = np.multiply.reduce(
+                source.matrix[letter_rows, letter_columns], axis=1
+            )
         boundaries = np.cumsum(sizes)[:-1]
-        for row, row_starts, row_solid in zip(
-            rows, np.split(starts, boundaries), np.split(solid, boundaries)
+        split_products = (
+            np.split(products, boundaries) if with_probabilities else None
+        )
+        for group, (row, row_starts, row_solid) in enumerate(
+            zip(rows, np.split(starts, boundaries), np.split(solid, boundaries))
         ):
             results[row] = [int(position) for position in row_starts[row_solid]]
+            if with_probabilities:
+                probabilities_out[row] = split_products[group][row_solid]
+    if with_probabilities:
+        return list(zip(results, probabilities_out))
     return results
 
 

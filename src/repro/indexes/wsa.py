@@ -89,11 +89,11 @@ class WeightedSuffixArray(UncertainStringIndex):
         return model.words(4 * entries) + model.codes(entries)
 
     # -- queries -------------------------------------------------------------------------
-    def locate(self, pattern) -> list[int]:
-        codes = self._prepare_pattern(pattern)
+    def _locate_codes(self, codes) -> list[int]:
+        """Scalar strategy: one binary-searched structure pass."""
         return self._structure.locate(codes)
 
-    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
+    def _batch_locate(self, code_lists: list) -> list[list[int]]:
         """Batch strategy: deduplicated patterns share one structure pass each."""
         return self._structure.locate_many(code_lists)
 

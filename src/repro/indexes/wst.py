@@ -115,21 +115,14 @@ class WeightedSuffixTree(UncertainStringIndex):
         )
 
     # -- queries -------------------------------------------------------------------------
-    def locate(self, pattern) -> list[int]:
-        codes = self._prepare_pattern(pattern)
-        return self._locate_codes(codes)
-
-    def _locate_codes(self, codes: list[int]) -> list[int]:
-        shifted = [code + 1 for code in codes]
+    def _locate_codes(self, codes) -> list[int]:
+        """Scalar strategy: one trie walk plus the output-sensitive report."""
+        shifted = [int(code) + 1 for code in codes]
         lo, hi = self._trie.descend(shifted)
         reported = np.asarray(
             self._structure.report_valid(lo, hi, len(codes)), dtype=np.int64
         )
         return [int(position) for position in np.unique(reported)]
-
-    def _batch_locate(self, code_lists: list[list[int]]) -> list[list[int]]:
-        """Batch strategy: deduplicated patterns each walk the trie once."""
-        return [self._locate_codes(codes) for codes in code_lists]
 
     @property
     def node_count(self) -> int:

@@ -1,0 +1,13 @@
+"""The serving layer: a cached query front-end over any built index.
+
+:class:`QueryService` fronts an :class:`~repro.indexes.base.UncertainStringIndex`
+(monolithic or sharded, freshly built or reloaded from the binary store) with
+pattern normalization, request deduplication and an LRU result cache — the
+piece that turns the library's indexes into something that can serve skewed
+production traffic.  The CLI's ``serve`` sub-command wraps it in a
+line-oriented stdin/stdout JSON loop.
+"""
+
+from .query_service import QueryService
+
+__all__ = ["QueryService"]

@@ -1,0 +1,183 @@
+"""``QueryService`` — cached serving front-end over any uncertain-string index.
+
+Production pattern traffic is heavily skewed: a small set of hot patterns
+dominates the request stream.  The service exploits that with an LRU cache
+of finished :class:`~repro.indexes.query.QueryResult` objects keyed by the
+*normalized* request — the coerced letter codes plus the query mode and
+threshold parameters — so ``"AB"`` and ``[0, 1]`` are one cache entry, and a
+repeated request costs a dictionary lookup instead of a planner execution.
+
+The service never changes answers: every miss is answered by the shared
+:class:`~repro.indexes.query.QueryPlanner`, identical to calling the index
+directly.  Hit/miss/eviction counters feed capacity planning and the
+``servemix`` benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from ..errors import QueryError
+from ..indexes.base import coerce_pattern_array
+from ..indexes.query import Query, QueryPlanner, QueryResult
+
+__all__ = ["QueryService"]
+
+#: Default number of cached results (a few MB for typical occurrence lists).
+DEFAULT_CACHE_SIZE = 1024
+
+
+class QueryService:
+    """Serving front-end: normalization, deduplication and an LRU result cache.
+
+    Parameters
+    ----------
+    index:
+        Any built :class:`~repro.indexes.base.UncertainStringIndex`
+        (monolithic, sharded, or loaded from the binary index store).
+    cache_size:
+        Maximum number of cached results; least-recently-used entries are
+        evicted beyond it.
+    cache_enabled:
+        Disable to measure the uncached baseline (requests are still
+        deduplicated within each batch).
+
+    Notes
+    -----
+    Cached :class:`~repro.indexes.query.QueryResult` objects are shared
+    between callers — treat them as read-only.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        cache_enabled: bool = True,
+    ) -> None:
+        self._index = index
+        self._planner = QueryPlanner(index)
+        self._cache: OrderedDict[tuple, QueryResult] = OrderedDict()
+        self._cache_size = max(0, int(cache_size))
+        self._cache_enabled = bool(cache_enabled) and self._cache_size > 0
+        self._queries = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- shape ------------------------------------------------------------------
+    @property
+    def index(self):
+        """The served index."""
+        return self._index
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether results are being cached."""
+        return self._cache_enabled
+
+    @property
+    def hits(self) -> int:
+        """Cache hits so far (cheap accessor for per-request hit detection)."""
+        return self._hits
+
+    # -- queries ----------------------------------------------------------------
+    def query(self, pattern, *, mode="locate", k=None, z=None, zs=None) -> QueryResult:
+        """Answer one request (a pattern or a prepared :class:`Query`).
+
+        Mode/threshold options alongside a prebuilt :class:`Query` are
+        rejected (they would be silently ignored otherwise).
+        """
+        if isinstance(pattern, Query):
+            if mode != "locate" or k is not None or z is not None or zs is not None:
+                raise QueryError(
+                    "query options cannot be combined with a prebuilt Query; "
+                    "set them on the Query itself"
+                )
+            request = pattern
+        else:
+            request = Query(pattern, mode=mode, k=k, z=z, zs=zs)
+        return self.query_many([request])[0]
+
+    def query_many(self, requests: Sequence) -> list[QueryResult]:
+        """Answer a batch of requests, serving repeats from the cache.
+
+        Entries may be :class:`Query` objects or bare patterns (``locate``
+        mode).  Requests repeated within the batch are answered once; a
+        request whose key is already cached counts as a hit, each distinct
+        uncached key as one miss.
+        """
+        queries = [
+            request if isinstance(request, Query) else Query(request)
+            for request in requests
+        ]
+        keys = [self._key(query) for query in queries]
+        results: list[QueryResult | None] = [None] * len(queries)
+        pending: OrderedDict[tuple, list[int]] = OrderedDict()
+        hits = misses = 0
+        for position, key in enumerate(keys):
+            if self._cache_enabled and key in self._cache:
+                self._cache.move_to_end(key)
+                results[position] = self._cache[key]
+                hits += 1
+            elif key in pending:
+                # Duplicate of an uncached request earlier in this batch:
+                # served without a second execution, counted as a hit.
+                pending[key].append(position)
+                hits += 1
+            else:
+                pending[key] = [position]
+                misses += 1
+        if pending:
+            # Executed before the counters commit: a batch that fails
+            # validation raises here and leaves the statistics untouched.
+            batch = [queries[positions[0]] for positions in pending.values()]
+            answers = self._planner.execute(batch)
+            for (key, positions), answer in zip(pending.items(), answers):
+                for position in positions:
+                    results[position] = answer
+                self._store(key, answer)
+        self._hits += hits
+        self._misses += misses
+        self._queries += len(queries)
+        return results
+
+    def _key(self, query: Query) -> tuple:
+        """Normalized cache key: coerced codes + mode + threshold parameters."""
+        codes = coerce_pattern_array(
+            query.pattern, self._index.source, validate=False
+        )
+        return (codes.tobytes(), query.mode, query.k, query.z, query.zs)
+
+    def _store(self, key: tuple, result: QueryResult) -> None:
+        if not self._cache_enabled:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    # -- introspection ----------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving counters: requests, hits, misses, evictions, hit rate."""
+        answered = self._hits + self._misses
+        return {
+            "queries": self._queries,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": self._hits / answered if answered else 0.0,
+            "entries": len(self._cache),
+            "capacity": self._cache_size,
+            "cache_enabled": self._cache_enabled,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (counters are kept)."""
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the serving counters (the cache content is kept)."""
+        self._queries = self._hits = self._misses = self._evictions = 0

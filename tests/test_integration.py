@@ -7,7 +7,6 @@ brute-force probability-product oracle, which is the library's ground truth.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

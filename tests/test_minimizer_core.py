@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import build_z_estimation
 from repro.core.heavy import HeavyString, max_mismatches
 from repro.errors import ConstructionError
 from repro.indexes.minimizer_core import (

@@ -1,6 +1,5 @@
 """Cross-variant correctness tests for MWST / MWSA / MWST-G / MWSA-G / MWST-SE."""
 
-import itertools
 import random
 
 import pytest

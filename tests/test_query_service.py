@@ -1,0 +1,280 @@
+"""The serving layer: QueryService caching semantics and the serve/query CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from test_oracle_equivalence import random_source
+
+from repro.cli import main as cli_main
+from repro.errors import PatternError
+from repro.indexes import Query, build_index
+from repro.io.pwm import write_pwm
+from repro.service import QueryService
+
+Z = 4.0
+ELL = 4
+
+
+@pytest.fixture(scope="module")
+def source():
+    return random_source(40, 2, 11)
+
+
+@pytest.fixture(scope="module")
+def index(source):
+    return build_index(source, Z, kind="MWSA", ell=ELL)
+
+
+def text_of(source, codes) -> str:
+    return source.alphabet.decode(codes)
+
+
+class TestQueryServiceCache:
+    def test_hits_misses_and_identical_answers(self, index):
+        service = QueryService(index)
+        pattern = [0, 1, 0, 0]
+        first = service.query(pattern)
+        second = service.query(pattern)
+        assert first.positions == index.locate(pattern)
+        assert second is first  # served from the cache
+        stats = service.stats()
+        assert stats["queries"] == 2
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert 0.0 < stats["hit_rate"] <= 0.5
+        assert stats["entries"] == 1
+
+    def test_text_and_code_patterns_share_one_entry(self, index, source):
+        service = QueryService(index)
+        codes = [0, 1, 1, 0]
+        service.query(codes)
+        result = service.query(text_of(source, codes))
+        assert service.stats() == {**service.stats(), "hits": 1, "misses": 1}
+        assert result.positions == index.locate(codes)
+
+    def test_mode_and_threshold_are_part_of_the_key(self, index):
+        service = QueryService(index)
+        pattern = [0, 1, 0, 0]
+        service.query(pattern)
+        service.query(pattern, mode="count")
+        service.query(pattern, z=2.0)
+        assert service.stats()["misses"] == 3
+        assert service.stats()["hits"] == 0
+
+    def test_batch_duplicates_counted_as_hits(self, index):
+        service = QueryService(index)
+        pattern = [0, 0, 1, 0]
+        results = service.query_many([pattern, pattern, pattern])
+        stats = service.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_lru_eviction(self, index):
+        service = QueryService(index, cache_size=2)
+        patterns = ([0, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0])
+        for pattern in patterns:
+            service.query(pattern)
+        stats = service.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        # The oldest entry was evicted: repeating it is a miss again.
+        service.query(patterns[0])
+        assert service.stats()["misses"] == 4
+
+    def test_cache_disabled(self, index):
+        service = QueryService(index, cache_enabled=False)
+        pattern = [0, 1, 0, 0]
+        first = service.query(pattern)
+        second = service.query(pattern)
+        stats = service.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+        assert stats["entries"] == 0 and stats["cache_enabled"] is False
+        assert first.positions == second.positions
+
+    def test_options_with_prebuilt_query_rejected(self, index):
+        from repro.errors import QueryError
+
+        service = QueryService(index)
+        with pytest.raises(QueryError, match="prebuilt Query"):
+            service.query(Query([0, 1, 0, 0]), mode="count")
+
+    def test_rich_modes_match_index(self, index):
+        service = QueryService(index)
+        pattern = [0, 1, 0, 0]
+        topk = service.query(pattern, mode="topk", k=2)
+        assert list(zip(topk.positions, topk.probabilities)) == index.topk(pattern, 2)
+        sweep = service.query(Query(pattern, mode="count", zs=(2.0, Z)))
+        assert [sub.count for sub in sweep.sweep] == [
+            index.query(pattern, mode="count", z=z).count for z in (2.0, Z)
+        ]
+
+    def test_clear_cache_and_reset_stats(self, index):
+        service = QueryService(index)
+        service.query([0, 1, 0, 0])
+        service.clear_cache()
+        assert service.stats()["entries"] == 0
+        assert service.stats()["misses"] == 1
+        service.reset_stats()
+        assert service.stats()["misses"] == 0
+
+    def test_errors_propagate_and_leave_stats_untouched(self, index):
+        service = QueryService(index)
+        with pytest.raises(PatternError):
+            service.query([0])  # shorter than ell
+        stats = service.stats()
+        assert stats["entries"] == 0
+        assert stats["queries"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert service.query([0, 1, 0, 0]).positions == index.locate([0, 1, 0, 0])
+        assert service.stats()["misses"] == 1
+
+
+@pytest.fixture()
+def pwm_path(tmp_path, paper_example):
+    path = tmp_path / "example.pwm"
+    write_pwm(path, paper_example)
+    return path
+
+
+def build_args(pwm_path, *extra, kind="MWSA"):
+    return ["--pwm", str(pwm_path), "--z", "4", "--kind", kind, "--ell", "4", *extra]
+
+
+class TestQueryModeCli:
+    def test_query_probs_json_schema(self, pwm_path, capsys):
+        assert (
+            cli_main(["query", *build_args(pwm_path), "--probs", "--json", "AAAA"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.query.v1"
+        assert payload["mode"] == "locate_probs"
+        assert payload["elapsed_seconds"] >= 0
+        (result,) = payload["results"]
+        assert result["positions"] == [0]
+        assert result["probabilities"] == [pytest.approx(0.3, abs=1e-12)]
+
+    def test_query_topk(self, pwm_path, capsys):
+        # The WSA baseline serves patterns of any length >= 1.
+        assert (
+            cli_main(["query", *build_args(pwm_path, kind="WSA"), "--topk", "2", "AB"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "topk"
+        result = payload["results"]["AB"]
+        assert result["positions"][0] == 0
+        assert len(result["positions"]) == 2
+        assert result["probabilities"][0] >= result["probabilities"][1]
+
+    def test_query_batch_count_mode_json(self, pwm_path, capsys):
+        assert (
+            cli_main(
+                ["query-batch", *build_args(pwm_path), "--mode", "count", "--json",
+                 "AAAA", "AAAA", "ABAA"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patterns"] == 3
+        assert payload["unique_patterns"] == 2
+        assert payload["patterns_per_second"] > 0
+        counts = {r["pattern"]: r["count"] for r in payload["results"]}
+        assert counts["AAAA"] == 1
+
+    def test_pattern_error_exit_code_two(self, pwm_path, capsys):
+        assert cli_main(["query", *build_args(pwm_path), "AA"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert cli_main(["query", *build_args(pwm_path), ""]) == 2
+        assert "empty patterns" in capsys.readouterr().err
+
+    def test_conflicting_mode_flags_rejected(self, pwm_path, capsys):
+        assert (
+            cli_main(
+                ["query", *build_args(pwm_path), "--mode", "count", "--topk", "2", "AAAA"]
+            )
+            == 1
+        )
+        assert "--topk" in capsys.readouterr().err
+        assert cli_main(["query", *build_args(pwm_path), "--mode", "topk", "AAAA"]) == 1
+
+
+class TestServeCli:
+    def _serve(self, monkeypatch, capsys, pwm_path, script, *extra, kind="MWSA"):
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        exit_code = cli_main(["serve", *build_args(pwm_path, kind=kind), *extra])
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        return exit_code, lines
+
+    def test_serve_loop(self, monkeypatch, capsys, pwm_path):
+        script = (
+            "AAAA\n"
+            '{"pattern": "AB", "mode": "topk", "k": 2}\n'
+            "AAAA\n"
+            "stats\n"
+        )
+        exit_code, lines = self._serve(
+            monkeypatch, capsys, pwm_path, script, kind="WSA"
+        )
+        assert exit_code == 0
+        locate, topk, repeat, stats, final = lines
+        assert locate["positions"] == [0] and locate["cached"] is False
+        assert topk["mode"] == "topk" and len(topk["positions"]) == 2
+        assert repeat["cached"] is True
+        assert stats["stats"]["hits"] == 1 and stats["stats"]["misses"] == 2
+        assert final["stats"]["queries"] == 3
+
+    def test_serve_bad_requests_keep_the_loop_alive(self, monkeypatch, capsys, pwm_path):
+        script = "AAA\n{broken json\n" + '{"mode": "locate"}\n' + "AAAA\n"
+        exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
+        assert exit_code == 0
+        too_short, bad_json, no_pattern, good, final = lines
+        assert "length >= 4" in too_short["error"]
+        assert "invalid JSON" in bad_json["error"]
+        assert "'pattern' field" in no_pattern["error"]
+        assert good["positions"] == [0]
+        assert final["stats"]["queries"] == 1
+
+    def test_serve_survives_wrongly_typed_requests(self, monkeypatch, capsys, pwm_path):
+        """Structurally broken field types produce error lines, not crashes."""
+        script = (
+            '{"pattern": "AAAA", "mode": "topk", "k": "x"}\n'
+            '{"pattern": "AAAA", "zs": 2}\n'
+            '{"pattern": 5}\n'
+            "AAAA\n"
+        )
+        exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
+        assert exit_code == 0
+        bad_k, bad_zs, bad_pattern, good, final = lines
+        assert "k must be an integer" in bad_k["error"]
+        assert "error" in bad_zs and "error" in bad_pattern
+        assert good["positions"] == [0]
+        assert final["stats"]["queries"] == 1
+
+    def test_serve_no_cache(self, monkeypatch, capsys, pwm_path):
+        exit_code, lines = self._serve(
+            monkeypatch, capsys, pwm_path, "AAAA\nAAAA\n", "--no-cache"
+        )
+        assert exit_code == 0
+        assert [line["cached"] for line in lines[:2]] == [False, False]
+        assert lines[-1]["stats"]["cache_enabled"] is False
+
+    def test_serve_multi_z_sweep_request(self, monkeypatch, capsys, pwm_path):
+        script = '{"pattern": "AB", "mode": "count", "zs": [2, 4]}\n'
+        exit_code, lines = self._serve(
+            monkeypatch, capsys, pwm_path, script, kind="WSA"
+        )
+        assert exit_code == 0
+        response = lines[0]
+        assert [entry["z"] for entry in response["sweep"]] == [2.0, 4.0]
+
+    def test_serve_empty_sweep_is_an_error_not_a_single_z_answer(
+        self, monkeypatch, capsys, pwm_path
+    ):
+        script = '{"pattern": "AAAA", "zs": []}\n'
+        exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
+        assert exit_code == 0
+        assert "at least one z" in lines[0]["error"]

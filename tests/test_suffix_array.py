@@ -1,7 +1,5 @@
 """Tests for repro.strings.suffix_array."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
