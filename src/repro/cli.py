@@ -1,20 +1,25 @@
 """Command-line interface: build indexes, run queries, inspect datasets, serve.
 
-Installed as the ``repro-uncertain`` console script.  Five sub-commands:
+Installed as the ``repro-uncertain`` console script.  Six sub-commands:
 
 * ``info``        — Table 2-style characteristics of a named or PWM-file dataset;
 * ``build``       — build an index (optionally sharded via ``--shards`` /
   ``--workers``) and report its statistics; ``--store FILE`` saves the built
-  index to the binary index store;
+  index to the binary index store, ``--store-dir DIR`` saves a sharded index
+  as a per-shard directory store;
 * ``query``       — answer patterns in any query mode (``--mode`` /
   ``--topk`` / ``--probs``); the index is either built on the spot or
-  reloaded from a store file with ``--store`` (no rebuild);
+  reloaded from a store with ``--store`` (no rebuild);
 * ``query-batch`` — answer a whole pattern batch through the vectorised
   query planner (fanning out across shards for sharded indexes) and report
   throughput alongside the results;
+* ``update``      — apply point updates (new per-position distributions) to
+  a stored index and persist the repair; directory stores rewrite only the
+  dirty shards;
 * ``serve``       — a line-oriented stdin/stdout JSON query loop over a
   cached :class:`~repro.service.QueryService` (one request per line, one
-  JSON response per line).
+  JSON response per line), including an ``update`` op with exact cache
+  invalidation.
 
 ``--json`` on the query sub-commands switches to a stable machine-readable
 schema (positions, probabilities, timing, planner statistics).  Exit codes:
@@ -32,12 +37,20 @@ import json
 import sys
 import time
 
+from pathlib import Path
+
 from .core.weighted_string import WeightedString
 from .datasets.registry import DATASETS, dataset_characteristics, load_dataset
 from .errors import PatternError, ReproError
 from .indexes import INDEX_CLASSES, Query, QueryMode, QueryPlanner, build_index
 from .io.pwm import read_pwm
-from .io.store import load_index, save_index
+from .io.store import (
+    load_index,
+    load_sharded_store,
+    refresh_sharded_store,
+    save_index,
+    save_sharded_store,
+)
 from .service import QueryService
 
 __all__ = ["main", "build_parser"]
@@ -75,6 +88,17 @@ _BUILD_OPTIONS = (
 )
 
 
+def _load_store(path, *, mmap: bool = True):
+    """Load a store path: a single-index file or a sharded store directory.
+
+    ``mmap=False`` reads everything into RAM — required when the caller will
+    rewrite the same file (writing over a live memory map is undefined).
+    """
+    if Path(path).is_dir():
+        return load_sharded_store(path, mmap=mmap)
+    return load_index(path, mmap=mmap)
+
+
 def _obtain_index(arguments):
     """The index to query: reloaded from a store file, or built on the spot."""
     if arguments.store:
@@ -88,7 +112,7 @@ def _obtain_index(arguments):
                 f"--store loads a saved index; it cannot be combined with "
                 f"build options ({', '.join(conflicting)})"
             )
-        return load_index(arguments.store)
+        return _load_store(arguments.store)
     return _build_index(arguments)
 
 
@@ -157,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--store", help="save the built index to this binary index-store file"
     )
+    build.add_argument(
+        "--store-dir",
+        help="save a sharded index as a directory store (one file per shard; "
+        "enables dirty-shard refresh after updates)",
+    )
 
     query = subparsers.add_parser(
         "query", help="answer patterns (building the index or loading it from a store)"
@@ -188,6 +217,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "patterns", nargs="*", help="patterns to locate (text over the alphabet)"
+    )
+
+    update = subparsers.add_parser(
+        "update",
+        help="apply point updates to a stored index (dirty shards only for "
+        "directory stores)",
+    )
+    update.add_argument(
+        "--store", required=True,
+        help="index store to update: a single-index file or a sharded "
+        "store directory",
+    )
+    update.add_argument(
+        "--updates-file", help="JSON file with the update list"
+    )
+    update.add_argument(
+        "--updates",
+        help='inline JSON update list, e.g. '
+        '\'[{"position": 3, "distribution": {"A": 0.7, "C": 0.3}}]\'',
+    )
+    update.add_argument(
+        "--out",
+        help="write the updated index here instead of back to --store "
+        "(single-file stores only)",
     )
 
     serve = subparsers.add_parser(
@@ -231,6 +284,81 @@ def _command_build(arguments) -> dict:
         save_index(arguments.store, index)
         report["store"] = arguments.store
         report["store_seconds"] = time.perf_counter() - started
+    if arguments.store_dir:
+        from .indexes.sharded import ShardedIndex
+
+        if not isinstance(index, ShardedIndex):
+            raise ReproError("--store-dir needs a sharded build (use --shards)")
+        started = time.perf_counter()
+        save_sharded_store(arguments.store_dir, index)
+        report["store_dir"] = arguments.store_dir
+        report["store_dir_seconds"] = time.perf_counter() - started
+    return report
+
+
+def _parse_updates(payload) -> list[tuple[int, dict]]:
+    """Normalize a JSON update list into ``(position, distribution)`` pairs.
+
+    Accepts ``{"position": i, "distribution": {...}}`` objects and bare
+    ``[position, distribution]`` pairs.
+    """
+    if not isinstance(payload, list):
+        raise ReproError("updates must be a JSON list")
+    pairs = []
+    for entry in payload:
+        if isinstance(entry, dict):
+            if "position" not in entry or "distribution" not in entry:
+                raise ReproError(
+                    "each update object needs 'position' and 'distribution'"
+                )
+            pairs.append((entry["position"], entry["distribution"]))
+        elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+            pairs.append((entry[0], entry[1]))
+        else:
+            raise ReproError(
+                "each update must be an object with position/distribution "
+                "or a [position, distribution] pair"
+            )
+    return pairs
+
+
+def _command_update(arguments) -> dict:
+    if bool(arguments.updates_file) == bool(arguments.updates):
+        raise ReproError("give exactly one of --updates-file or --updates")
+    if arguments.updates_file:
+        try:
+            with open(arguments.updates_file, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise ReproError(f"cannot read updates file: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ReproError(f"invalid updates JSON: {error}") from error
+    else:
+        try:
+            payload = json.loads(arguments.updates)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"invalid updates JSON: {error}") from error
+    updates = _parse_updates(payload)
+    store_path = Path(arguments.store)
+    sharded_dir = store_path.is_dir()
+    if sharded_dir and arguments.out:
+        raise ReproError(
+            "--out applies to single-file stores; directory stores are "
+            "refreshed in place (dirty shards only)"
+        )
+    # Read into RAM: the command rewrites store files it just loaded, which
+    # must not race live memory maps of those same files.
+    index = _load_store(arguments.store, mmap=False)
+    report = index.apply_updates(updates).as_dict()
+    started = time.perf_counter()
+    if sharded_dir:
+        report["store"] = refresh_sharded_store(arguments.store, index)
+        report["store"]["path"] = arguments.store
+    else:
+        target = arguments.out or arguments.store
+        save_index(target, index)
+        report["store"] = {"path": target, "rewritten": "all"}
+    report["store"]["seconds"] = time.perf_counter() - started
     return report
 
 
@@ -349,6 +477,19 @@ def _serve_request(service: QueryService, line: str) -> dict:
                 raise ReproError("a JSON request must be an object")
             if request.get("cmd") == "stats":
                 return {"stats": service.stats()}
+            if request.get("cmd") == "update":
+                if "pattern" in request:
+                    raise ReproError(
+                        "an update request cannot also carry a 'pattern'; "
+                        "send the query as its own line"
+                    )
+                return {"update": service.update(_parse_updates(request.get("updates")))}
+            if "updates" in request:
+                # Mutation must be explicit: a stray 'updates' field on a
+                # query request must not silently rewrite the index.
+                raise ReproError(
+                    "updates need an explicit '\"cmd\": \"update\"' request"
+                )
             pattern = request.get("pattern")
             if pattern is None:
                 raise ReproError("a JSON request needs a 'pattern' field")
@@ -385,9 +526,12 @@ def _command_serve(arguments) -> None:
     Protocol: a bare line is a ``locate`` query for that pattern; a JSON
     object line may carry ``pattern`` / ``mode`` / ``k`` / ``z`` / ``zs``
     fields (or ``{"cmd": "stats"}``); the literal line ``stats`` reports the
-    service counters.  Malformed requests produce an ``{"error": ...}`` line
-    and the loop continues.  On end of input a final ``{"stats": ...}`` line
-    is emitted.
+    service counters.  ``{"cmd": "update", "updates": [{"position": ...,
+    "distribution": {...}}]}`` applies point updates through the service —
+    the index repairs itself (dirty shards / localized leaf re-derivation)
+    and exactly the affected cache entries are invalidated.  Malformed
+    requests produce an ``{"error": ...}`` line and the loop continues.  On
+    end of input a final ``{"stats": ...}`` line is emitted.
     """
     index = _obtain_index(arguments)
     service = QueryService(
@@ -416,6 +560,7 @@ def main(argv=None) -> int:
         "build": _command_build,
         "query": _command_query,
         "query-batch": _command_query_batch,
+        "update": _command_update,
         "serve": _command_serve,
     }
     try:

@@ -132,6 +132,50 @@ class HeavyString:
                 hi = mid - 1
         return lo - start
 
+    # -- point updates ---------------------------------------------------------
+    def updated_copy(self, source: WeightedString, positions) -> "HeavyString":
+        """A heavy string reflecting ``source`` after point updates at ``positions``.
+
+        Bit-identical to ``HeavyString(source)`` but computed by patching
+        this (pre-update) heavy string: only the updated rows are re-argmaxed
+        and only the log-prefix tail from the first touched position is
+        re-accumulated.  Exactness of the tail relies on the prefix sums
+        being a left-to-right accumulation: re-summing from the first
+        changed index replays the identical addition order.
+        """
+        positions = sorted({int(position) for position in positions})
+        clone = HeavyString.__new__(HeavyString)
+        clone._alphabet = self._alphabet
+        clone._length = self._length
+        if not positions:
+            clone._codes = self._codes
+            clone._probabilities = self._probabilities
+            clone._logs = self._logs
+            clone._log_prefix = self._log_prefix
+            return clone
+        codes = self._codes.copy()
+        probabilities = self._probabilities.copy()
+        logs = self._logs.copy()
+        tiny = np.finfo(np.float64).tiny
+        for position in positions:
+            row = source.distribution(position)
+            codes[position] = int(np.argmax(row))
+            probabilities[position] = row.max()
+            logs[position] = np.log(max(probabilities[position], tiny))
+        first = positions[0]
+        log_prefix = self._log_prefix.copy()
+        # np.cumsum is a sequential accumulation, so seeding it with the
+        # prefix value at ``first`` replays the fresh build's addition order
+        # exactly (a detached ``prefix[first] + cumsum(tail)`` would not).
+        log_prefix[first:] = np.cumsum(
+            np.concatenate([log_prefix[first : first + 1], logs[first:]])
+        )
+        clone._codes = codes
+        clone._probabilities = probabilities
+        clone._logs = logs
+        clone._log_prefix = log_prefix
+        return clone
+
     # -- factors expressed relative to the heavy string ------------------------
     def factor_codes(
         self, start: int, length: int, mismatches: Sequence[tuple[int, int]] = ()

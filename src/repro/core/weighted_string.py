@@ -52,7 +52,7 @@ class WeightedString:
     the half-open Python range ``[i-1, j)``.
     """
 
-    __slots__ = ("_probs", "_alphabet", "_log_probs")
+    __slots__ = ("_probs", "_alphabet", "_log_probs", "_version")
 
     def __init__(
         self,
@@ -93,6 +93,7 @@ class WeightedString:
         self._probs = probs
         self._alphabet = alphabet
         self._log_probs = None  # lazily filled log-probability cache
+        self._version = 0  # bumped by every applied update batch
 
     # ------------------------------------------------------------------ #
     # constructors                                                        #
@@ -328,6 +329,127 @@ class WeightedString:
     def heavy_probabilities(self) -> np.ndarray:
         """The probability of the heavy letter at each position."""
         return self._probs.max(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # point updates                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Number of update batches applied so far (0 for a pristine string)."""
+        return self._version
+
+    def coerce_distribution(self, distribution, *, normalize: bool = True) -> np.ndarray:
+        """One position's new distribution as a validated ``σ``-vector.
+
+        ``distribution`` is either a ``{letter: probability}`` mapping or a
+        length-``σ`` probability vector.  Rows are re-normalized to sum to 1
+        by default (``normalize=False`` enforces the constructor tolerance
+        instead).
+        """
+        if isinstance(distribution, Mapping):
+            row = np.zeros(self.sigma, dtype=np.float64)
+            for letter, probability in distribution.items():
+                row[self._alphabet.code(letter)] = float(probability)
+        else:
+            row = np.asarray(distribution, dtype=np.float64)
+            if row.shape != (self.sigma,):
+                raise WeightedStringError(
+                    f"a distribution must have {self.sigma} entries, "
+                    f"got shape {row.shape}"
+                )
+            row = row.copy()
+        if np.any(row < 0.0):
+            raise WeightedStringError("probabilities must be non-negative")
+        total = row.sum()
+        if total <= 0.0:
+            raise WeightedStringError(
+                "a distribution's probabilities cannot all be zero"
+            )
+        if normalize:
+            return row / total
+        if abs(total - 1.0) > _ROW_SUM_TOLERANCE:
+            raise WeightedStringError(
+                f"distribution sums to {total:.6f}, expected 1.0 "
+                "(pass normalize=True to rescale)"
+            )
+        return row
+
+    def coerce_updates(self, updates, *, normalize: bool = True) -> list[tuple[int, np.ndarray]]:
+        """Validate a batch of ``(position, distribution)`` point updates.
+
+        Returns ``(position, row)`` pairs with rows coerced through
+        :meth:`coerce_distribution`; later entries for the same position win
+        (the batch is applied left to right).  Shared by
+        :meth:`apply_updates` and the serving layer, which needs the
+        validated positions *before* mutating anything.
+        """
+        pairs: list[tuple[int, np.ndarray]] = []
+        for entry in updates:
+            try:
+                position, distribution = entry
+            except (TypeError, ValueError):
+                raise WeightedStringError(
+                    "each update must be a (position, distribution) pair"
+                ) from None
+            position = int(position)
+            if not 0 <= position < len(self):
+                raise WeightedStringError(
+                    f"update position {position} outside string of length {len(self)}"
+                )
+            pairs.append(
+                (position, self.coerce_distribution(distribution, normalize=normalize))
+            )
+        return pairs
+
+    def _writable_rows(self, array: np.ndarray) -> np.ndarray:
+        """A privately owned, temporarily writable version of ``array``.
+
+        The matrix is mutated in place when this object owns its memory, so
+        views taken of it (shard sources) stay coherent; memory-mapped or
+        borrowed matrices (store-loaded indexes, slices of another string)
+        are first materialised as a private copy — mutating the backing file
+        or a sibling string would corrupt state this object does not own.
+        """
+        if isinstance(array, np.memmap) or not array.flags.owndata:
+            array = np.array(array)
+        array.setflags(write=True)
+        return array
+
+    def apply_updates(self, updates, *, normalize: bool = True) -> list[int]:
+        """Apply point updates in place; returns the sorted distinct positions.
+
+        Each update replaces one position's distribution (re-normalized by
+        default).  The probability matrix and the log-probability cache are
+        patched in place, so indexes holding views of :attr:`matrix` observe
+        the new rows; their *derived* structures become stale and must be
+        refreshed through ``UncertainStringIndex.apply_updates`` (which calls
+        this and then repairs itself).  Updates are absolute, hence
+        idempotent: re-applying the same batch is a no-op, which lets several
+        indexes sharing one source object each apply the same update
+        sequence safely.
+        """
+        pairs = self.coerce_updates(updates, normalize=normalize)
+        if not pairs:
+            return []
+        probs = self._writable_rows(self._probs)
+        for position, row in pairs:
+            probs[position] = row
+        probs.setflags(write=False)
+        self._probs = probs
+        positions = sorted({position for position, _ in pairs})
+        if self._log_probs is not None:
+            logs = self._writable_rows(self._log_probs)
+            with np.errstate(divide="ignore"):
+                for position in positions:
+                    logs[position] = np.log(probs[position])
+            logs.setflags(write=False)
+            self._log_probs = logs
+        self._version += 1
+        return positions
+
+    def update_position(self, position: int, distribution, *, normalize: bool = True) -> int:
+        """Replace one position's distribution in place (see :meth:`apply_updates`)."""
+        return self.apply_updates([(position, distribution)], normalize=normalize)[0]
 
     # ------------------------------------------------------------------ #
     # transformations                                                     #

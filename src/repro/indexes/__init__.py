@@ -28,6 +28,8 @@ or batched, on any variant — executes through the unified planner in
 from .base import (
     EMPTY_PATTERN_MESSAGE,
     UncertainStringIndex,
+    UpdateReport,
+    affected_pattern_starts,
     brute_force_occurrences,
     coerce_pattern,
     coerce_pattern_array,
@@ -56,6 +58,7 @@ from .registry import (
     available_kinds,
     build_index,
     get_spec,
+    rebuild_in_place,
     register_index,
 )
 from .se_construction import SpaceEfficientMWST, build_index_data_space_efficient
@@ -73,6 +76,9 @@ from .wst import WeightedSuffixTree
 
 __all__ = [
     "UncertainStringIndex",
+    "UpdateReport",
+    "affected_pattern_starts",
+    "rebuild_in_place",
     "BatchQueryEngine",
     "locate_minimizer_batch",
     "brute_force_occurrences",

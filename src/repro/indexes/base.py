@@ -9,7 +9,9 @@ benchmarks and tests can treat them uniformly.
 from __future__ import annotations
 
 import abc
+import time
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,6 +22,8 @@ from .space import IndexStats
 
 __all__ = [
     "UncertainStringIndex",
+    "UpdateReport",
+    "affected_pattern_starts",
     "coerce_pattern",
     "coerce_pattern_array",
     "brute_force_occurrences",
@@ -77,6 +81,53 @@ def brute_force_occurrences(source: WeightedString, pattern, z: float) -> list[i
     return source.occurrences(codes, z)
 
 
+def affected_pattern_starts(length: int, positions, n: int) -> np.ndarray:
+    """Occurrence starts of a length-``length`` pattern that point updates touch.
+
+    An update at position ``u`` can only change the occurrence probability of
+    starts in ``[u - length + 1, u]`` (the occurrences whose window covers
+    ``u``); everything outside depends on untouched rows only.  Returns the
+    sorted union over all updated positions, clamped to the valid start range
+    ``[0, n - length]``.  This is the window the serving layer probes to
+    decide — exactly — which cached answers an update could have changed.
+    """
+    starts: set[int] = set()
+    for position in positions:
+        low = max(0, int(position) - length + 1)
+        high = min(int(position), n - length)
+        if low <= high:
+            starts.update(range(low, high + 1))
+    return np.asarray(sorted(starts), dtype=np.int64)
+
+
+@dataclass
+class UpdateReport:
+    """What one :meth:`UncertainStringIndex.apply_updates` call did.
+
+    ``strategy`` names the repair path taken (``"noop"``, ``"full-rebuild"``,
+    ``"localized"`` for the minimizer indexes' leaf-level re-derivation,
+    ``"dirty-shards"`` for the sharded index); ``details`` carries
+    strategy-specific counters (re-derived leaf counts, rebuilt shard ids,
+    ...) consumed by tests, benchmarks and the serving layer's responses.
+    """
+
+    positions: list[int]
+    strategy: str
+    seconds: float
+    generation: int
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready report (for the CLI and the serve loop)."""
+        return {
+            "positions": list(self.positions),
+            "strategy": self.strategy,
+            "seconds": self.seconds,
+            "generation": self.generation,
+            **self.details,
+        }
+
+
 class UncertainStringIndex(abc.ABC):
     """Abstract base class of every index over a weighted string.
 
@@ -98,6 +149,7 @@ class UncertainStringIndex(abc.ABC):
         self._source = source
         self._z = validate_threshold(z)
         self._stats = IndexStats(name=self.name)
+        self._generation = 0
 
     # -- shared accessors -----------------------------------------------------
     @property
@@ -129,6 +181,66 @@ class UncertainStringIndex(abc.ABC):
         the pattern length its shard overlap was planned for.
         """
         return None
+
+    @property
+    def generation(self) -> int:
+        """Number of update batches applied to this index since it was built."""
+        return self._generation
+
+    # -- updates -----------------------------------------------------------------
+    def apply_updates(self, updates) -> UpdateReport:
+        """Apply point updates to the indexed string and repair the index.
+
+        ``updates`` is a sequence of ``(position, distribution)`` pairs
+        (distributions as ``{letter: probability}`` mappings or length-σ
+        vectors; re-normalized).  The source is mutated in place, then the
+        variant's repair strategy (:meth:`_rebuild_updated`) brings the
+        derived structures back in sync.  Afterwards every query answer is
+        bit-identical to a from-scratch build over the mutated string — the
+        contract the differential fuzz harness enforces.
+
+        Other index objects built over the *same* :class:`WeightedString`
+        observe the mutated rows but keep their stale structures; apply the
+        same update batch to each of them (updates are absolute, hence
+        idempotent on the shared source).
+        """
+        started = time.perf_counter()
+        # WeightedString.apply_updates coerces the whole batch before any row
+        # is touched, so a bad update cannot leave the source half-applied.
+        positions = self._source.apply_updates(updates)
+        if positions:
+            details = self._rebuild_updated(positions) or {}
+        else:
+            details = {"strategy": "noop"}
+        self._generation += 1
+        strategy = details.pop("strategy", "full-rebuild")
+        return UpdateReport(
+            positions=positions,
+            strategy=strategy,
+            seconds=time.perf_counter() - started,
+            generation=self._generation,
+            details=details,
+        )
+
+    def update_position(self, position: int, distribution) -> UpdateReport:
+        """Apply one point update (see :meth:`apply_updates`)."""
+        return self.apply_updates([(position, distribution)])
+
+    def _rebuild_updated(self, positions: list[int]) -> dict:
+        """Repair strategy hook: derived structures after source rows changed.
+
+        The universal default re-derives the whole index through the registry
+        (always bit-identical to a fresh build — the z-estimation is a
+        sequential left-to-right construction, so a monolithic index cannot
+        generally confine an update's ripple).  Variants override with
+        narrower strategies: the minimizer indexes re-derive only the leaves
+        whose derivation actually changed (at least the ``2ℓ−1`` window of
+        minimizer windows around each touched position, extended by
+        estimation ripple), the sharded index rebuilds only dirty shards.
+        """
+        from .registry import rebuild_in_place
+
+        return rebuild_in_place(self)
 
     # -- queries -----------------------------------------------------------------
     def query(self, request, **options):

@@ -74,6 +74,7 @@ class BatchQueryEngine:
         self.last_stats = {
             "patterns": stats["patterns"],
             "unique_patterns": stats["unique_patterns"],
+            "generation": stats.get("generation", 0),
         }
         return [result.positions for result in results]
 

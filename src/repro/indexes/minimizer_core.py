@@ -43,6 +43,7 @@ __all__ = [
     "MinimizerIndexData",
     "build_leaves_from_estimation",
     "build_index_data_from_estimation",
+    "apply_updates_to_data",
 ]
 
 
@@ -453,6 +454,12 @@ class MinimizerIndexData:
     pairs: list[tuple[int, int]] | None = None
     construction: str = "estimation"
     counters: dict = field(default_factory=dict)
+    #: The z-estimation the leaves were sampled from, retained (when built
+    #: through the estimation path) so point updates can diff old vs new
+    #: derivations and re-derive only the affected leaves.  ``None`` for the
+    #: space-efficient construction and for store-loaded data, which repair
+    #: through a full rebuild instead.
+    estimation: ZEstimation | None = None
 
     # -- query plumbing shared by all variants ------------------------------------------
     def split_pattern(self, codes, mu: int | None = None) -> tuple[int, list[int], list[int]]:
@@ -485,6 +492,49 @@ class MinimizerIndexData:
         if with_grid and self.pairs is not None:
             total += model.words(4 * len(self.pairs))
         return total
+
+
+def _derive_leaf_pair(
+    n: int,
+    string_j: np.ndarray,
+    ends_j: np.ndarray,
+    mismatch_positions: np.ndarray,
+    q: int,
+    j: int,
+) -> tuple[FactorLeaf, FactorLeaf]:
+    """The forward/backward leaf pair of minimizer position ``q`` in ``S_j``.
+
+    The single source of truth for leaf derivation: the full construction
+    and the point-update re-derivation both call this, so an incrementally
+    repaired collection is leaf-for-leaf identical to a fresh build.
+    """
+    forward_end = int(ends_j[q])
+    forward_length = forward_end - q + 1
+    lo = int(np.searchsorted(mismatch_positions, q, side="left"))
+    hi = int(np.searchsorted(mismatch_positions, forward_end, side="right"))
+    forward = FactorLeaf(
+        anchor=q,
+        length=forward_length,
+        mismatches=tuple(
+            (int(p - q), int(string_j[p])) for p in mismatch_positions[lo:hi]
+        ),
+        position=q,
+        source=j,
+    )
+    backward_start = int(np.searchsorted(ends_j, q, side="left"))
+    backward_length = q - backward_start + 1
+    lo = int(np.searchsorted(mismatch_positions, backward_start, side="left"))
+    hi = int(np.searchsorted(mismatch_positions, q, side="right"))
+    backward = FactorLeaf(
+        anchor=n - 1 - q,
+        length=backward_length,
+        mismatches=tuple(
+            sorted((int(q - p), int(string_j[p])) for p in mismatch_positions[lo:hi])
+        ),
+        position=q,
+        source=j,
+    )
+    return forward, backward
 
 
 def build_leaves_from_estimation(
@@ -523,41 +573,11 @@ def build_leaves_from_estimation(
             continue
         mismatch_positions = np.nonzero(string_j != heavy_codes)[0]
         for q in minimizer_positions:
-            forward_end = int(ends_j[q])
-            forward_length = forward_end - q + 1
-            lo = int(np.searchsorted(mismatch_positions, q, side="left"))
-            hi = int(np.searchsorted(mismatch_positions, forward_end, side="right"))
-            forward_mismatches = tuple(
-                (int(p - q), int(string_j[p])) for p in mismatch_positions[lo:hi]
+            forward_leaf, backward_leaf = _derive_leaf_pair(
+                n, string_j, ends_j, mismatch_positions, q, j
             )
-            forward.append(
-                FactorLeaf(
-                    anchor=q,
-                    length=forward_length,
-                    mismatches=forward_mismatches,
-                    position=q,
-                    source=j,
-                )
-            )
-            backward_start = int(np.searchsorted(ends_j, q, side="left"))
-            backward_length = q - backward_start + 1
-            lo = int(np.searchsorted(mismatch_positions, backward_start, side="left"))
-            hi = int(np.searchsorted(mismatch_positions, q, side="right"))
-            backward_mismatches = tuple(
-                sorted(
-                    (int(q - p), int(string_j[p]))
-                    for p in mismatch_positions[lo:hi]
-                )
-            )
-            backward.append(
-                FactorLeaf(
-                    anchor=n - 1 - q,
-                    length=backward_length,
-                    mismatches=backward_mismatches,
-                    position=q,
-                    source=j,
-                )
-            )
+            forward.append(forward_leaf)
+            backward.append(backward_leaf)
     pairs = list(zip(range(len(forward)), range(len(backward))))
     return forward, backward, pairs
 
@@ -605,4 +625,261 @@ def build_index_data_from_estimation(
             "backward_leaves": len(backward),
             "estimation_entries": estimation.width * estimation.length,
         },
+        estimation=estimation,
     )
+
+
+# --------------------------------------------------------------------------- #
+# point updates: localized leaf re-derivation                                  #
+# --------------------------------------------------------------------------- #
+def _leaf_letters(leaf: FactorLeaf, reference: np.ndarray, limit: int) -> np.ndarray:
+    """The first ``limit`` spelled letters of a leaf (reference + mismatches)."""
+    letters = np.array(reference[leaf.anchor : leaf.anchor + limit])
+    for offset, code in leaf.mismatches:
+        if offset < limit:
+            letters[offset] = code
+    return letters
+
+
+def _content_compare(a: FactorLeaf, b: FactorLeaf, reference: np.ndarray) -> int:
+    """The collection's total leaf order, evaluated on leaf *content*.
+
+    Same order as :meth:`LeafCollection._compare` — lexicographic on the
+    spelled letters, ties broken by (length, position, source) — but
+    computed against one shared reference, so leaves from an existing
+    collection and freshly derived leaves compare uniformly.
+    """
+    if a is b:
+        return 0
+    limit = min(a.length, b.length)
+    letters_a = _leaf_letters(a, reference, limit)
+    letters_b = _leaf_letters(b, reference, limit)
+    difference = np.nonzero(letters_a != letters_b)[0]
+    if len(difference):
+        offset = int(difference[0])
+        return -1 if letters_a[offset] < letters_b[offset] else 1
+    if a.length != b.length:
+        return -1 if a.length < b.length else 1
+    if a.position != b.position:
+        return -1 if a.position < b.position else 1
+    if a.source != b.source:
+        return -1 if a.source < b.source else 1
+    return 0
+
+
+def _content_lcp(a: FactorLeaf, b: FactorLeaf, reference: np.ndarray) -> int:
+    """Longest common prefix of two leaves, on their spelled letters."""
+    limit = min(a.length, b.length)
+    difference = np.nonzero(
+        _leaf_letters(a, reference, limit) != _leaf_letters(b, reference, limit)
+    )[0]
+    return int(difference[0]) if len(difference) else limit
+
+
+def _merge_collection(
+    old_collection: LeafCollection,
+    dirty: set,
+    fresh: list[FactorLeaf],
+    reference: np.ndarray,
+) -> LeafCollection:
+    """Merge an update's surviving and re-derived leaves into a sorted collection.
+
+    Surviving leaves keep their relative order (their content is untouched —
+    that is what made them survive), so the merge is a single comparator
+    pass.  Adjacent-LCP values are carried over where the old neighbourhood
+    survived intact (the LCP of two non-adjacent old leaves is the min of
+    the old adjacent LCPs between them) and recomputed directly only at the
+    seams around inserted leaves.
+    """
+    kept: list[FactorLeaf] = []
+    kept_old_index: list[int] = []
+    for index, leaf in enumerate(old_collection):
+        if (leaf.source, leaf.position) not in dirty:
+            kept.append(leaf)
+            kept_old_index.append(index)
+    fresh_sorted = sorted(
+        fresh, key=cmp_to_key(lambda a, b: _content_compare(a, b, reference))
+    )
+    # Binary-search each fresh leaf's slot among the kept leaves: the leaf
+    # order is strict (labels are unique), so insertion points are exact and
+    # non-decreasing along the sorted fresh leaves.
+    merged: list[FactorLeaf] = []
+    origins: list[int] = []  # old sorted index, or -1 for a fresh leaf
+    previous = 0
+    for leaf in fresh_sorted:
+        low, high = previous, len(kept)
+        while low < high:
+            middle = (low + high) // 2
+            if _content_compare(kept[middle], leaf, reference) < 0:
+                low = middle + 1
+            else:
+                high = middle
+        merged.extend(kept[previous:low])
+        origins.extend(kept_old_index[previous:low])
+        merged.append(leaf)
+        origins.append(-1)
+        previous = low
+    merged.extend(kept[previous:])
+    origins.extend(kept_old_index[previous:])
+
+    old_lcps = old_collection._cached_lcps
+    lcps = None
+    if old_lcps is not None:
+        lcps = np.zeros(len(merged), dtype=np.int64)
+        for t in range(1, len(merged)):
+            previous, current = origins[t - 1], origins[t]
+            if previous >= 0 and current == previous + 1:
+                lcps[t] = old_lcps[current]
+            elif previous >= 0 and current > previous:
+                # Old leaves with dirty leaves dropped in between: the LCP
+                # telescopes to the min over the removed stretch.
+                lcps[t] = int(np.min(old_lcps[previous + 1 : current + 1]))
+            else:
+                lcps[t] = _content_lcp(merged[t - 1], merged[t], reference)
+    return LeafCollection(merged, reference, presorted=True, trie_lcps=lcps)
+
+
+def apply_updates_to_data(
+    data: MinimizerIndexData,
+    positions,
+    *,
+    max_dirty_fraction: float = 0.25,
+) -> tuple[MinimizerIndexData, dict] | None:
+    """Localized repair of minimizer index data after point updates.
+
+    ``data.source`` must already carry the new rows.  The old and new
+    derivations are diffed exactly: the z-estimation is replayed (it is a
+    sequential left-to-right construction and cannot be patched), but the
+    expensive leaf machinery — per-leaf derivation, sorting, adjacent LCPs —
+    is only re-run for leaves whose derivation actually changed: the
+    minimizer windows within ``2ℓ−1`` positions of a touched row plus
+    whatever the estimation ripple reaches (property ends crossing an
+    updated position, re-assigned estimation letters).  Every surviving leaf
+    is reused verbatim, so the result is leaf-for-leaf identical to a fresh
+    build over the mutated string.
+
+    Returns ``(new_data, details)``, or ``None`` when the data cannot be
+    repaired locally (space-efficient construction, store-loaded data
+    without its estimation, or a dirty set so large a full rebuild is
+    cheaper) — callers then fall back to a full rebuild.
+    """
+    if data.construction != "estimation" or data.estimation is None:
+        return None
+    source = data.source
+    scheme = data.scheme
+    ell = data.ell
+    n = len(source)
+    old_estimation = data.estimation
+    new_estimation = build_z_estimation(source, data.z)
+    if (
+        new_estimation.width != old_estimation.width
+        or new_estimation.length != old_estimation.length
+    ):
+        return None  # cannot happen for a fixed z; guard anyway
+    updated = np.asarray(sorted({int(p) for p in positions}), dtype=np.int64)
+    new_heavy = data.heavy.updated_copy(source, updated)
+
+    old_labels: dict[int, list[int]] = {}
+    for leaf in data.forward:
+        old_labels.setdefault(leaf.source, []).append(leaf.position)
+
+    dirty: set[tuple[int, int]] = set()
+    fresh_specs: list[tuple[int, int]] = []
+    for j in range(new_estimation.width):
+        string_old = old_estimation.strings[j]
+        string_new = new_estimation.strings[j]
+        ends_old = old_estimation.ends[j]
+        ends_new = new_estimation.ends[j]
+        changed = np.union1d(np.nonzero(string_old != string_new)[0], updated)
+        if n >= ell:
+            starts = np.arange(n - ell + 1, dtype=np.int64)
+            valid = ends_new[: n - ell + 1] >= starts + ell - 1
+            q_new_list = (
+                scheme.minimizer_positions(string_new, valid) if valid.any() else []
+            )
+        else:
+            q_new_list = []
+        q_new = np.asarray(q_new_list, dtype=np.int64)
+        q_old = np.asarray(sorted(old_labels.get(j, [])), dtype=np.int64)
+        for q in np.setdiff1d(q_old, q_new, assume_unique=True):
+            dirty.add((j, int(q)))
+        for q in np.setdiff1d(q_new, q_old, assume_unique=True):
+            dirty.add((j, int(q)))
+            fresh_specs.append((j, int(q)))
+        retained = np.intersect1d(q_old, q_new, assume_unique=True)
+        if len(retained):
+            forward_same = ends_old[retained] == ends_new[retained]
+            backward_same = np.searchsorted(ends_old, retained, side="left") == (
+                np.searchsorted(ends_new, retained, side="left")
+            )
+            # A retained leaf also changes when any re-assigned letter (in
+            # S_j or in the heavy reference) falls inside its factor span
+            # [backward_start, forward_end].
+            span_lo = np.searchsorted(ends_new, retained, side="left")
+            span_hi = ends_new[retained]
+            letters_hit = np.searchsorted(changed, span_lo, side="left") < (
+                np.searchsorted(changed, span_hi, side="right")
+            )
+            for q in retained[~(forward_same & backward_same) | letters_hit]:
+                dirty.add((j, int(q)))
+                fresh_specs.append((j, int(q)))
+
+    total_leaves = max(1, len(data.forward))
+    if len(dirty) > 64 and len(dirty) > max_dirty_fraction * total_leaves:
+        return None
+
+    fresh_forward: list[FactorLeaf] = []
+    fresh_backward: list[FactorLeaf] = []
+    by_string: dict[int, list[int]] = {}
+    for j, q in fresh_specs:
+        by_string.setdefault(j, []).append(q)
+    for j, qs in sorted(by_string.items()):
+        string_new = new_estimation.strings[j]
+        ends_new = new_estimation.ends[j]
+        mismatch_positions = np.nonzero(string_new != new_heavy.codes)[0]
+        for q in sorted(qs):
+            forward_leaf, backward_leaf = _derive_leaf_pair(
+                n, string_new, ends_new, mismatch_positions, q, j
+            )
+            fresh_forward.append(forward_leaf)
+            fresh_backward.append(backward_leaf)
+
+    forward_reference = new_heavy.codes
+    backward_reference = forward_reference[::-1].copy()
+    forward = _merge_collection(data.forward, dirty, fresh_forward, forward_reference)
+    backward = _merge_collection(
+        data.backward, dirty, fresh_backward, backward_reference
+    )
+    pairs = None
+    if data.pairs is not None:
+        backward_slot = {
+            (leaf.source, leaf.position): index for index, leaf in enumerate(backward)
+        }
+        pairs = [
+            (index, backward_slot[(leaf.source, leaf.position)])
+            for index, leaf in enumerate(forward)
+        ]
+    counters = dict(data.counters)
+    counters["forward_leaves"] = len(forward)
+    counters["backward_leaves"] = len(backward)
+    counters["estimation_entries"] = new_estimation.width * new_estimation.length
+    new_data = MinimizerIndexData(
+        source=source,
+        z=data.z,
+        ell=ell,
+        scheme=scheme,
+        heavy=new_heavy,
+        forward=forward,
+        backward=backward,
+        pairs=pairs,
+        construction="estimation",
+        counters=counters,
+        estimation=new_estimation,
+    )
+    details = {
+        "strategy": "localized",
+        "rederived_leaves": len(fresh_specs),
+        "dropped_leaves": len(dirty) - len(fresh_specs),
+        "reused_leaves": len(forward) - len(fresh_specs),
+    }
+    return new_data, details

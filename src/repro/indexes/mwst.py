@@ -124,6 +124,37 @@ class MinimizerIndexBase(UncertainStringIndex):
         )
         return cls(source, z, data, stats, grid)
 
+    # -- updates ----------------------------------------------------------------------------
+    def _rebuild_updated(self, positions) -> dict:
+        """Localized repair: re-derive only the leaves an update touched.
+
+        :func:`~repro.indexes.minimizer_core.apply_updates_to_data` diffs the
+        old and new derivations and rebuilds only the affected leaves (plus
+        the query caches on top); when the data cannot be repaired locally —
+        space-efficient construction, store-loaded data, or updates dirtying
+        most of the index — it returns ``None`` and the universal
+        full-rebuild strategy takes over.
+        """
+        from .minimizer_core import apply_updates_to_data
+
+        outcome = apply_updates_to_data(self._data, positions)
+        if outcome is None:
+            return super()._rebuild_updated(positions)
+        data, details = outcome
+        self._data = data
+        self._forward_trie = self._backward_trie = None
+        if self.use_trie:
+            self._forward_trie = data.forward.build_trie()
+            self._backward_trie = data.backward.build_trie()
+        self._grid = Grid2D(data.pairs) if self.use_grid else None
+        self._stats.index_size_bytes = data.size_bytes(
+            as_tree=self.use_trie, with_grid=self.use_grid
+        )
+        self._stats.counters.update(
+            {key: data.counters[key] for key in ("forward_leaves", "backward_leaves")}
+        )
+        return details
+
     # -- queries ----------------------------------------------------------------------------
     @property
     def minimum_pattern_length(self) -> int:

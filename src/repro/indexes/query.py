@@ -324,6 +324,9 @@ class QueryPlanner:
             "subqueries": subqueries,
             "strategy": plan.strategy,
             "fan_out": plan.fan_out,
+            # Which state of a mutable index answered this batch — lets the
+            # serving layer correlate answers with applied update batches.
+            "generation": getattr(index, "generation", 0),
         }
         return results
 

@@ -45,6 +45,7 @@ __all__ = [
     "get_spec",
     "available_kinds",
     "build_index",
+    "rebuild_in_place",
     "ConstructionPipeline",
 ]
 
@@ -133,6 +134,45 @@ def build_index(
             raise ConstructionError(f"index kind {kind!r} requires the ell parameter")
         return spec.cls.build(source, z, ell, **options)
     return spec.cls.build(source, z, **options)
+
+
+def rebuild_in_place(index: UncertainStringIndex) -> dict:
+    """Re-derive an index over its (mutated) source, adopting the result.
+
+    The universal repair strategy behind
+    :meth:`UncertainStringIndex.apply_updates`: build a fresh index of the
+    same registered kind over ``index.source`` and transplant its state into
+    the live object, so planners, engines and services holding a reference
+    keep working.  Nothing cached is reused — shared construction stages
+    (estimations, leaf data) would be stale after an update.
+    """
+    spec = REGISTRY.get(index.name)
+    if spec is None or type(index) is not spec.cls:
+        spec = next(
+            (entry for entry in REGISTRY.values() if type(index) is entry.cls), None
+        )
+    if spec is None:
+        raise ConstructionError(
+            f"cannot rebuild {type(index).__name__}: the index kind is not "
+            "registered (register it or override _rebuild_updated)"
+        )
+    ell = index.minimum_pattern_length if spec.needs_ell else None
+    options = {}
+    if spec.needs_ell:
+        # Keep the index's construction parameters: rebuilding with a default
+        # minimizer scheme would silently change what the user built (and
+        # what the store faithfully persisted).
+        data = getattr(index, "data", None)
+        scheme = getattr(data, "scheme", None)
+        if scheme is not None:
+            options["scheme"] = scheme
+    fresh = spec.cls.build(index.source, index.z, ell, **options) if spec.needs_ell else (
+        spec.cls.build(index.source, index.z)
+    )
+    generation = index.generation
+    index.__dict__.update(fresh.__dict__)
+    index._generation = generation
+    return {"strategy": "full-rebuild", "kind": spec.name, "ell": ell}
 
 
 class ConstructionPipeline:

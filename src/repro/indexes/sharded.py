@@ -25,6 +25,7 @@ patterns on the minimizer indexes.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from dataclasses import dataclass
 
 import numpy as np
@@ -104,6 +105,10 @@ class ShardedIndex(UncertainStringIndex):
         kind: str,
         max_pattern_len: int,
         stats: IndexStats,
+        *,
+        ell: int | None = None,
+        build_options: dict | None = None,
+        generations: list[int] | None = None,
     ) -> None:
         super().__init__(source, z)
         self._shards = shards
@@ -111,6 +116,11 @@ class ShardedIndex(UncertainStringIndex):
         self._kind = kind
         self._max_pattern_len = max_pattern_len
         self._stats = stats
+        self._ell = ell
+        self._build_options = dict(build_options or {})
+        self._generations = (
+            list(generations) if generations is not None else [0] * len(shards)
+        )
         self.name = f"SHARDED[{kind}]"
 
     # -- construction -----------------------------------------------------------------
@@ -190,7 +200,10 @@ class ShardedIndex(UncertainStringIndex):
                 "shard_lengths": [shard.length for shard in shards],
             },
         )
-        return cls(source, z, shards, indexes, kind, max_pattern_len, stats)
+        return cls(
+            source, z, shards, indexes, kind, max_pattern_len, stats,
+            ell=ell, build_options=options,
+        )
 
     # -- shape ------------------------------------------------------------------------
     @property
@@ -209,6 +222,16 @@ class ShardedIndex(UncertainStringIndex):
         return self._kind
 
     @property
+    def generations(self) -> list[int]:
+        """Per-shard rebuild generations (bumped by dirty-shard updates).
+
+        The binary store stamps these into saved sharded indexes so a
+        persisted index can be refreshed shard by shard: only shards whose
+        generation moved since the last save are rewritten.
+        """
+        return list(self._generations)
+
+    @property
     def minimum_pattern_length(self) -> int:
         return max(
             (index.minimum_pattern_length for index in self._indexes), default=1
@@ -217,6 +240,76 @@ class ShardedIndex(UncertainStringIndex):
     @property
     def maximum_pattern_length(self) -> int:
         return self._max_pattern_len
+
+    # -- updates ----------------------------------------------------------------------
+    def dirty_shards(self, positions) -> list[int]:
+        """Shard numbers whose covered range contains an updated position.
+
+        A shard's index is built over ``[start, end)`` — core *plus* the
+        ``max_pattern_len - 1`` overlap — so an update anywhere in that range
+        invalidates it.  An update inside an overlap region therefore dirties
+        both the shard that owns the position and the predecessor whose
+        overlap reaches into it; updates elsewhere dirty exactly one shard.
+        """
+        updated = sorted({int(position) for position in positions})
+        dirty = []
+        for number, shard in enumerate(self._shards):
+            low = bisect_left(updated, shard.start)
+            if low < len(updated) and updated[low] < shard.end:
+                dirty.append(number)
+        return dirty
+
+    def _infer_ell(self) -> int | None:
+        """The per-shard ``ell`` for rebuilds (recovered for loaded indexes)."""
+        if self._ell is not None:
+            return self._ell
+        from .registry import get_spec
+
+        if get_spec(self._kind).needs_ell and self._indexes:
+            self._ell = self._indexes[0].minimum_pattern_length
+        return self._ell
+
+    def _rebuild_updated(self, positions) -> dict:
+        """Dirty-shard repair: rebuild only the shards an update touched.
+
+        Clean shards keep their structures untouched — their slice of the
+        probability matrix did not change — so the merged answers stay
+        bit-identical to a full rebuild over the mutated string while the
+        work is proportional to the number of dirty shards.
+        """
+        dirty = self.dirty_shards(positions)
+        ell = self._infer_ell()
+        options = dict(self._build_options)
+        if dirty and "scheme" not in options:
+            # Store-loaded indexes arrive without their build options; reuse
+            # the live shards' minimizer scheme so a dirty rebuild cannot
+            # drift from the clean shards' construction parameters.
+            scheme = getattr(getattr(self._indexes[dirty[0]], "data", None), "scheme", None)
+            if scheme is not None:
+                options["scheme"] = scheme
+                self._build_options = options
+        for number in dirty:
+            shard = self._shards[number]
+            self._indexes[number] = _build_shard(
+                (
+                    self._source.matrix[shard.start : shard.end],
+                    self._source.alphabet,
+                    self._z,
+                    self._kind,
+                    ell,
+                    options,
+                )
+            )
+            self._generations[number] += 1
+        self._stats.index_size_bytes = sum(
+            index.stats.index_size_bytes for index in self._indexes
+        )
+        self._stats.counters["generations"] = list(self._generations)
+        return {
+            "strategy": "dirty-shards",
+            "rebuilt_shards": dirty,
+            "clean_shards": len(self._shards) - len(dirty),
+        }
 
     # -- queries ----------------------------------------------------------------------
     @staticmethod

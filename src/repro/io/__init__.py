@@ -8,7 +8,17 @@ from .serialization import (
     save_estimation,
     save_weighted_string,
 )
-from .store import STORE_FORMAT, STORE_VERSION, load_index, save_index
+from .store import (
+    SHARDED_STORE_FORMAT,
+    SHARDED_STORE_VERSION,
+    STORE_FORMAT,
+    STORE_VERSION,
+    load_index,
+    load_sharded_store,
+    refresh_sharded_store,
+    save_index,
+    save_sharded_store,
+)
 from .vcf import (
     read_snp_table,
     weighted_string_from_reference_and_snps,
@@ -29,6 +39,11 @@ __all__ = [
     "load_estimation",
     "save_index",
     "load_index",
+    "save_sharded_store",
+    "load_sharded_store",
+    "refresh_sharded_store",
     "STORE_FORMAT",
     "STORE_VERSION",
+    "SHARDED_STORE_FORMAT",
+    "SHARDED_STORE_VERSION",
 ]

@@ -40,7 +40,17 @@ from ..errors import SerializationError
 from ..sampling.minimizers import MinimizerScheme
 from ..version import __version__
 
-__all__ = ["save_index", "load_index", "STORE_FORMAT", "STORE_VERSION"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "save_sharded_store",
+    "load_sharded_store",
+    "refresh_sharded_store",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "SHARDED_STORE_FORMAT",
+    "SHARDED_STORE_VERSION",
+]
 
 _MAGIC = b"RPROIDX\n"
 _ALIGNMENT = 64
@@ -48,6 +58,11 @@ _ALIGNMENT = 64
 STORE_FORMAT = "repro.index_store"
 STORE_VERSION = 1
 _SUPPORTED_VERSIONS = (1,)
+
+SHARDED_STORE_FORMAT = "repro.sharded_store"
+SHARDED_STORE_VERSION = 1
+_SHARDED_SUPPORTED_VERSIONS = (1,)
+_MANIFEST_NAME = "manifest.json"
 
 
 # --------------------------------------------------------------------------- #
@@ -232,11 +247,13 @@ def _pack_body(index, arrays: dict, prefix: str) -> dict:
 
     if isinstance(index, ShardedIndex):
         shard_metas = []
+        generations = index.generations
         for number, (shard, shard_index) in enumerate(
             zip(index.shards, index.shard_indexes)
         ):
             body = _pack_body(shard_index, arrays, f"{prefix}s{number}.")
             body["plan"] = [shard.start, shard.core_end, shard.end]
+            body["generation"] = generations[number]
             shard_metas.append(body)
         return {
             "family": "sharded",
@@ -381,9 +398,11 @@ def _unpack_sharded(container: _Container, meta: dict, prefix: str, source, z: f
 
     shards = []
     indexes = []
+    generations = []
     for number, shard_meta in enumerate(meta["shards"]):
         start, core_end, end = (int(value) for value in shard_meta["plan"])
         shards.append(Shard(start=start, core_end=core_end, end=end))
+        generations.append(int(shard_meta.get("generation", 0)))
         shard_source = WeightedString(source.matrix[start:end], source.alphabet)
         indexes.append(
             _unpack_body(container, shard_meta, f"{prefix}s{number}.", shard_source, z)
@@ -396,6 +415,7 @@ def _unpack_sharded(container: _Container, meta: dict, prefix: str, source, z: f
         meta["kind"],
         int(meta["max_pattern_len"]),
         _stats_from_meta(meta["stats"]),
+        generations=generations,
     )
 
 
@@ -427,3 +447,179 @@ def load_index(path, *, mmap: bool = True):
     alphabet = Alphabet(meta["alphabet"])
     source = WeightedString(container.array("source"), alphabet)
     return _unpack_body(container, meta["body"], "", source, float(meta["z"]))
+
+
+# --------------------------------------------------------------------------- #
+# sharded directory store                                                      #
+# --------------------------------------------------------------------------- #
+def _shard_file_name(number: int) -> str:
+    return f"shard-{number:04d}.idx"
+
+
+def _sharded_manifest(index) -> dict:
+    return {
+        "format": SHARDED_STORE_FORMAT,
+        "version": SHARDED_STORE_VERSION,
+        "writer": __version__,
+        "z": index.z,
+        "kind": index.kind,
+        "alphabet": list(index.source.alphabet.letters),
+        "max_pattern_len": index.maximum_pattern_length,
+        "length": len(index.source),
+        "shards": [
+            {
+                "plan": [shard.start, shard.core_end, shard.end],
+                "generation": generation,
+                "file": _shard_file_name(number),
+            }
+            for number, (shard, generation) in enumerate(
+                zip(index.shards, index.generations)
+            )
+        ],
+    }
+
+
+def _read_manifest(directory: Path) -> dict:
+    path = directory / _MANIFEST_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not a valid manifest: {exc}") from exc
+    if manifest.get("format") != SHARDED_STORE_FORMAT:
+        raise SerializationError(
+            f"{path} has format {manifest.get('format')!r}, "
+            f"expected {SHARDED_STORE_FORMAT!r}"
+        )
+    if manifest.get("version") not in _SHARDED_SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in _SHARDED_SUPPORTED_VERSIONS)
+        raise SerializationError(
+            f"{path} has unsupported sharded-store version "
+            f"{manifest.get('version')!r} (supported: {supported})"
+        )
+    return manifest
+
+
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def save_sharded_store(directory, index) -> None:
+    """Write a sharded index as a directory: one container file per shard.
+
+    Each shard file is a regular single-index store (reloadable on its own),
+    stamped in ``manifest.json`` with the shard plan and the shard's rebuild
+    generation.  The per-file layout is what makes dirty-shard persistence
+    possible: :func:`refresh_sharded_store` rewrites only shards whose
+    generation moved, leaving clean shard files byte-identical on disk.
+    """
+    from ..indexes.sharded import ShardedIndex
+
+    if not isinstance(index, ShardedIndex):
+        raise SerializationError(
+            "save_sharded_store persists ShardedIndex objects; use save_index "
+            "for monolithic indexes"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for number, shard_index in enumerate(index.shard_indexes):
+        save_index(directory / _shard_file_name(number), shard_index)
+    _write_manifest(directory, _sharded_manifest(index))
+
+
+def refresh_sharded_store(directory, index) -> dict:
+    """Persist an updated sharded index, rewriting only dirty shard files.
+
+    Compares the stored per-shard generation stamps against
+    ``index.generations`` and rewrites exactly the shard files whose
+    generation moved (plus the manifest).  Returns
+    ``{"rewritten": [...], "skipped": count}``.  The shard plan must match
+    the stored one — a re-sharded index needs a full
+    :func:`save_sharded_store`.
+    """
+    from ..indexes.sharded import ShardedIndex
+
+    if not isinstance(index, ShardedIndex):
+        raise SerializationError("refresh_sharded_store needs a ShardedIndex")
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    stored = manifest["shards"]
+    plans = [[shard.start, shard.core_end, shard.end] for shard in index.shards]
+    if [entry["plan"] for entry in stored] != plans:
+        raise SerializationError(
+            f"{directory} stores a different shard plan; save the re-sharded "
+            "index with save_sharded_store instead"
+        )
+    # The refresh only rewrites dirty shard files, so everything the clean
+    # files depend on must match the stored parameters — otherwise untouched
+    # shards would silently answer under a different configuration.
+    expected = _sharded_manifest(index)
+    for field in ("z", "kind", "alphabet", "max_pattern_len", "length"):
+        if manifest.get(field) != expected[field]:
+            raise SerializationError(
+                f"{directory} was saved with {field}={manifest.get(field)!r} "
+                f"but the index has {field}={expected[field]!r}; save it with "
+                "save_sharded_store instead of refreshing"
+            )
+    rewritten = []
+    generations = index.generations
+    for number, entry in enumerate(stored):
+        if int(entry["generation"]) != generations[number]:
+            save_index(directory / entry["file"], index.shard_indexes[number])
+            rewritten.append(number)
+    _write_manifest(directory, _sharded_manifest(index))
+    return {"rewritten": rewritten, "skipped": len(stored) - len(rewritten)}
+
+
+def load_sharded_store(directory, *, mmap: bool = True):
+    """Reload a sharded index from a directory store.
+
+    Shard files load exactly like single-index stores (memory-mapped by
+    default); the parent probability matrix is reassembled from the shards'
+    core slices, so the directory holds no duplicate full-string copy.
+    """
+    from ..indexes.sharded import Shard, ShardedIndex
+    from ..indexes.space import IndexStats
+
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    alphabet = Alphabet(manifest["alphabet"])
+    z = float(manifest["z"])
+    shards = []
+    indexes = []
+    generations = []
+    for entry in manifest["shards"]:
+        start, core_end, end = (int(value) for value in entry["plan"])
+        shards.append(Shard(start=start, core_end=core_end, end=end))
+        generations.append(int(entry["generation"]))
+        indexes.append(load_index(directory / entry["file"], mmap=mmap))
+    cores = [
+        index.source.matrix[: shard.core_end - shard.start]
+        for shard, index in zip(shards, indexes)
+    ]
+    matrix = np.vstack(cores) if cores else np.empty((0, alphabet.size))
+    source = WeightedString(matrix, alphabet)
+    stats = IndexStats(
+        name=f"SHARDED[{manifest['kind']}]",
+        index_size_bytes=sum(index.stats.index_size_bytes for index in indexes),
+        counters={
+            "shards": len(shards),
+            "kind": manifest["kind"],
+            "overlap": int(manifest["max_pattern_len"]) - 1,
+            "loaded_from_store": True,
+            "generations": list(generations),
+        },
+    )
+    return ShardedIndex(
+        source,
+        z,
+        shards,
+        indexes,
+        manifest["kind"],
+        int(manifest["max_pattern_len"]),
+        stats,
+        generations=generations,
+    )

@@ -18,8 +18,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..errors import QueryError
-from ..indexes.base import coerce_pattern_array
+from ..indexes.base import affected_pattern_starts, coerce_pattern_array
 from ..indexes.query import Query, QueryPlanner, QueryResult
 
 __all__ = ["QueryService"]
@@ -62,9 +64,13 @@ class QueryService:
         self._cache_size = max(0, int(cache_size))
         self._cache_enabled = bool(cache_enabled) and self._cache_size > 0
         self._queries = 0
-        self._hits = 0
+        self._cache_hits = 0
+        self._dedup_hits = 0
         self._misses = 0
         self._evictions = 0
+        self._updates = 0
+        self._invalidations = 0
+        self._generation = 0
 
     # -- shape ------------------------------------------------------------------
     @property
@@ -79,8 +85,14 @@ class QueryService:
 
     @property
     def hits(self) -> int:
-        """Cache hits so far (cheap accessor for per-request hit detection)."""
-        return self._hits
+        """Requests served without execution so far: cache hits plus in-batch
+        duplicates (cheap accessor for per-request hit detection)."""
+        return self._cache_hits + self._dedup_hits
+
+    @property
+    def generation(self) -> int:
+        """Number of update batches applied through this service."""
+        return self._generation
 
     # -- queries ----------------------------------------------------------------
     def query(self, pattern, *, mode="locate", k=None, z=None, zs=None) -> QueryResult:
@@ -115,17 +127,20 @@ class QueryService:
         keys = [self._key(query) for query in queries]
         results: list[QueryResult | None] = [None] * len(queries)
         pending: OrderedDict[tuple, list[int]] = OrderedDict()
-        hits = misses = 0
+        cache_hits = dedup_hits = misses = 0
         for position, key in enumerate(keys):
             if self._cache_enabled and key in self._cache:
                 self._cache.move_to_end(key)
                 results[position] = self._cache[key]
-                hits += 1
+                cache_hits += 1
             elif key in pending:
                 # Duplicate of an uncached request earlier in this batch:
-                # served without a second execution, counted as a hit.
+                # served without a second execution.  Tracked separately from
+                # cache hits but counted into the hit rate — it reflects
+                # traffic served without touching the index, whether the
+                # saved execution came from the cache or from deduplication.
                 pending[key].append(position)
-                hits += 1
+                dedup_hits += 1
             else:
                 pending[key] = [position]
                 misses += 1
@@ -138,7 +153,8 @@ class QueryService:
                 for position in positions:
                     results[position] = answer
                 self._store(key, answer)
-        self._hits += hits
+        self._cache_hits += cache_hits
+        self._dedup_hits += dedup_hits
         self._misses += misses
         self._queries += len(queries)
         return results
@@ -159,19 +175,83 @@ class QueryService:
             self._cache.popitem(last=False)
             self._evictions += 1
 
+    # -- updates ----------------------------------------------------------------
+    def update(self, updates) -> dict:
+        """Apply point updates to the served index, invalidating stale entries.
+
+        ``updates`` is a sequence of ``(position, distribution)`` pairs,
+        forwarded to :meth:`UncertainStringIndex.apply_updates`.  Cache
+        invalidation is *exact*: an update at position ``u`` can only change
+        a pattern's answer through the occurrence starts whose window covers
+        ``u`` (see :func:`~repro.indexes.base.affected_pattern_starts`), so
+        each cached entry's occurrence probabilities over that window are
+        probed before and after the update — entries whose probed
+        probabilities are bit-identical kept their answer and survive, every
+        other entry is dropped.  A cached result is therefore never served
+        after an update that changed it, and entries the update could not
+        have touched keep producing cache hits.
+        """
+        source = self._index.source
+        n = len(source)
+        # Materialize once: the batch is iterated here for probing and again
+        # inside apply_updates — a generator would be exhausted after the
+        # first pass and the update silently dropped.
+        updates = list(updates)
+        # Coercion validates the batch and yields the touched positions
+        # before anything mutates (the raw updates are re-coerced inside
+        # apply_updates; coercion is deterministic, so the rows agree).
+        positions = sorted({p for p, _ in source.coerce_updates(updates)})
+        probes: list[tuple[tuple, np.ndarray, np.ndarray]] = []
+        if positions and self._cache:
+            for key in self._cache:
+                codes = np.frombuffer(key[0], dtype=np.int64)
+                starts = affected_pattern_starts(len(codes), positions, n)
+                probes.append(
+                    (key, starts, source.occurrence_log_probabilities(codes, starts))
+                )
+        report = self._index.apply_updates(updates)
+        invalidated = 0
+        for key, starts, before in probes:
+            codes = np.frombuffer(key[0], dtype=np.int64)
+            after = source.occurrence_log_probabilities(codes, starts)
+            if not np.array_equal(before, after):
+                self._cache.pop(key, None)
+                invalidated += 1
+        self._updates += 1
+        self._invalidations += invalidated
+        self._generation += 1
+        response = report.as_dict()
+        response["invalidated_entries"] = invalidated
+        response["surviving_entries"] = len(self._cache)
+        response["service_generation"] = self._generation
+        return response
+
     # -- introspection ----------------------------------------------------------
     def stats(self) -> dict:
-        """Serving counters: requests, hits, misses, evictions, hit rate."""
-        answered = self._hits + self._misses
+        """Serving counters: requests, hits, misses, evictions, updates.
+
+        ``hits`` counts every request served without an execution — true
+        cache hits plus requests deduplicated inside a batch (broken down in
+        ``cache_hits`` / ``dedup_hits``) — so ``hit_rate`` reflects the
+        served traffic, not only the cache.
+        """
+        hits = self._cache_hits + self._dedup_hits
+        answered = hits + self._misses
         return {
             "queries": self._queries,
-            "hits": self._hits,
+            "hits": hits,
+            "cache_hits": self._cache_hits,
+            "dedup_hits": self._dedup_hits,
             "misses": self._misses,
             "evictions": self._evictions,
-            "hit_rate": self._hits / answered if answered else 0.0,
+            "hit_rate": hits / answered if answered else 0.0,
             "entries": len(self._cache),
             "capacity": self._cache_size,
             "cache_enabled": self._cache_enabled,
+            "updates": self._updates,
+            "invalidations": self._invalidations,
+            "generation": self._generation,
+            "index_generation": getattr(self._index, "generation", 0),
         }
 
     def clear_cache(self) -> None:
@@ -179,5 +259,7 @@ class QueryService:
         self._cache.clear()
 
     def reset_stats(self) -> None:
-        """Zero the serving counters (the cache content is kept)."""
-        self._queries = self._hits = self._misses = self._evictions = 0
+        """Zero the serving counters (cache content and generation are kept)."""
+        self._queries = self._cache_hits = self._dedup_hits = 0
+        self._misses = self._evictions = 0
+        self._updates = self._invalidations = 0

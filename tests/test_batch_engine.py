@@ -80,7 +80,11 @@ class TestEdgeCases:
         engine = BatchQueryEngine(index)
         results = engine.match_many([pattern, pattern, pattern])
         assert results == [index.locate(pattern)] * 3
-        assert engine.last_stats == {"patterns": 3, "unique_patterns": 1}
+        assert engine.last_stats == {
+            "patterns": 3,
+            "unique_patterns": 1,
+            "generation": 0,
+        }
 
     def test_duplicate_results_are_independent_lists(self, indexes):
         index = indexes["MWSA"]

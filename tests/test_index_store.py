@@ -155,3 +155,54 @@ class TestFormatValidation:
         )
         with pytest.raises(SerializationError, match="family"):
             load_index(path)
+
+
+class TestShardedDirectoryStore:
+    """The per-shard directory store and its manifest validation."""
+
+    def _sharded(self, stored_source):
+        return build_index(
+            stored_source, 4.0, kind="MWSA", ell=4, shards=3, max_pattern_len=8
+        )
+
+    def test_round_trip(self, tmp_path, stored_source):
+        from repro.io.store import load_sharded_store, save_sharded_store
+
+        index = self._sharded(stored_source)
+        save_sharded_store(tmp_path / "store", index)
+        loaded = load_sharded_store(tmp_path / "store")
+        assert np.array_equal(
+            np.asarray(loaded.source.matrix), stored_source.matrix
+        )
+        assert loaded.generations == index.generations
+        for pattern in _patterns(stored_source):
+            assert loaded.locate(pattern) == index.locate(pattern)
+
+    def test_monolithic_rejected(self, tmp_path, stored_source):
+        from repro.io.store import save_sharded_store
+
+        mono = build_index(stored_source, 4.0, kind="MWSA", ell=4)
+        with pytest.raises(SerializationError, match="ShardedIndex"):
+            save_sharded_store(tmp_path / "store", mono)
+
+    def test_bad_manifest_rejected(self, tmp_path, stored_source):
+        from repro.io.store import load_sharded_store, save_sharded_store
+
+        index = self._sharded(stored_source)
+        save_sharded_store(tmp_path / "store", index)
+        manifest = json.loads((tmp_path / "store" / "manifest.json").read_text())
+        manifest["format"] = "something.else"
+        (tmp_path / "store" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError, match="format"):
+            load_sharded_store(tmp_path / "store")
+
+    def test_refresh_rejects_different_shard_plan(self, tmp_path, stored_source):
+        from repro.io.store import refresh_sharded_store, save_sharded_store
+
+        index = self._sharded(stored_source)
+        save_sharded_store(tmp_path / "store", index)
+        resharded = build_index(
+            stored_source, 4.0, kind="MWSA", ell=4, shards=2, max_pattern_len=8
+        )
+        with pytest.raises(SerializationError, match="shard plan"):
+            refresh_sharded_store(tmp_path / "store", resharded)

@@ -307,7 +307,11 @@ class TestPlannerStrategies:
     def test_engine_compat_wrapper(self, indexes, patterns):
         engine = BatchQueryEngine(indexes["MWSA"])
         results = engine.match_many([patterns[0], patterns[0]])
-        assert engine.last_stats == {"patterns": 2, "unique_patterns": 1}
+        assert engine.last_stats == {
+            "patterns": 2,
+            "unique_patterns": 1,
+            "generation": 0,
+        }
         assert results[0] == indexes["MWSA"].locate(patterns[0])
 
     def test_sweep_counts_subqueries(self, indexes, patterns):

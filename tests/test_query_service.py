@@ -132,6 +132,129 @@ class TestQueryServiceCache:
         assert service.stats()["misses"] == 1
 
 
+class TestDedupAccounting:
+    """Pin the served-traffic accounting: in-batch duplicates count as hits."""
+
+    def test_dedup_hits_counted_into_hit_rate(self, index):
+        service = QueryService(index)
+        pattern = [0, 0, 1, 0]
+        service.query_many([pattern, pattern, pattern, [0, 1, 0, 0]])
+        stats = service.stats()
+        assert stats["misses"] == 2
+        assert stats["cache_hits"] == 0
+        assert stats["dedup_hits"] == 2
+        assert stats["hits"] == stats["cache_hits"] + stats["dedup_hits"] == 2
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        # A repeat of the now-cached pattern is a true cache hit.
+        service.query(pattern)
+        stats = service.stats()
+        assert stats["cache_hits"] == 1 and stats["dedup_hits"] == 2
+        assert stats["hits"] == 3
+
+    def test_dedup_hits_still_counted_with_cache_disabled(self, index):
+        service = QueryService(index, cache_enabled=False)
+        pattern = [0, 1, 0, 0]
+        results = service.query_many([pattern, pattern])
+        assert results[0] is results[1]  # deduplicated, one execution
+        stats = service.stats()
+        assert stats["misses"] == 1 and stats["dedup_hits"] == 1
+        assert stats["cache_hits"] == 0
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def fresh_update_fixture():
+    """A service over a 3-letter index whose updates we fully control.
+
+    Positions 0..5 spell certain 'ABABAB'; 6 and 8..11 are certain 'C';
+    position 7 is uncertain ``{A: 0.5, B: 0.25, C: 0.25}``.  Built per-test
+    (module fixtures must stay pristine across mutation tests).
+    """
+    import numpy as np
+
+    from repro.core.alphabet import Alphabet
+    from repro.core.weighted_string import WeightedString
+
+    matrix = np.zeros((12, 3))
+    for position in range(6):
+        matrix[position, position % 2] = 1.0  # A B A B A B
+    matrix[6:, 2] = 1.0  # C C C C C C
+    matrix[7] = [0.5, 0.25, 0.25]
+    source = WeightedString(matrix, Alphabet("ABC"))
+    service_index = build_index(source, Z, kind="MWSA", ell=2)
+    return source, service_index, QueryService(service_index)
+
+
+class TestUpdateInvalidation:
+    def test_changed_entry_never_served_stale(self):
+        source, index, service = fresh_update_fixture()
+        before = service.query("ABAB").positions
+        assert 0 in before
+        response = service.update([(1, {"C": 1.0})])  # breaks every ABAB hit
+        assert response["invalidated_entries"] == 1
+        after = service.query("ABAB")
+        assert after.positions == index.locate("ABAB")
+        assert 0 not in after.positions
+        stats = service.stats()
+        assert stats["misses"] == 2  # the post-update query re-executed
+        assert stats["updates"] == 1 and stats["invalidations"] == 1
+        assert stats["generation"] == 1 and stats["index_generation"] == 1
+
+    def test_unaffected_entries_survive_and_hit(self):
+        source, index, service = fresh_update_fixture()
+        survivor = service.query("ABA").positions
+        # Every probed 'ABA' probability around position 10 is 0 before and
+        # after (position 8..11 carry no A/B mass either way): the entry's
+        # answer cannot have changed and must survive.
+        response = service.update([(10, {"B": 0.3, "C": 0.7})])
+        assert response["invalidated_entries"] == 0
+        assert response["surviving_entries"] == 1
+        hits_before = service.stats()["cache_hits"]
+        again = service.query("ABA")
+        assert service.stats()["cache_hits"] == hits_before + 1
+        assert again.positions == survivor == index.locate("ABA")
+
+    def test_probability_neutral_update_keeps_entry(self):
+        source, index, service = fresh_update_fixture()
+        service.query("AC")  # occurs at 7 via P(A@7) = 0.5, P(C@8) = 1
+        # The update only moves the B/C split at position 7; P(A@7) stays
+        # exactly 0.5, so every probed 'AC' probability is bit-identical.
+        # Exact binary fractions summing to 1.0: renormalization is a no-op
+        # and P(A@7) keeps its exact bits.
+        response = service.update([(7, {"A": 0.5, "B": 0.125, "C": 0.375})])
+        assert response["invalidated_entries"] == 0
+        hits_before = service.stats()["cache_hits"]
+        service.query("AC")
+        assert service.stats()["cache_hits"] == hits_before + 1
+
+    def test_update_invalidates_only_affected_among_many(self):
+        source, index, service = fresh_update_fixture()
+        service.query("ABAB")   # touches position 1
+        service.query("BA")     # touches position 1 via starts {0,1}
+        service.query("AA")     # tail-only pattern, P=0.25 per A at 6..11
+        response = service.update([(1, {"A": 0.5, "B": 0.5})])
+        # P(A at 1) goes 0 → 0.5, which moves probed probabilities of all
+        # three patterns (e.g. 'AA' at start 0 goes 0 → 0.5): all are
+        # affected, none may be served stale.
+        assert response["invalidated_entries"] == 3
+        for pattern in ("ABAB", "BA", "AA"):
+            assert service.query(pattern).positions == index.locate(pattern)
+
+    def test_update_with_cache_disabled(self):
+        source, index, service_ignored = fresh_update_fixture()
+        service = QueryService(index, cache_enabled=False)
+        response = service.update([(0, {"B": 1.0})])
+        assert response["invalidated_entries"] == 0
+        assert service.query("BB").positions == index.locate("BB")
+
+    def test_mode_specific_entries_checked_independently(self):
+        source, index, service = fresh_update_fixture()
+        service.query("ABAB", mode="count")
+        service.query("ABAB", mode="topk", k=2)
+        response = service.update([(1, {"C": 1.0})])
+        assert response["invalidated_entries"] == 2
+        assert service.query("ABAB", mode="count").count == index.count("ABAB")
+
+
 @pytest.fixture()
 def pwm_path(tmp_path, paper_example):
     path = tmp_path / "example.pwm"
@@ -227,6 +350,49 @@ class TestServeCli:
         assert stats["stats"]["hits"] == 1 and stats["stats"]["misses"] == 2
         assert final["stats"]["queries"] == 3
 
+    def test_serve_update_op(self, monkeypatch, capsys, pwm_path):
+        script = (
+            "AAAA\n"
+            '{"cmd": "update", "updates": [{"position": 0, "distribution": {"B": 1.0}}]}\n'
+            "AAAA\n"
+            "stats\n"
+        )
+        exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
+        assert exit_code == 0
+        before, update, after, stats, final = lines
+        assert before["positions"] == [0]
+        assert update["update"]["positions"] == [0]
+        assert update["update"]["strategy"] in {"localized", "full-rebuild"}
+        assert update["update"]["invalidated_entries"] == 1
+        assert after["positions"] == []  # the update killed the occurrence
+        assert after["cached"] is False
+        assert stats["stats"]["updates"] == 1
+        assert stats["stats"]["index_generation"] == 1
+
+    def test_serve_malformed_update_keeps_loop_alive(self, monkeypatch, capsys, pwm_path):
+        script = '{"cmd": "update", "updates": [{"position": 999}]}\nAAAA\n'
+        exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
+        assert exit_code == 0
+        bad, good, final = lines
+        assert "position" in bad["error"]
+        assert good["positions"] == [0]
+
+    def test_serve_update_must_be_explicit(self, monkeypatch, capsys, pwm_path):
+        """A stray 'updates' field on a query must error, never mutate."""
+        script = (
+            '{"pattern": "AAAA", "updates": [{"position": 0, "distribution": {"B": 1.0}}]}\n'
+            '{"cmd": "update", "pattern": "AAAA", "updates": []}\n'
+            "AAAA\n"
+        )
+        exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
+        assert exit_code == 0
+        stray, mixed, query, final = lines
+        assert "cmd" in stray["error"]
+        assert "pattern" in mixed["error"]
+        # The index was never mutated: AAAA still occurs at 0.
+        assert query["positions"] == [0]
+        assert final["stats"]["updates"] == 0
+
     def test_serve_bad_requests_keep_the_loop_alive(self, monkeypatch, capsys, pwm_path):
         script = "AAA\n{broken json\n" + '{"mode": "locate"}\n' + "AAAA\n"
         exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
@@ -278,3 +444,64 @@ class TestServeCli:
         exit_code, lines = self._serve(monkeypatch, capsys, pwm_path, script)
         assert exit_code == 0
         assert "at least one z" in lines[0]["error"]
+
+
+class TestUpdateCli:
+    def test_update_single_file_store(self, tmp_path, pwm_path, capsys):
+        store = tmp_path / "example.idx"
+        assert cli_main(["build", *build_args(pwm_path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        updates = tmp_path / "updates.json"
+        updates.write_text(
+            json.dumps([{"position": 0, "distribution": {"B": 1.0}}])
+        )
+        assert (
+            cli_main(["update", "--store", str(store), "--updates-file", str(updates)])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["positions"] == [0]
+        assert payload["store"]["path"] == str(store)
+        # The rewritten store serves the mutated string: AAAA no longer occurs.
+        assert cli_main(["query", "--store", str(store), "--json", "AAAA"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["results"][0]["positions"] == []
+
+    def test_update_directory_store_rewrites_dirty_shards_only(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.alphabet import Alphabet
+        from repro.core.weighted_string import WeightedString
+
+        rng = np.random.default_rng(21)
+        matrix = np.full((60, 2), 0.1)
+        matrix[np.arange(60), rng.integers(0, 2, 60)] = 0.9
+        write_path = tmp_path / "big.pwm"
+        write_pwm(write_path, WeightedString(matrix, Alphabet("AB"), normalize=True))
+        store = tmp_path / "shards"
+        assert (
+            cli_main(
+                ["build", "--pwm", str(write_path), "--z", "4", "--ell", "4",
+                 "--kind", "MWSA", "--shards", "3", "--store-dir", str(store)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            cli_main(
+                ["update", "--store", str(store), "--updates",
+                 '[{"position": 1, "distribution": {"A": 1.0}}]']
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "dirty-shards"
+        assert payload["store"]["rewritten"] == payload["rebuilt_shards"] == [0]
+        assert payload["store"]["skipped"] == 2
+
+    def test_update_requires_exactly_one_source_of_updates(self, tmp_path, pwm_path, capsys):
+        store = tmp_path / "example.idx"
+        assert cli_main(["build", *build_args(pwm_path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert cli_main(["update", "--store", str(store)]) == 1
+        assert "exactly one" in capsys.readouterr().err

@@ -89,6 +89,32 @@ class TestShardedEquivalence:
             )
         assert sharded.match_many(patterns) == mono.match_many(patterns)
 
+        # Update sweep: a point update inside each overlap region must dirty
+        # both adjacent shards, and the repaired sharded index must stay
+        # bit-identical to a monolithic rebuild on the mutated string.
+        updates = []
+        for number, shard in enumerate(sharded.shards[:-1]):
+            if shard.core_end < shard.end:  # inside the overlap
+                updates.append((number, shard.core_end))
+        for number, position in updates:
+            report = sharded.apply_updates(
+                [(position, {source.alphabet.letter(0): 1.0})]
+            )
+            assert report.strategy == "dirty-shards"
+            # The first overlap position of shard ``number`` is also the
+            # start of shard ``number + 1``'s core: both must rebuild.
+            expected_dirty = [number, number + 1]
+            assert report.details["rebuilt_shards"] == expected_dirty, (
+                f"overlap update at {position} must dirty shards {expected_dirty}"
+            )
+        if updates:
+            mono_after = build_index(source, z, kind=kind, ell=ell)
+            for pattern in patterns:
+                expected = brute_force_occurrences(source, pattern, z)
+                assert sharded.locate(pattern) == expected
+                assert mono_after.locate(pattern) == expected
+            assert sharded.match_many(patterns) == mono_after.match_many(patterns)
+
     def test_single_shard_equals_monolithic_sizes(self, random_weighted_string_factory):
         source = _source(random_weighted_string_factory)
         mono = build_index(source, 4, kind="MWSA", ell=4)
