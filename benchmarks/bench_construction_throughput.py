@@ -1,0 +1,262 @@
+"""Construction-throughput benchmark — array-backed fast path vs reference.
+
+Not a paper figure: this benchmark tracks the structure-of-arrays
+construction pipeline (vectorised z-estimation materialisation, radix-sorted
+leaf arrays, vectorised mismatch extraction).  For a synthetic
+sparse-uncertainty source (default n = 20,000) it builds every index variant
+through both construction paths:
+
+* ``reference`` — the frozen per-position / per-leaf path (the pre-array
+  implementation, kept selectable precisely for this comparison);
+* ``vectorized`` — the array-backed fast path (the default everywhere).
+
+Both paths must answer a shared pattern batch bit-identically (checked for
+every variant, including the sharded build), and the *monolithic minimizer
+family* (MWST, MWSA, MWST-G, MWSA-G) must build at least ``3x`` faster
+through the fast path at the default size — the acceptance bar of the
+array-backed construction work.  ``MWST-SE`` has a single (space-efficient
+DFS) construction whose hot path was itself rewritten, so it is reported
+new-path-only.  Peak construction memory is measured per build with
+``tracemalloc`` in a separate untimed pass.  Run under pytest-benchmark
+(``pytest benchmarks/ --benchmark-only``) or standalone::
+
+    python benchmarks/bench_construction_throughput.py --length 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+SOURCE_ROOT = Path(__file__).resolve().parent.parent / "src"
+if str(SOURCE_ROOT) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(SOURCE_ROOT))
+
+import pytest
+
+from repro.bench.measure import peak_rss_bytes
+from repro.datasets.patterns import sample_random_patterns, sample_valid_patterns
+from repro.datasets.synthetic import sparse_uncertainty_string
+from repro.indexes import build_index
+
+DEFAULT_LENGTH = 20_000
+DEFAULT_Z = 8.0
+DEFAULT_ELL = 16
+DEFAULT_SHARDS = 8
+DEFAULT_PATTERNS = 100
+#: Variants with both construction paths (7 registered kinds minus MWST-SE).
+TWO_PATH_KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G")
+#: The kinds the acceptance bar is asserted on (aggregate build time).
+MONOLITHIC_MINIMIZER_FAMILY = ("MWST", "MWSA", "MWST-G", "MWSA-G")
+#: The acceptance bar: reference-path vs fast-path aggregate build time.
+REQUIRED_SPEEDUP = 3.0
+
+
+def make_workload(length: int, pattern_count: int, z: float, ell: int):
+    source = sparse_uncertainty_string(length, 4, delta=0.1, seed=17)
+    valid = (7 * pattern_count) // 10
+    patterns = sample_valid_patterns(source, z, m=ell, count=valid, seed=5)
+    patterns += sample_random_patterns(
+        source, m=ell, count=pattern_count - valid, seed=6
+    )
+    return source, patterns
+
+
+def build_variant(source, z, ell, kind, method, shards=None):
+    """One full construction through the chosen path."""
+    options = {"method": method}
+    if kind == "MWST-SE":
+        options = {}  # single construction path
+    if shards is not None:
+        return build_index(
+            source, z, kind=kind, ell=ell, shards=shards,
+            max_pattern_len=2 * ell, **options,
+        )
+    return build_index(source, z, kind=kind, ell=ell, **options)
+
+
+def traced_peak_mb(builder) -> float:
+    """Peak tracemalloc bytes of one build, in MB (separate untimed pass)."""
+    tracemalloc.start()
+    builder()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / 1e6
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry points (tiny workload)                                #
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def construction_workload():
+    return make_workload(4_000, 30, DEFAULT_Z, DEFAULT_ELL)
+
+
+@pytest.mark.parametrize("kind", ["MWSA", "MWST", "MWSA-G", "MWST-SE"])
+def test_construction_fast_path(benchmark, construction_workload, kind):
+    source, _ = construction_workload
+    index = benchmark(
+        lambda: build_variant(source, DEFAULT_Z, DEFAULT_ELL, kind, "vectorized")
+    )
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["index_size_mb"] = round(
+        index.stats.index_size_bytes / 1e6, 4
+    )
+
+
+def test_reference_and_fast_path_agree(construction_workload):
+    source, patterns = construction_workload
+    for kind in ("MWSA", "MWST-G"):
+        old = build_variant(source, DEFAULT_Z, DEFAULT_ELL, kind, "reference")
+        new = build_variant(source, DEFAULT_Z, DEFAULT_ELL, kind, "vectorized")
+        assert old.match_many(patterns) == new.match_many(patterns)
+
+
+# --------------------------------------------------------------------------- #
+# standalone runner                                                            #
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    parser.add_argument("--z", type=float, default=DEFAULT_Z)
+    parser.add_argument("--ell", type=int, default=DEFAULT_ELL)
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS)
+    parser.add_argument("--patterns", type=int, default=DEFAULT_PATTERNS)
+    parser.add_argument(
+        "--skip-memory", action="store_true",
+        help="skip the separate tracemalloc peak-memory pass",
+    )
+    parser.add_argument(
+        "--require-speedup", type=float, default=None,
+        help=f"fail unless the monolithic minimizer family builds this much "
+        f"faster through the fast path (default: {REQUIRED_SPEEDUP:g} at "
+        f"n >= {DEFAULT_LENGTH}, off below)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable report")
+    arguments = parser.parse_args(argv)
+
+    source, patterns = make_workload(
+        arguments.length, arguments.patterns, arguments.z, arguments.ell
+    )
+    required = arguments.require_speedup
+    if required is None and arguments.length >= DEFAULT_LENGTH:
+        required = REQUIRED_SPEEDUP
+    if not arguments.json:
+        print(
+            f"workload: n={len(source)}, z={arguments.z:g}, ell={arguments.ell}, "
+            f"shards={arguments.shards}, {len(patterns)} patterns, "
+            f"{os.cpu_count()} cpus"
+        )
+
+    # Warm caches (numpy kernels, dataset pages) so the first timed build is
+    # not charged the process's one-off costs.
+    warmup_source, _ = make_workload(min(1_000, arguments.length), 4, arguments.z, arguments.ell)
+    for method in ("reference", "vectorized"):
+        build_variant(warmup_source, arguments.z, arguments.ell, "MWSA", method)
+
+    rows = []
+    family_old = family_new = 0.0
+    targets = [(kind, None) for kind in TWO_PATH_KINDS]
+    targets.append(("MWSA", arguments.shards))  # the sharded build
+    for kind, shards in targets:
+        label = f"SHARDED[{kind}]x{shards}" if shards else kind
+        started = time.perf_counter()
+        old_index = build_variant(
+            source, arguments.z, arguments.ell, kind, "reference", shards
+        )
+        old_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        new_index = build_variant(
+            source, arguments.z, arguments.ell, kind, "vectorized", shards
+        )
+        new_seconds = time.perf_counter() - started
+        if old_index.match_many(patterns) != new_index.match_many(patterns):
+            print(f"MISMATCH: {label} answers differ between construction paths")
+            return 1
+        row = {
+            "kind": label,
+            "reference_seconds": old_seconds,
+            "vectorized_seconds": new_seconds,
+            "speedup": old_seconds / new_seconds if new_seconds > 0 else None,
+        }
+        if not arguments.skip_memory:
+            row["reference_peak_mb"] = traced_peak_mb(
+                lambda: build_variant(
+                    source, arguments.z, arguments.ell, kind, "reference", shards
+                )
+            )
+            row["vectorized_peak_mb"] = traced_peak_mb(
+                lambda: build_variant(
+                    source, arguments.z, arguments.ell, kind, "vectorized", shards
+                )
+            )
+        rows.append(row)
+        if kind in MONOLITHIC_MINIMIZER_FAMILY and shards is None:
+            family_old += old_seconds
+            family_new += new_seconds
+
+    # MWST-SE: one construction path, reported for completeness.
+    started = time.perf_counter()
+    se_index = build_variant(source, arguments.z, arguments.ell, "MWST-SE", None)
+    se_seconds = time.perf_counter() - started
+    se_row = {"kind": "MWST-SE", "vectorized_seconds": se_seconds}
+    if not arguments.skip_memory:
+        se_row["vectorized_peak_mb"] = traced_peak_mb(
+            lambda: build_variant(source, arguments.z, arguments.ell, "MWST-SE", None)
+        )
+    se_index.match_many(patterns)  # exercise the built index
+    rows.append(se_row)
+
+    family_speedup = family_old / family_new if family_new > 0 else None
+    from repro.bench.metadata import run_metadata
+
+    report = {
+        "schema": "repro.bench.construction_throughput.v1",
+        "metadata": run_metadata(),
+        "length": len(source),
+        "z": arguments.z,
+        "ell": arguments.ell,
+        "patterns": len(patterns),
+        "rows": rows,
+        "monolithic_minimizer_family_speedup": family_speedup,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if arguments.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for row in rows:
+            parts = [f"{row['kind']}:"]
+            if "reference_seconds" in row:
+                parts.append(f"old={row['reference_seconds']:.3f}s")
+            parts.append(f"new={row['vectorized_seconds']:.3f}s")
+            if row.get("speedup") is not None:
+                parts.append(f"speedup={row['speedup']:.2f}x")
+            if "vectorized_peak_mb" in row:
+                if "reference_peak_mb" in row:
+                    parts.append(
+                        f"peak {row['reference_peak_mb']:.1f}->"
+                        f"{row['vectorized_peak_mb']:.1f}MB"
+                    )
+                else:
+                    parts.append(f"peak {row['vectorized_peak_mb']:.1f}MB")
+            print("  ".join(parts))
+        print(
+            f"monolithic minimizer family (MWST/MWSA/±G) aggregate speedup: "
+            f"{family_speedup:.2f}x"
+        )
+    if required is not None and (family_speedup is None or family_speedup < required):
+        print(
+            f"FAIL: monolithic minimizer family speedup {family_speedup:.2f}x "
+            f"is below the required {required:g}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.datasets.genomes import efm_like
 from repro.datasets.patterns import mutate_pattern
+from repro.bench.measure import measure_build
 from repro.indexes import build_index
 
 GENOME_LENGTH = 20_000
@@ -51,12 +52,22 @@ def main() -> None:
     print(f"simulated pangenome: {dataset.describe()}")
 
     print("\nbuilding indexes (threshold 1/z = 1/%d, minimum read length %d)..." % (Z, READ_LENGTH))
-    space_efficient = build_index(weighted, Z, kind="MWST-SE", ell=READ_LENGTH)
-    baseline = build_index(weighted, Z, kind="WSA")
-    print(f"  MWST-SE: size {space_efficient.stats.index_size_bytes / 1e6:.2f} MB, "
-          f"construction space {space_efficient.stats.construction_space_bytes / 1e6:.2f} MB")
-    print(f"  WSA    : size {baseline.stats.index_size_bytes / 1e6:.2f} MB, "
-          f"construction space {baseline.stats.construction_space_bytes / 1e6:.2f} MB")
+    se_measured = measure_build(
+        lambda: build_index(weighted, Z, kind="MWST-SE", ell=READ_LENGTH),
+        "MWST-SE", trace_memory=True,
+    )
+    wsa_measured = measure_build(
+        lambda: build_index(weighted, Z, kind="WSA"), "WSA", trace_memory=True
+    )
+    space_efficient = se_measured.index
+    baseline = wsa_measured.index
+    for measured in (se_measured, wsa_measured):
+        stats = measured.index.stats
+        peak_mb = (measured.tracemalloc_peak_bytes or 0) / 1e6
+        print(f"  {measured.name:7s}: size {stats.index_size_bytes / 1e6:.2f} MB, "
+              f"built in {measured.seconds:.2f} s, "
+              f"measured peak {peak_mb:.2f} MB "
+              f"(space model: {stats.construction_space_bytes / 1e6:.2f} MB)")
 
     reads = simulate_reads(dataset, READ_COUNT, READ_LENGTH)
     mapped = 0

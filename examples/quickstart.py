@@ -12,6 +12,7 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import WeightedString, build_z_estimation
+from repro.bench.measure import measure_build
 from repro.core.heavy import HeavyString
 from repro.indexes import brute_force_occurrences, build_index
 
@@ -45,8 +46,15 @@ def main() -> None:
         print(f"  S{j + 1} = {estimation.text(j)}   pi = {estimation.ends[j].tolist()}")
 
     # --- Indexing and querying (through the central index factory). ----------
-    baseline = build_index(uncertain, z, kind="WSA")
-    minimizer_index = build_index(uncertain, z, kind="MWSA", ell=4)
+    baseline_measured = measure_build(
+        lambda: build_index(uncertain, z, kind="WSA"), "WSA", trace_memory=True
+    )
+    minimizer_measured = measure_build(
+        lambda: build_index(uncertain, z, kind="MWSA", ell=4), "MWSA",
+        trace_memory=True,
+    )
+    baseline = baseline_measured.index
+    minimizer_index = minimizer_measured.index
 
     for text in ("AAAA", "BAAB", "BABA", "ABAA"):
         expected = brute_force_occurrences(uncertain, text, z)
@@ -58,9 +66,14 @@ def main() -> None:
         )
         assert from_baseline == expected == from_minimizer
 
-    print("\nindex sizes (space model):")
-    print(f"  WSA : {baseline.stats.index_size_bytes:6d} bytes")
-    print(f"  MWSA: {minimizer_index.stats.index_size_bytes:6d} bytes")
+    print("\nindex sizes (space model) and measured construction cost:")
+    for measured in (baseline_measured, minimizer_measured):
+        peak_kb = (measured.tracemalloc_peak_bytes or 0) / 1e3
+        print(
+            f"  {measured.name:4s}: {measured.index.stats.index_size_bytes:6d} bytes, "
+            f"built in {1e3 * measured.seconds:.1f} ms "
+            f"(measured peak {peak_kb:.0f} kB)"
+        )
 
 
 if __name__ == "__main__":

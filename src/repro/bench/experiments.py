@@ -91,11 +91,17 @@ def _sweep(
     vary: str,
     value_column: str,
     with_queries: bool = False,
+    trace_memory: bool = False,
     title: str,
     experiment: str,
     description: str,
 ) -> ExperimentResult:
-    """Shared ℓ-sweep / z-sweep runner behind most figures."""
+    """Shared ℓ-sweep / z-sweep runner behind most figures.
+
+    ``trace_memory`` runs every build under the harness's peak-memory
+    tracking (tracemalloc + RSS high-water mark), so the space figures
+    report measured peaks next to the space-model accounting.
+    """
     rows = []
     for dataset_name in datasets:
         source = scale.dataset(dataset_name)
@@ -108,7 +114,9 @@ def _sweep(
             z = scale.default_z(dataset_name) if vary == "ell" else value
             if ell > len(source):
                 continue
-            measurements = build_index_suite(source, z, ell, kinds)
+            measurements = build_index_suite(
+                source, z, ell, kinds, trace_memory=trace_memory
+            )
             patterns = None
             if with_queries:
                 patterns = query_workload(
@@ -201,6 +209,7 @@ def fig08(scale="tiny") -> ExperimentResult:
         TREE_KINDS + ARRAY_KINDS,
         vary="ell",
         value_column="construction_space_mb",
+        trace_memory=True,
         title="Fig. 8 — construction space (MB) vs ell",
         experiment="fig08",
         description="Construction space vs ell",
@@ -216,6 +225,7 @@ def fig09(scale="tiny") -> ExperimentResult:
         TREE_KINDS + ARRAY_KINDS,
         vary="z",
         value_column="construction_space_mb",
+        trace_memory=True,
         title="Fig. 9 — construction space (MB) vs z",
         experiment="fig09",
         description="Construction space vs z",
@@ -300,6 +310,7 @@ def fig13(scale="tiny") -> ExperimentResult:
         SE_KINDS,
         vary="ell",
         value_column="construction_space_mb",
+        trace_memory=True,
         title="Fig. 13(a,b) — construction space (MB) vs ell",
         experiment="fig13",
         description="SE construction space vs ell",
@@ -310,6 +321,7 @@ def fig13(scale="tiny") -> ExperimentResult:
         SE_KINDS,
         vary="z",
         value_column="construction_space_mb",
+        trace_memory=True,
         title="Fig. 13(c,d) — construction space (MB) vs z",
         experiment="fig13",
         description="SE construction space vs z",

@@ -9,12 +9,44 @@
 
 from __future__ import annotations
 
+import sys
 import time
 import tracemalloc
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-__all__ = ["BuildMeasurement", "measure_build", "measure_query_time", "timed"]
+__all__ = [
+    "BuildMeasurement",
+    "measure_build",
+    "measure_query_time",
+    "peak_rss_bytes",
+    "timed",
+]
+
+
+def peak_rss_bytes() -> int | None:
+    """The process's resident-set high-water mark in bytes, if knowable.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` (Linux), falls back to
+    ``resource.getrusage`` (``ru_maxrss`` is KiB on Linux, bytes on macOS),
+    and returns ``None`` on platforms exposing neither.  The value is a
+    process-lifetime maximum — to attribute memory to one build, compare
+    readings before and after, or run the build in a fresh process.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(usage) if sys.platform == "darwin" else int(usage) * 1024
+    except (ImportError, ValueError, OSError):
+        return None
 
 
 def timed(function: Callable, *args, **kwargs):
@@ -34,6 +66,10 @@ class BuildMeasurement:
     index_size_bytes: int
     construction_space_bytes: int
     tracemalloc_peak_bytes: int | None = None
+    #: How much this build raised the process RSS high-water mark (``VmHWM``
+    #: is a process-lifetime maximum, so only the delta is attributable to
+    #: one build; 0 means an earlier allocation already peaked higher).
+    rss_peak_delta_bytes: int | None = None
 
     def as_row(self) -> dict:
         """Flat dictionary row used by the reports."""
@@ -45,6 +81,8 @@ class BuildMeasurement:
         }
         if self.tracemalloc_peak_bytes is not None:
             row["tracemalloc_peak_mb"] = self.tracemalloc_peak_bytes / 1e6
+        if self.rss_peak_delta_bytes is not None:
+            row["rss_peak_delta_mb"] = self.rss_peak_delta_bytes / 1e6
         return row
 
 
@@ -58,8 +96,15 @@ def measure_build(
 
     ``builder`` is a zero-argument callable returning the built index; the
     index is expected to expose the :class:`repro.indexes.space.IndexStats`
-    protocol through its ``stats`` attribute.
+    protocol through its ``stats`` attribute.  Each measurement records how
+    much the build raised the process RSS high-water mark (the mark itself
+    is a process-lifetime maximum, so only the before/after delta is
+    attributable to one build; ``None`` when the platform exposes no RSS);
+    ``trace_memory`` additionally runs the build under ``tracemalloc`` for
+    exact per-build Python-side peaks — the measured companions of the
+    space-model accounting behind Figs. 8–9 and 13–14.
     """
+    rss_before = peak_rss_bytes()
     if trace_memory:
         tracemalloc.start()
     started = time.perf_counter()
@@ -69,6 +114,12 @@ def measure_build(
     if trace_memory:
         _, peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
+    rss_after = peak_rss_bytes()
+    rss_delta = (
+        max(0, rss_after - rss_before)
+        if rss_before is not None and rss_after is not None
+        else None
+    )
     stats = getattr(index, "stats", None)
     index_size = getattr(stats, "index_size_bytes", 0)
     construction_space = getattr(stats, "construction_space_bytes", 0)
@@ -79,6 +130,7 @@ def measure_build(
         index_size_bytes=index_size,
         construction_space_bytes=construction_space,
         tracemalloc_peak_bytes=peak,
+        rss_peak_delta_bytes=rss_delta,
     )
 
 

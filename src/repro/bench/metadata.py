@@ -22,6 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from ..version import __version__
+from .measure import peak_rss_bytes
 
 __all__ = ["run_metadata"]
 
@@ -52,4 +53,8 @@ def run_metadata() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        # Process RSS high-water mark at stamping time: downstream reports
+        # (Figs. 8–9 / 13–14 space plots) read measured peaks from the run
+        # metadata and the per-build rows instead of ad-hoc accounting.
+        "peak_rss_bytes": peak_rss_bytes(),
     }

@@ -22,7 +22,9 @@ Installed as the ``repro-uncertain`` console script.  Six sub-commands:
   invalidation.
 
 ``--json`` on the query sub-commands switches to a stable machine-readable
-schema (positions, probabilities, timing, planner statistics).  Exit codes:
+schema (positions, probabilities, timing, planner statistics); ``build
+--json`` emits the ``repro.build.v1`` schema with the construction
+wall-time and measured peak memory (tracemalloc + RSS).  Exit codes:
 0 on success, 2 for malformed patterns (:class:`~repro.errors.PatternError`),
 1 for every other usage error.
 
@@ -36,6 +38,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 
 from pathlib import Path
 
@@ -186,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="save a sharded index as a directory store (one file per shard; "
         "enables dirty-shard refresh after updates)",
     )
+    build.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (schema repro.build.v1): construction "
+        "wall-time, measured peak memory (tracemalloc + RSS high-water "
+        "mark), index statistics and store timings",
+    )
 
     query = subparsers.add_parser(
         "query", help="answer patterns (building the index or loading it from a store)"
@@ -277,13 +286,26 @@ def _command_info(arguments) -> dict:
 
 
 def _command_build(arguments) -> dict:
+    machine = getattr(arguments, "json", False)
+    if machine:
+        # --json is the measured report: run the build under tracemalloc so
+        # the schema carries an exact Python-side peak, not just the
+        # space-model accounting.
+        tracemalloc.start()
+    started = time.perf_counter()
     index = _build_index(arguments)
+    wall_seconds = time.perf_counter() - started
+    tracemalloc_peak = None
+    if machine:
+        _, tracemalloc_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
     report = index.stats.as_dict()
+    store_report: dict = {}
     if arguments.store:
         started = time.perf_counter()
         save_index(arguments.store, index)
-        report["store"] = arguments.store
-        report["store_seconds"] = time.perf_counter() - started
+        store_report["store"] = arguments.store
+        store_report["store_seconds"] = time.perf_counter() - started
     if arguments.store_dir:
         from .indexes.sharded import ShardedIndex
 
@@ -291,8 +313,22 @@ def _command_build(arguments) -> dict:
             raise ReproError("--store-dir needs a sharded build (use --shards)")
         started = time.perf_counter()
         save_sharded_store(arguments.store_dir, index)
-        report["store_dir"] = arguments.store_dir
-        report["store_dir_seconds"] = time.perf_counter() - started
+        store_report["store_dir"] = arguments.store_dir
+        store_report["store_dir_seconds"] = time.perf_counter() - started
+    if machine:
+        from .bench.measure import peak_rss_bytes
+
+        return {
+            "schema": "repro.build.v1",
+            "build": {
+                "wall_seconds": wall_seconds,
+                "tracemalloc_peak_bytes": tracemalloc_peak,
+                "peak_rss_bytes": peak_rss_bytes(),
+            },
+            "index": report,
+            **store_report,
+        }
+    report.update(store_report)
     return report
 
 

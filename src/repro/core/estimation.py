@@ -55,7 +55,7 @@ from .numerics import RELATIVE_TOLERANCE, validate_threshold
 from .properties import PropertyArray
 from .weighted_string import WeightedString
 
-__all__ = ["ZEstimation", "build_z_estimation"]
+__all__ = ["ZEstimation", "build_z_estimation", "ESTIMATION_METHODS"]
 
 
 def _weight_floor(value: float) -> int:
@@ -257,7 +257,13 @@ class _EstimationBuilder:
         self.root.segments[0] = (lo, position + 1, weight)
 
     def _uncertain_step(self, position: int, row: np.ndarray) -> None:
-        positive = [int(code) for code in np.nonzero(row > 0.0)[0]]
+        # Plain-Python floats: scalar arithmetic on list entries is several
+        # times faster than indexing numpy scalars and bit-identical (both
+        # are IEEE-754 doubles).
+        row_values = row.tolist()
+        positive = [code for code, value in enumerate(row_values) if value > 0.0]
+        floor = math.floor
+        tolerance = RELATIVE_TOLERANCE
         letters = self._letters
         depths = self._depths
         letters[:] = int(np.argmax(row))
@@ -280,7 +286,13 @@ class _EstimationBuilder:
                     pool.append(members[member_index][1])
                     member_index += 1
                 for code in positive:
-                    quota = _weight_floor(weight * row[code])
+                    value = weight * row_values[code]
+                    # Inlined _weight_floor (the innermost arithmetic).
+                    quota = (
+                        0
+                        if value <= 0.0
+                        else int(floor(value + tolerance * (value if value > 1.0 else 1.0)))
+                    )
                     need = quota - committed.get(code, 0)
                     if need <= 0:
                         continue
@@ -336,6 +348,8 @@ class _EstimationBuilder:
                     (int(depths[token]), token)
                 )
 
+        row_values = row.tolist()
+
         def convert(node: _Node) -> dict[int, _Node]:
             child_results = [convert(child) for child in node.children]
             own = survivors_at.get(id(node), {})
@@ -344,7 +358,7 @@ class _EstimationBuilder:
                 codes.update(child_result)
             result: dict[int, _Node] = {}
             for code in codes:
-                scale = float(row[code])
+                scale = row_values[code]
                 segments = []
                 for lo, hi, weight in node.segments:
                     scaled = weight * scale
@@ -405,12 +419,88 @@ class _EstimationBuilder:
         return strings
 
 
-def build_z_estimation(source: WeightedString, z: float) -> ZEstimation:
+class _ArrayEstimationBuilder(_EstimationBuilder):
+    """Vectorised builder: identical output, structure-of-arrays hot path.
+
+    The reference builder dispatches position by position — a handful of
+    numpy calls per position even when the position is certain, which makes
+    the certain fast path O(n) *Python* work.  This builder classifies every
+    position up front with three whole-matrix operations (row sums, positive
+    counts, argmax), materialises all certain columns of every ``S_j`` with
+    one broadcast assignment, and only then walks the (typically sparse)
+    uncertain positions through the inherited group-tree machinery.  The
+    uncertain steps execute the exact same code as the reference builder on
+    the exact same normalised rows, so the resulting family is bit-identical;
+    the construction-parity tests in ``tests/test_estimation.py`` pin this.
+    """
+
+    def build(self) -> ZEstimation:
+        if self.width == 0:
+            raise ConstructionError("z must be at least 1 to build a z-estimation")
+        n = self.length
+        matrix = self.source.matrix
+        strings = np.empty((self.width, n), dtype=np.int64)
+        if n:
+            sums = matrix.sum(axis=1)
+            bad = sums <= 0.0
+            if bad.any():
+                position = int(np.argmax(bad))
+                raise ConstructionError(
+                    f"position {position} has zero total probability"
+                )
+            certain = np.count_nonzero(matrix > 0.0, axis=1) == 1
+            # For a certain row the single positive letter is the argmax.
+            strings[:, certain] = np.argmax(matrix[certain], axis=1)[None, :]
+            uncertain_positions = np.nonzero(~certain)[0]
+        else:
+            uncertain_positions = np.empty(0, dtype=np.int64)
+        for position in uncertain_positions:
+            position = int(position)
+            # Fold the preceding run of certain positions into the root's
+            # coarsest segment in one step (the reference builder extends it
+            # one certain position at a time).
+            lo, _, weight = self.root.segments[0]
+            self.root.segments[0] = (lo, position, weight)
+            row = matrix[position]
+            total = row.sum()
+            row = row / total
+            self._uncertain_step(position, row)
+            strings[:, position] = self.columns[-1]
+            self.columns.clear()
+        # Close the properties of tokens that are still alive.
+        if n:
+            alive = np.arange(n, dtype=np.int64)[None, :] >= self.alive_from[:, None]
+            self.ends[alive] = n - 1
+        return ZEstimation(strings, self.ends, self.z, self.source.alphabet)
+
+
+#: Selectable construction paths: ``"vectorized"`` is the array-backed fast
+#: path (the default), ``"reference"`` the per-position builder it must stay
+#: bit-identical to (kept for parity tests and old-vs-new benchmarks).
+ESTIMATION_METHODS = ("vectorized", "reference")
+
+_BUILDERS = {
+    "vectorized": _ArrayEstimationBuilder,
+    "reference": _EstimationBuilder,
+}
+
+
+def build_z_estimation(
+    source: WeightedString, z: float, *, method: str = "vectorized"
+) -> ZEstimation:
     """Build a z-estimation of ``source`` for the threshold ``1/z`` (Theorem 2).
 
     The returned family satisfies the exact Count property stated in the
     module docstring; in particular a pattern has a z-valid occurrence at
     ``i`` in ``source`` if and only if it occurs at ``i``, respecting the
-    property, in at least one string of the family.
+    property, in at least one string of the family.  ``method`` selects one
+    of :data:`ESTIMATION_METHODS`; both produce bit-identical families.
     """
-    return _EstimationBuilder(source, z).build()
+    try:
+        builder = _BUILDERS[method]
+    except KeyError:
+        known = ", ".join(ESTIMATION_METHODS)
+        raise ConstructionError(
+            f"unknown estimation method {method!r}; known methods: {known}"
+        ) from None
+    return builder(source, z).build()

@@ -9,16 +9,26 @@ reference into the heavy string plus at most ``log₂ z`` mismatches, and all
 comparisons go through longest-common-extension queries on the heavy string
 (the Theorem 12 trick).
 
+The collection is stored structure-of-arrays: parallel ``anchors`` /
+``lengths`` / ``positions`` / ``sources`` vectors plus a CSR triple for the
+mismatches.  Sorting packs fixed-width leaf-prefix key matrices and sorts
+them with stable numpy argsorts (radix-style), widening the materialised
+prefix only for the rows still tied; :class:`FactorLeaf` objects are lazy
+views materialised on demand (tests, scalar query paths).
+
 This module provides:
 
 * :class:`FactorLeaf` — one leaf (anchor, length, mismatches, label);
+* :class:`LeafArrays` — the raw structure-of-arrays leaf storage;
 * :class:`LeafCollection` — a sorted, searchable collection of leaves over a
   reference code string (the heavy string or its reverse), with optional
   compacted-trie construction on top;
 * :class:`MinimizerIndexData` — the pair of collections plus the sampling
   scheme, i.e. everything the MWST / MWSA / grid variants share;
-* :func:`build_leaves_from_estimation` — the explicit construction that
-  samples the z-estimation (Lemma 5 / Contribution 1).
+* :func:`build_leaf_arrays_from_estimation` — the vectorised construction
+  that samples the z-estimation (Lemma 5 / Contribution 1), and
+  :func:`build_leaves_from_estimation`, its per-leaf reference twin kept for
+  parity tests and old-vs-new benchmarks.
 """
 
 from __future__ import annotations
@@ -39,12 +49,45 @@ from .space import DEFAULT_SPACE_MODEL, SpaceModel
 
 __all__ = [
     "FactorLeaf",
+    "LeafArrays",
     "LeafCollection",
     "MinimizerIndexData",
     "build_leaves_from_estimation",
+    "build_leaf_arrays_from_estimation",
     "build_index_data_from_estimation",
     "apply_updates_to_data",
+    "LEAF_METHODS",
 ]
+
+#: Selectable leaf-construction paths of
+#: :func:`build_index_data_from_estimation`: ``"vectorized"`` derives and
+#: sorts leaves as flat arrays (the default), ``"reference"`` goes leaf
+#: object by leaf object.  Both produce leaf-identical collections.
+LEAF_METHODS = ("vectorized", "reference")
+
+
+def _concat_ranges(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Concatenated ``[lo[i], hi[i])`` ranges as one flat index array."""
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.repeat(lo, counts) + np.arange(total, dtype=np.int64) - np.repeat(
+        starts, counts
+    )
+
+
+def _concat_ranges_reversed(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Like :func:`_concat_ranges` but each range is emitted in reverse."""
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.repeat(hi - 1, counts) - (
+        np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    )
 
 
 @dataclass(frozen=True)
@@ -72,21 +115,151 @@ class FactorLeaf:
         return len(self.mismatches)
 
 
+class LeafArrays:
+    """Structure-of-arrays leaf storage: one row per leaf, mismatches in CSR.
+
+    The construction fast path derives leaves directly in this layout;
+    :meth:`from_leaves` converts a list of :class:`FactorLeaf` objects (the
+    reference construction, the space-efficient DFS, update re-derivation).
+    """
+
+    __slots__ = (
+        "anchors",
+        "lengths",
+        "positions",
+        "sources",
+        "mm_start",
+        "mm_offset",
+        "mm_code",
+    )
+
+    def __init__(
+        self,
+        anchors: np.ndarray,
+        lengths: np.ndarray,
+        positions: np.ndarray,
+        sources: np.ndarray,
+        mm_start: np.ndarray,
+        mm_offset: np.ndarray,
+        mm_code: np.ndarray,
+    ) -> None:
+        self.anchors = np.asarray(anchors, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        self.positions = np.asarray(positions, dtype=np.int64)
+        self.sources = np.asarray(sources, dtype=np.int64)
+        self.mm_start = np.asarray(mm_start, dtype=np.int64)
+        self.mm_offset = np.asarray(mm_offset, dtype=np.int64)
+        self.mm_code = np.asarray(mm_code, dtype=np.int64)
+
+    @classmethod
+    def empty(cls) -> "LeafArrays":
+        zeros = np.empty(0, dtype=np.int64)
+        return cls(zeros, zeros, zeros, zeros, np.zeros(1, dtype=np.int64), zeros, zeros)
+
+    @classmethod
+    def from_leaves(cls, leaves) -> "LeafArrays":
+        leaves = list(leaves)
+        count = len(leaves)
+        anchors = np.fromiter((leaf.anchor for leaf in leaves), np.int64, count)
+        lengths = np.fromiter((leaf.length for leaf in leaves), np.int64, count)
+        positions = np.fromiter((leaf.position for leaf in leaves), np.int64, count)
+        sources = np.fromiter((leaf.source for leaf in leaves), np.int64, count)
+        mm_start = np.zeros(count + 1, dtype=np.int64)
+        offsets: list[int] = []
+        codes: list[int] = []
+        for row, leaf in enumerate(leaves):
+            for offset, code in leaf.mismatches:
+                offsets.append(offset)
+                codes.append(code)
+            mm_start[row + 1] = len(offsets)
+        return cls(
+            anchors,
+            lengths,
+            positions,
+            sources,
+            mm_start,
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(codes, dtype=np.int64),
+        )
+
+    @classmethod
+    def concatenate(cls, parts: list["LeafArrays"]) -> "LeafArrays":
+        if not parts:
+            return cls.empty()
+        counts = [arrays.mm_start[1:] - arrays.mm_start[0] for arrays in parts]
+        mm_start = np.concatenate(
+            [np.zeros(1, dtype=np.int64)]
+            + [
+                block + offset
+                for block, offset in zip(
+                    counts,
+                    np.concatenate(
+                        [[0], np.cumsum([int(c[-1]) if len(c) else 0 for c in counts])]
+                    )[:-1],
+                )
+            ]
+        )
+        return cls(
+            np.concatenate([arrays.anchors for arrays in parts]),
+            np.concatenate([arrays.lengths for arrays in parts]),
+            np.concatenate([arrays.positions for arrays in parts]),
+            np.concatenate([arrays.sources for arrays in parts]),
+            mm_start,
+            np.concatenate([arrays.mm_offset for arrays in parts]),
+            np.concatenate([arrays.mm_code for arrays in parts]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.anchors)
+
+    def leaf(self, row: int) -> FactorLeaf:
+        lo, hi = int(self.mm_start[row]), int(self.mm_start[row + 1])
+        return FactorLeaf(
+            anchor=int(self.anchors[row]),
+            length=int(self.lengths[row]),
+            mismatches=tuple(
+                (int(self.mm_offset[index]), int(self.mm_code[index]))
+                for index in range(lo, hi)
+            ),
+            position=int(self.positions[row]),
+            source=int(self.sources[row]),
+        )
+
+    def take(self, rows: np.ndarray) -> "LeafArrays":
+        """The sub-arrays of the given rows, in the given order."""
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self.mm_start[rows]
+        ends = self.mm_start[rows + 1]
+        counts = ends - starts
+        flat = _concat_ranges(starts, ends)
+        return LeafArrays(
+            self.anchors[rows],
+            self.lengths[rows],
+            self.positions[rows],
+            self.sources[rows],
+            np.concatenate([[0], np.cumsum(counts)]),
+            self.mm_offset[flat],
+            self.mm_code[flat],
+        )
+
+
 class LeafCollection:
-    """A lexicographically sorted collection of factor leaves.
+    """A lexicographically sorted, array-backed collection of factor leaves.
 
     Parameters
     ----------
     leaves:
-        The leaves, in arbitrary order.
+        The leaves, in arbitrary order — a list of :class:`FactorLeaf` or a
+        :class:`LeafArrays` block.
     reference:
         The code string the anchors refer to (heavy string or its reverse).
     lce:
         Optional LCE index over ``reference``; built on demand when the
-        collection needs to sort or compare more than a handful of leaves.
+        collection needs an exact comparison fallback.
     """
 
-    #: Length of the materialised prefix used to pre-sort leaves cheaply.
+    #: Length of the materialised prefix used by the first radix-sort round
+    #: (and by the adjacent-LCP computation's first round).
     PRESORT_PREFIX = 24
 
     #: Widest materialised prefix used by the vectorised batch search; longer
@@ -94,70 +267,124 @@ class LeafCollection:
     #: the exact scalar comparator.
     SEARCH_PREFIX_LIMIT = 128
 
+    #: Widest prefix the sort/LCP widening rounds materialise before falling
+    #: back to the exact heavy-LCE comparator (pathological near-duplicate
+    #: content only; identical-derivation duplicates are detected directly).
+    SORT_WIDEN_LIMIT = 1024
+
     def __init__(
         self,
-        leaves: list[FactorLeaf],
+        leaves,
         reference: np.ndarray,
         lce: LCEIndex | None = None,
         *,
         presorted: bool = False,
         trie_lcps: np.ndarray | None = None,
+        method: str = "vectorized",
     ) -> None:
         """``presorted=True`` trusts the given leaf order; ``trie_lcps`` seeds
         the adjacent-LCP cache so reloaded collections build tries without an
-        LCE index (both are used by the binary index store)."""
+        LCE index (both are used by the binary index store).  ``method``
+        selects the radix-style array sort (default) or the frozen
+        per-leaf reference sort kept for parity tests and old-vs-new
+        benchmarks — both realise the same unique total order."""
         self._reference = np.asarray(reference, dtype=np.int64)
         self._lce = lce
+        self._method = method
         self._cached_lcps = (
             None if trie_lcps is None else np.asarray(trie_lcps, dtype=np.int64)
         )
-        self._leaves = list(leaves)
+        arrays = (
+            leaves if isinstance(leaves, LeafArrays) else LeafArrays.from_leaves(leaves)
+        )
+        self._arrays = arrays
+        count = len(arrays)
         if presorted:
-            self.raw_to_sorted = np.arange(len(self._leaves), dtype=np.int64)
+            self.raw_to_sorted = np.arange(count, dtype=np.int64)
         else:
-            self.raw_to_sorted = np.empty(len(self._leaves), dtype=np.int64)
-            self._sort()
+            if method == "reference":
+                order = self._reference_sort_order()
+            else:
+                order = self._sort_order()
+            self._arrays = arrays.take(order)
+            self.raw_to_sorted = np.empty(count, dtype=np.int64)
+            self.raw_to_sorted[order] = np.arange(count, dtype=np.int64)
+        self._leaf_cache: list[FactorLeaf | None] = [None] * count
         self._trie: CompactedTrie | None = None
-        self._positions: np.ndarray | None = None
         self._search_keys: np.ndarray | None = None
         self._search_width = 0
         self._max_letter: int | None = None
 
-    # -- letter access -------------------------------------------------------------
-    def letter(self, index: int, offset: int) -> int:
-        """Letter code of leaf ``index`` at ``offset`` (must be < its length)."""
-        leaf = self._leaves[index]
-        for mismatch_offset, code in leaf.mismatches:
-            if mismatch_offset == offset:
-                return code
-        return int(self._reference[leaf.anchor + offset])
-
-    def leaf(self, index: int) -> FactorLeaf:
-        """The leaf at a sorted index."""
-        return self._leaves[index]
-
-    def __len__(self) -> int:
-        return len(self._leaves)
-
-    def __iter__(self):
-        return iter(self._leaves)
+    # -- array access ----------------------------------------------------------------
+    @property
+    def arrays(self) -> LeafArrays:
+        """The parallel leaf arrays, in sorted order (store, merge, engine)."""
+        return self._arrays
 
     @property
     def reference(self) -> np.ndarray:
         """The reference code string shared by all leaves."""
         return self._reference
 
+    @property
+    def positions(self) -> np.ndarray:
+        """Minimizer positions of the leaves, aligned with the sorted order."""
+        return self._arrays.positions
+
+    @property
+    def anchors(self) -> np.ndarray:
+        """Reference anchors of the leaves, aligned with the sorted order."""
+        return self._arrays.anchors
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Leaf lengths, aligned with the sorted order."""
+        return self._arrays.lengths
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Source z-estimation string ids, aligned with the sorted order."""
+        return self._arrays.sources
+
+    # -- letter access -------------------------------------------------------------
+    def letter(self, index: int, offset: int) -> int:
+        """Letter code of leaf ``index`` at ``offset`` (must be < its length)."""
+        arrays = self._arrays
+        for entry in range(int(arrays.mm_start[index]), int(arrays.mm_start[index + 1])):
+            if arrays.mm_offset[entry] == offset:
+                return int(arrays.mm_code[entry])
+        return int(self._reference[int(arrays.anchors[index]) + offset])
+
+    def leaf(self, index: int) -> FactorLeaf:
+        """The leaf at a sorted index (a lazily materialised view)."""
+        cached = self._leaf_cache[index]
+        if cached is None:
+            cached = self._arrays.leaf(index)
+            self._leaf_cache[index] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __iter__(self):
+        return (self.leaf(index) for index in range(len(self._arrays)))
+
     def leaf_codes(self, index: int, limit: int | None = None) -> list[int]:
         """Materialise (a prefix of) one leaf's letters — mostly for tests."""
-        leaf = self._leaves[index]
-        length = leaf.length if limit is None else min(limit, leaf.length)
+        length = int(self._arrays.lengths[index])
+        if limit is not None:
+            length = min(limit, length)
         return [self.letter(index, offset) for offset in range(length)]
 
-    # -- sorting ---------------------------------------------------------------------
+    # -- exact comparisons (scalar fallback) -------------------------------------------
     def _ensure_lce(self) -> LCEIndex:
         if self._lce is None:
             self._lce = LCEIndex(self._reference)
         return self._lce
+
+    def _mismatch_offsets(self, index: int) -> np.ndarray:
+        arrays = self._arrays
+        return arrays.mm_offset[arrays.mm_start[index] : arrays.mm_start[index + 1]]
 
     def _leaf_lcp(self, first: int, second: int) -> int:
         """Longest common prefix of two leaves, via heavy-string LCE queries.
@@ -167,11 +394,15 @@ class LeafCollection:
         mismatch offsets are compared letter by letter (the Theorem 12
         comparison trick).
         """
-        a, b = self._leaves[first], self._leaves[second]
+        arrays = self._arrays
         lce = self._ensure_lce()
-        limit = min(a.length, b.length)
-        breakpoints = sorted({offset for offset, _ in a.mismatches}
-                             | {offset for offset, _ in b.mismatches})
+        limit = int(min(arrays.lengths[first], arrays.lengths[second]))
+        anchor_a = int(arrays.anchors[first])
+        anchor_b = int(arrays.anchors[second])
+        breakpoints = sorted(
+            {int(offset) for offset in self._mismatch_offsets(first)}
+            | {int(offset) for offset in self._mismatch_offsets(second)}
+        )
         bp_index = 0
         offset = 0
         while offset < limit:
@@ -181,7 +412,7 @@ class LeafCollection:
             next_break = min(next_break, limit)
             if offset < next_break:
                 # Both leaves follow the reference on [offset, next_break).
-                agreed = lce.lce(a.anchor + offset, b.anchor + offset)
+                agreed = lce.lce(anchor_a + offset, anchor_b + offset)
                 if agreed < next_break - offset:
                     return offset + agreed
                 offset = next_break
@@ -195,43 +426,165 @@ class LeafCollection:
 
     def _compare(self, first: int, second: int) -> int:
         """Full lexicographic comparison of two leaves (ties by label)."""
+        arrays = self._arrays
         lcp = self._leaf_lcp(first, second)
-        a, b = self._leaves[first], self._leaves[second]
-        if lcp < a.length and lcp < b.length:
+        length_a = int(arrays.lengths[first])
+        length_b = int(arrays.lengths[second])
+        if lcp < length_a and lcp < length_b:
             letter_a = self.letter(first, lcp)
             letter_b = self.letter(second, lcp)
             return -1 if letter_a < letter_b else 1
-        if a.length != b.length:
-            return -1 if a.length < b.length else 1
-        if a.position != b.position:
-            return -1 if a.position < b.position else 1
-        if a.source != b.source:
-            return -1 if a.source < b.source else 1
+        if length_a != length_b:
+            return -1 if length_a < length_b else 1
+        position_a = int(arrays.positions[first])
+        position_b = int(arrays.positions[second])
+        if position_a != position_b:
+            return -1 if position_a < position_b else 1
+        source_a = int(arrays.sources[first])
+        source_b = int(arrays.sources[second])
+        if source_a != source_b:
+            return -1 if source_a < source_b else 1
         return 0
 
-    def _presort_key(self, leaf: FactorLeaf) -> bytes:
-        limit = min(self.PRESORT_PREFIX, leaf.length)
-        codes = bytearray()
-        mismatches = dict(leaf.mismatches)
-        for offset in range(limit):
-            code = mismatches.get(offset)
-            if code is None:
-                code = int(self._reference[leaf.anchor + offset])
-            codes.append(min(code + 1, 255))
-        return bytes(codes)
+    # -- vectorised content materialisation ----------------------------------------------
+    def _content_matrix(self, rows: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Letters of the given leaf rows at offsets ``[lo, hi)``.
 
-    def _sort(self) -> None:
-        if not self._leaves:
-            return
-        order = sorted(
-            range(len(self._leaves)), key=lambda i: self._presort_key(self._leaves[i])
+        Entry ``[i, t]`` is the letter of row ``rows[i]`` at offset
+        ``lo + t``, or ``-1`` past the leaf's end (which sorts before every
+        real letter, matching the proper-prefix-first leaf order).
+        Reference letters are gathered in one fancy-indexing pass and the CSR
+        mismatches of the selected rows are scattered on top.
+        """
+        arrays = self._arrays
+        width = hi - lo
+        if len(rows) == 0 or len(self._reference) == 0:
+            return np.empty((len(rows), width), dtype=np.int64)
+        offsets = np.arange(lo, hi, dtype=np.int64)
+        gather = np.minimum(
+            arrays.anchors[rows][:, None] + offsets[None, :], len(self._reference) - 1
         )
+        matrix = self._reference[gather]
+        starts = arrays.mm_start[rows]
+        ends = arrays.mm_start[rows + 1]
+        counts = ends - starts
+        if counts.any():
+            flat = _concat_ranges(starts, ends)
+            mm_offsets = arrays.mm_offset[flat]
+            selected = (mm_offsets >= lo) & (mm_offsets < hi)
+            if selected.any():
+                mm_rows = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+                matrix[mm_rows[selected], mm_offsets[selected] - lo] = arrays.mm_code[
+                    flat[selected]
+                ]
+        matrix[offsets[None, :] >= arrays.lengths[rows][:, None]] = -1
+        return matrix
+
+    def _max_letter_code(self) -> int:
+        max_code = int(self._reference.max(initial=0))
+        if len(self._arrays.mm_code):
+            max_code = max(max_code, int(self._arrays.mm_code.max()))
+        return max_code
+
+    # -- sorting ---------------------------------------------------------------------
+    def _stable_content_order(
+        self,
+        matrix: np.ndarray,
+        positions: np.ndarray,
+        sources: np.ndarray,
+        group_ids: np.ndarray | None,
+        packable: bool,
+    ) -> np.ndarray:
+        """Stable order by (group, content columns, position, source).
+
+        Implemented as a chain of stable argsorts from the least significant
+        key up (classic LSD radix sorting); when every letter fits in a byte
+        the content columns collapse into one packed fixed-width byte key
+        compared with a single memcmp-style argsort.
+        """
+        order = np.lexsort((sources, positions))
+        if packable:
+            width = matrix.shape[1]
+            packed = np.ascontiguousarray((matrix + 1).astype(np.uint8)).view(
+                f"S{width}"
+            )[:, 0]
+            order = order[np.argsort(packed[order], kind="stable")]
+        else:
+            for column in range(matrix.shape[1] - 1, -1, -1):
+                order = order[np.argsort(matrix[order, column], kind="stable")]
+        if group_ids is not None:
+            order = order[np.argsort(group_ids[order], kind="stable")]
+        return order
+
+    def _equal_derivation_mask(self, rows_a: np.ndarray, rows_b: np.ndarray) -> np.ndarray:
+        """Mask of row pairs with identical (anchor, length, mismatches).
+
+        Identical derivations spell identical content by construction — the
+        cheap way to recognise the z near-duplicate leaves (certain regions
+        repeat across estimation strings) without materialising their
+        letters.
+        """
+        arrays = self._arrays
+        counts_a = arrays.mm_start[rows_a + 1] - arrays.mm_start[rows_a]
+        counts_b = arrays.mm_start[rows_b + 1] - arrays.mm_start[rows_b]
+        same = (
+            (arrays.anchors[rows_a] == arrays.anchors[rows_b])
+            & (arrays.lengths[rows_a] == arrays.lengths[rows_b])
+            & (counts_a == counts_b)
+        )
+        candidates = np.nonzero(same & (counts_a > 0))[0]
+        if len(candidates):
+            counts = counts_a[candidates]
+            flat_a = _concat_ranges(
+                arrays.mm_start[rows_a[candidates]],
+                arrays.mm_start[rows_a[candidates] + 1],
+            )
+            flat_b = _concat_ranges(
+                arrays.mm_start[rows_b[candidates]],
+                arrays.mm_start[rows_b[candidates] + 1],
+            )
+            equal_entries = (arrays.mm_offset[flat_a] == arrays.mm_offset[flat_b]) & (
+                arrays.mm_code[flat_a] == arrays.mm_code[flat_b]
+            )
+            starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            same[candidates] &= np.add.reduceat(equal_entries, starts) == counts
+        return same
+
+    def _presort_key(self, index: int, *, packable: bool = True):
+        """Materialised prefix key of one leaf (the reference sort's key).
+
+        Byte strings for alphabets that fit a byte; letter tuples otherwise.
+        (The historical bytes-only key clipped codes at 255, which could
+        order two leaves by their clipped prefixes without ever reaching the
+        exact comparator — a latent mis-sort for σ ≥ 255 alphabets that the
+        construction-parity sweep caught against the array path.)
+        """
+        limit = min(self.PRESORT_PREFIX, int(self._arrays.lengths[index]))
+        if packable:
+            return bytes(self.letter(index, offset) + 1 for offset in range(limit))
+        return tuple(self.letter(index, offset) for offset in range(limit))
+
+    def _reference_sort_order(self) -> np.ndarray:
+        """The frozen per-leaf sort: Python prefix keys + comparator refinement.
+
+        This is the pre-array implementation, kept verbatim in behaviour so
+        the construction benchmark has a faithful old path to compare against
+        and the parity tests can pin both sorts to the same total order.
+        """
+        count = len(self._arrays)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        packable = self._max_letter_code() + 1 < 255
+        keys = {
+            index: self._presort_key(index, packable=packable)
+            for index in range(count)
+        }
+        order = sorted(range(count), key=keys.__getitem__)
         # Refine groups that share the materialised prefix with the exact
         # heavy-LCE comparator (O(log z) per comparison, Theorem 12).
         refined: list[int] = []
         group: list[int] = []
         group_key = None
-        keys = {i: self._presort_key(self._leaves[i]) for i in order}
 
         def flush() -> None:
             if len(group) > 1:
@@ -247,9 +600,109 @@ class LeafCollection:
             else:
                 group.append(index)
         flush()
-        self._leaves = [self._leaves[i] for i in refined]
-        for sorted_index, raw_index in enumerate(refined):
-            self.raw_to_sorted[raw_index] = sorted_index
+        return np.asarray(refined, dtype=np.int64)
+
+    def _sort_order(self) -> np.ndarray:
+        """The sorted leaf order, computed with packed-key radix rounds.
+
+        Round one sorts every leaf by its first :data:`PRESORT_PREFIX`
+        letters (past-end marked, so proper prefixes sort first) with
+        position/source as the final tie-breaks; rows still tied on content
+        keep doubling the materialised prefix — but only for themselves —
+        until the tie resolves, the run is recognised as identical-derivation
+        duplicates (equal content by construction), or the widening limit is
+        reached and the exact heavy-LCE comparator finishes the run.  The
+        resulting permutation realises the same unique total order —
+        (content, length, position, source) — as the reference comparator.
+        """
+        arrays = self._arrays
+        count = len(arrays)
+        order = np.arange(count, dtype=np.int64)
+        if count <= 1:
+            return order
+        lengths = arrays.lengths
+        positions = arrays.positions
+        sources = arrays.sources
+        packable = self._max_letter_code() + 1 < 255
+        lo_col = 0
+        width = self.PRESORT_PREFIX
+        # (start, end) ranges of `order` whose rows are tied on all columns
+        # below lo_col; initially a single run covering everything.
+        segments: list[tuple[int, int]] = [(0, count)]
+        while segments:
+            rows = np.concatenate([order[start:end] for start, end in segments])
+            slots = np.concatenate(
+                [np.arange(start, end, dtype=np.int64) for start, end in segments]
+            )
+            if len(segments) == 1:
+                group_ids = None
+            else:
+                group_ids = np.repeat(
+                    np.arange(len(segments), dtype=np.int64),
+                    [end - start for start, end in segments],
+                )
+            hi_col = lo_col + width
+            matrix = self._content_matrix(rows, lo_col, hi_col)
+            sub = self._stable_content_order(
+                matrix, positions[rows], sources[rows], group_ids, packable
+            )
+            rows = rows[sub]
+            matrix = matrix[sub]
+            order[slots] = rows
+            same_group = (
+                np.ones(len(rows) - 1, dtype=bool)
+                if group_ids is None
+                else group_ids[sub][1:] == group_ids[sub][:-1]
+            )
+            # A row is only fully encoded once its past-end marker fell
+            # inside the materialised window, i.e. when length < hi_col; a
+            # leaf of length exactly hi_col is indistinguishable from a
+            # longer one sharing its letters and must stay tied.
+            tied = (
+                same_group
+                & (lengths[rows[1:]] >= hi_col)
+                & (lengths[rows[:-1]] >= hi_col)
+                & np.all(matrix[1:] == matrix[:-1], axis=1)
+            )
+            segments = []
+            boundaries = np.nonzero(tied)[0]
+            if len(boundaries):
+                duplicate = self._equal_derivation_mask(
+                    rows[boundaries], rows[boundaries + 1]
+                )
+                run_start = int(boundaries[0])
+                previous = run_start
+                runs = []
+                all_duplicate = bool(duplicate[0])
+                run_all_duplicates = []
+                for boundary, is_duplicate in zip(boundaries[1:], duplicate[1:]):
+                    boundary = int(boundary)
+                    if boundary != previous + 1:
+                        runs.append((run_start, previous + 2))
+                        run_all_duplicates.append(all_duplicate)
+                        run_start = boundary
+                        all_duplicate = True
+                    all_duplicate = all_duplicate and bool(is_duplicate)
+                    previous = boundary
+                runs.append((run_start, previous + 2))
+                run_all_duplicates.append(all_duplicate)
+                for (run_lo, run_hi), duplicates_only in zip(runs, run_all_duplicates):
+                    if duplicates_only:
+                        # Every neighbouring pair shares its derivation, so
+                        # the whole run spells equal content of equal length:
+                        # the (position, source) tie-break just applied is
+                        # the final order.
+                        continue
+                    segments.append((int(slots[run_lo]), int(slots[run_lo]) + run_hi - run_lo))
+            lo_col = hi_col
+            width = min(2 * width, self.SORT_WIDEN_LIMIT)
+            if segments and lo_col >= self.SORT_WIDEN_LIMIT:
+                comparator = cmp_to_key(self._compare)
+                for start, end in segments:
+                    chunk = sorted(order[start:end], key=comparator)
+                    order[start:end] = chunk
+                break
+        return order
 
     # -- searching -----------------------------------------------------------------------
     def _leaf_less_than_piece(self, index: int, piece, *, strict_prefix_smaller: bool) -> bool:
@@ -259,14 +712,14 @@ class LeafCollection:
         piece is not considered smaller (lower-bound behaviour); with
         ``False`` it is (upper-bound behaviour).
         """
-        leaf = self._leaves[index]
-        limit = min(leaf.length, len(piece))
+        length = int(self._arrays.lengths[index])
+        limit = min(length, len(piece))
         for offset in range(limit):
             letter = self.letter(index, offset)
             target = int(piece[offset])
             if letter != target:
                 return letter < target
-        if leaf.length < len(piece):
+        if length < len(piece):
             return True  # leaf is a proper prefix of the piece: leaf < piece
         if strict_prefix_smaller:
             return False
@@ -280,7 +733,7 @@ class LeafCollection:
         refine a coarse vectorised range).
         """
         piece = [int(code) for code in piece]
-        upper = len(self._leaves) if hi is None else hi
+        upper = len(self._arrays) if hi is None else hi
         lo_search, hi_search = lo, upper
         while lo_search < hi_search:
             mid = (lo_search + hi_search) // 2
@@ -299,19 +752,6 @@ class LeafCollection:
         return start, lo_search
 
     # -- batch searching -------------------------------------------------------------------
-    @property
-    def positions(self) -> np.ndarray:
-        """Minimizer positions of the leaves, aligned with the sorted order.
-
-        Cached so that a whole range of candidate positions can be gathered
-        with one slice instead of per-leaf attribute access.
-        """
-        if self._positions is None:
-            self._positions = np.array(
-                [leaf.position for leaf in self._leaves], dtype=np.int64
-            )
-        return self._positions
-
     def prefix_matrix(self, width: int) -> np.ndarray:
         """Materialised ``(count × width)`` matrix of leaf prefixes.
 
@@ -319,20 +759,10 @@ class LeafCollection:
         or ``-1`` past the leaf's end (which sorts before every real letter,
         matching the proper-prefix-first leaf order).
         """
-        count = len(self._leaves)
+        count = len(self._arrays)
         if count == 0:
             return np.empty((0, width), dtype=np.int64)
-        anchors = np.array([leaf.anchor for leaf in self._leaves], dtype=np.int64)
-        lengths = np.array([leaf.length for leaf in self._leaves], dtype=np.int64)
-        offsets = np.arange(width, dtype=np.int64)
-        gather = np.minimum(anchors[:, None] + offsets[None, :], len(self._reference) - 1)
-        matrix = self._reference[gather]
-        for index, leaf in enumerate(self._leaves):
-            for offset, code in leaf.mismatches:
-                if offset < width:
-                    matrix[index, offset] = code
-        matrix[offsets[None, :] >= lengths[:, None]] = -1
-        return matrix
+        return self._content_matrix(np.arange(count, dtype=np.int64), 0, width)
 
     def _batch_search_keys(self, width: int) -> np.ndarray | None:
         """Fixed-width byte keys of the leaf prefixes, for ``np.searchsorted``.
@@ -345,11 +775,7 @@ class LeafCollection:
         queries saturate at byte 255 without changing the order.
         """
         if self._max_letter is None:
-            max_code = int(self._reference.max(initial=0))
-            for leaf in self._leaves:
-                for _, code in leaf.mismatches:
-                    max_code = max(max_code, int(code))
-            self._max_letter = max_code
+            self._max_letter = self._max_letter_code()
         if self._max_letter + 1 >= 255:
             return None
         if self._search_keys is None or self._search_width < width:
@@ -357,6 +783,20 @@ class LeafCollection:
             self._search_keys = np.ascontiguousarray(matrix).view(f"S{width}")[:, 0]
             self._search_width = width
         return self._search_keys
+
+    def _seed_search_caches(self, keys: np.ndarray | None, width: int, max_letter: int | None) -> None:
+        """Adopt still-valid search caches carried over by an update merge."""
+        self._max_letter = max_letter
+        if keys is not None:
+            self._search_keys = keys
+            self._search_width = width
+
+    def invalidate_search_caches(self) -> None:
+        """Drop the cached byte keys and trie (content changed in place)."""
+        self._search_keys = None
+        self._search_width = 0
+        self._max_letter = None
+        self._trie = None
 
     def prefix_range_many(self, pieces: list) -> np.ndarray:
         """Vectorised :meth:`prefix_range` over a batch of query pieces.
@@ -367,7 +807,7 @@ class LeafCollection:
         refined with the exact comparator inside the narrowed range.
         """
         ranges = np.zeros((len(pieces), 2), dtype=np.int64)
-        if not pieces or not self._leaves:
+        if not pieces or not len(self._arrays):
             return ranges
         width = min(max(len(piece) for piece in pieces), self.SEARCH_PREFIX_LIMIT)
         keys = self._batch_search_keys(width)
@@ -399,19 +839,63 @@ class LeafCollection:
 
     # -- trie ------------------------------------------------------------------------------
     def adjacent_lcps(self) -> np.ndarray:
-        """LCP of each consecutive sorted leaf pair (cached; persisted by the store)."""
-        if self._cached_lcps is None:
-            lcps = np.zeros(len(self._leaves), dtype=np.int64)
-            for index in range(1, len(self._leaves)):
+        """LCP of each consecutive sorted leaf pair (cached; persisted by the store).
+
+        Computed vectorised: identical-derivation neighbours short-circuit to
+        their common length, every other pair is resolved by comparing
+        materialised content blocks in widening rounds, and only pairs that
+        agree beyond :data:`SORT_WIDEN_LIMIT` letters fall back to the exact
+        heavy-LCE walk.
+        """
+        if self._cached_lcps is not None:
+            return self._cached_lcps
+        arrays = self._arrays
+        count = len(arrays)
+        lcps = np.zeros(count, dtype=np.int64)
+        if count >= 2 and self._method == "reference":
+            # The frozen per-pair walk of the pre-array implementation.
+            for index in range(1, count):
                 lcps[index] = self._leaf_lcp(index - 1, index)
             self._cached_lcps = lcps
+            return self._cached_lcps
+        if count >= 2:
+            lengths = arrays.lengths
+            pairs = np.arange(1, count, dtype=np.int64)
+            limits = np.minimum(lengths[pairs - 1], lengths[pairs])
+            same = self._equal_derivation_mask(pairs - 1, pairs)
+            lcps[pairs[same]] = limits[same]
+            remaining = pairs[~same]
+            lo = 0
+            width = self.PRESORT_PREFIX
+            while len(remaining):
+                hi = lo + width
+                left = self._content_matrix(remaining - 1, lo, hi)
+                right = self._content_matrix(remaining, lo, hi)
+                difference = left != right
+                found = difference.any(axis=1)
+                lcps[remaining[found]] = lo + np.argmax(difference[found], axis=1)
+                remaining = remaining[~found]
+                if len(remaining):
+                    pair_limits = np.minimum(
+                        lengths[remaining - 1], lengths[remaining]
+                    )
+                    resolved = pair_limits <= hi
+                    lcps[remaining[resolved]] = pair_limits[resolved]
+                    remaining = remaining[~resolved]
+                lo = hi
+                width = min(2 * width, self.SORT_WIDEN_LIMIT)
+                if len(remaining) and lo >= self.SORT_WIDEN_LIMIT:
+                    for index in remaining:
+                        lcps[index] = self._leaf_lcp(int(index) - 1, int(index))
+                    break
+        self._cached_lcps = lcps
         return self._cached_lcps
 
     def build_trie(self) -> CompactedTrie:
         """Compacted trie over the sorted leaves (the tree-index variants)."""
         if self._trie is None:
             self._trie = CompactedTrie(
-                [leaf.length for leaf in self._leaves],
+                self._arrays.lengths,
                 self.adjacent_lcps(),
                 self.letter,
             )
@@ -420,11 +904,11 @@ class LeafCollection:
     # -- size accounting -------------------------------------------------------------------
     def total_mismatches(self) -> int:
         """Total number of stored mismatches across all leaves."""
-        return sum(leaf.mismatch_count() for leaf in self._leaves)
+        return len(self._arrays.mm_offset)
 
     def size_bytes(self, model: SpaceModel = DEFAULT_SPACE_MODEL, *, as_tree: bool = False) -> int:
         """Charged size of the collection (array layout, optionally + tree nodes)."""
-        count = len(self._leaves)
+        count = len(self._arrays)
         # Per leaf: anchor, length, position (3 words) + mismatch entries.
         total = model.words(3 * count) + model.words(2 * self.total_mismatches())
         if as_tree:
@@ -476,7 +960,8 @@ class MinimizerIndexData:
 
     def candidate_positions(self, leaf_indices, collection: LeafCollection, mu: int):
         """Candidate occurrence starts derived from matched leaves."""
-        return {collection.leaf(index).position - mu for index in leaf_indices}
+        positions = collection.positions
+        return {int(positions[index]) - mu for index in leaf_indices}
 
     def size_bytes(
         self,
@@ -504,9 +989,12 @@ def _derive_leaf_pair(
 ) -> tuple[FactorLeaf, FactorLeaf]:
     """The forward/backward leaf pair of minimizer position ``q`` in ``S_j``.
 
-    The single source of truth for leaf derivation: the full construction
-    and the point-update re-derivation both call this, so an incrementally
-    repaired collection is leaf-for-leaf identical to a fresh build.
+    The scalar source of truth for leaf derivation: the reference
+    construction and the point-update re-derivation both call this, and the
+    vectorised :func:`build_leaf_arrays_from_estimation` must stay
+    row-identical to it (pinned by the construction-parity tests), so an
+    incrementally repaired collection is leaf-for-leaf identical to a fresh
+    array-path build.
     """
     forward_end = int(ends_j[q])
     forward_length = forward_end - q + 1
@@ -553,11 +1041,36 @@ def build_leaves_from_estimation(
     one backward leaf (the longest one ending at ``q``, reversed), both
     encoded relative to the heavy string.  Returns the two raw leaf lists and
     the list pairing them up (same list index = same (q, j) label).
+
+    This is the per-leaf reference path;
+    :func:`build_leaf_arrays_from_estimation` is its vectorised twin.
     """
     n = len(source)
     heavy_codes = heavy.codes
     forward: list[FactorLeaf] = []
     backward: list[FactorLeaf] = []
+    for j, string_j, ends_j, minimizer_positions in _iter_sampled_strings(
+        source, ell, scheme, estimation
+    ):
+        mismatch_positions = np.nonzero(string_j != heavy_codes)[0]
+        for q in minimizer_positions:
+            forward_leaf, backward_leaf = _derive_leaf_pair(
+                n, string_j, ends_j, mismatch_positions, int(q), j
+            )
+            forward.append(forward_leaf)
+            backward.append(backward_leaf)
+    pairs = list(zip(range(len(forward)), range(len(backward))))
+    return forward, backward, pairs
+
+
+def _iter_sampled_strings(
+    source: WeightedString,
+    ell: int,
+    scheme: MinimizerScheme,
+    estimation: ZEstimation,
+):
+    """Yield ``(j, S_j, π_j, minimizer positions)`` for strings with samples."""
+    n = len(source)
     for j in range(estimation.width):
         string_j = estimation.strings[j]
         ends_j = estimation.ends[j]
@@ -571,15 +1084,72 @@ def build_leaves_from_estimation(
         minimizer_positions = scheme.minimizer_positions(string_j, valid_window)
         if not minimizer_positions:
             continue
+        yield j, string_j, ends_j, np.asarray(minimizer_positions, dtype=np.int64)
+
+
+def build_leaf_arrays_from_estimation(
+    source: WeightedString,
+    z: float,
+    ell: int,
+    scheme: MinimizerScheme,
+    estimation: ZEstimation,
+    heavy: HeavyString,
+) -> tuple[LeafArrays, LeafArrays]:
+    """Vectorised Lemma 5 sampling: leaves derived as flat arrays.
+
+    Row ``i`` of the forward block and row ``i`` of the backward block form
+    the leaf pair of one ``(q, j)`` label — the same raw order the reference
+    :func:`build_leaves_from_estimation` produces, with every per-leaf loop
+    replaced by searchsorted/gather passes over the mismatch positions of
+    each ``S_j``.
+    """
+    n = len(source)
+    heavy_codes = heavy.codes
+    forward_parts: list[LeafArrays] = []
+    backward_parts: list[LeafArrays] = []
+    for j, string_j, ends_j, qs in _iter_sampled_strings(source, ell, scheme, estimation):
         mismatch_positions = np.nonzero(string_j != heavy_codes)[0]
-        for q in minimizer_positions:
-            forward_leaf, backward_leaf = _derive_leaf_pair(
-                n, string_j, ends_j, mismatch_positions, q, j
+        source_ids = np.full(len(qs), j, dtype=np.int64)
+
+        forward_ends = ends_j[qs]
+        forward_lo = np.searchsorted(mismatch_positions, qs, side="left")
+        forward_hi = np.searchsorted(mismatch_positions, forward_ends, side="right")
+        forward_flat = _concat_ranges(forward_lo, forward_hi)
+        forward_counts = forward_hi - forward_lo
+        forward_parts.append(
+            LeafArrays(
+                anchors=qs,
+                lengths=forward_ends - qs + 1,
+                positions=qs,
+                sources=source_ids,
+                mm_start=np.concatenate([[0], np.cumsum(forward_counts)]),
+                mm_offset=mismatch_positions[forward_flat]
+                - np.repeat(qs, forward_counts),
+                mm_code=string_j[mismatch_positions[forward_flat]],
             )
-            forward.append(forward_leaf)
-            backward.append(backward_leaf)
-    pairs = list(zip(range(len(forward)), range(len(backward))))
-    return forward, backward, pairs
+        )
+
+        backward_starts = np.searchsorted(ends_j, qs, side="left")
+        backward_lo = np.searchsorted(mismatch_positions, backward_starts, side="left")
+        backward_hi = np.searchsorted(mismatch_positions, qs, side="right")
+        # Offsets are q - p with p ascending inside each range, so reading
+        # each range in reverse yields the ascending mismatch-offset order
+        # the scalar derivation produces.
+        backward_flat = _concat_ranges_reversed(backward_lo, backward_hi)
+        backward_counts = backward_hi - backward_lo
+        backward_parts.append(
+            LeafArrays(
+                anchors=n - 1 - qs,
+                lengths=qs - backward_starts + 1,
+                positions=qs,
+                sources=source_ids,
+                mm_start=np.concatenate([[0], np.cumsum(backward_counts)]),
+                mm_offset=np.repeat(qs, backward_counts)
+                - mismatch_positions[backward_flat],
+                mm_code=string_j[mismatch_positions[backward_flat]],
+            )
+        )
+    return LeafArrays.concatenate(forward_parts), LeafArrays.concatenate(backward_parts)
 
 
 def build_index_data_from_estimation(
@@ -590,26 +1160,49 @@ def build_index_data_from_estimation(
     scheme: MinimizerScheme | None = None,
     estimation: ZEstimation | None = None,
     keep_pairs: bool = True,
+    method: str = "vectorized",
 ) -> MinimizerIndexData:
-    """Build the shared minimizer index data through the explicit z-estimation path."""
+    """Build the shared minimizer index data through the explicit z-estimation path.
+
+    ``method`` selects one of :data:`LEAF_METHODS`; the vectorised array
+    pipeline is the default, the per-leaf reference path is kept for parity
+    tests and the old-vs-new construction benchmark.  Both are leaf-identical.
+    """
     if ell <= 0:
         raise ConstructionError("ell must be positive")
+    if method not in LEAF_METHODS:
+        known = ", ".join(LEAF_METHODS)
+        raise ConstructionError(
+            f"unknown leaf construction method {method!r}; known methods: {known}"
+        )
     if scheme is None:
         scheme = MinimizerScheme(ell, source.sigma)
     if estimation is None:
-        estimation = build_z_estimation(source, z)
+        estimation = build_z_estimation(source, z, method=method)
     heavy = HeavyString(source)
-    raw_forward, raw_backward, raw_pairs = build_leaves_from_estimation(
-        source, z, ell, scheme, estimation, heavy
-    )
-    forward = LeafCollection(raw_forward, heavy.codes)
-    backward = LeafCollection(raw_backward, heavy.codes[::-1].copy())
+    if method == "reference":
+        raw_forward, raw_backward, _ = build_leaves_from_estimation(
+            source, z, ell, scheme, estimation, heavy
+        )
+        forward = LeafCollection(raw_forward, heavy.codes, method="reference")
+        backward = LeafCollection(
+            raw_backward, heavy.codes[::-1].copy(), method="reference"
+        )
+    else:
+        forward_arrays, backward_arrays = build_leaf_arrays_from_estimation(
+            source, z, ell, scheme, estimation, heavy
+        )
+        forward = LeafCollection(forward_arrays, heavy.codes)
+        backward = LeafCollection(backward_arrays, heavy.codes[::-1].copy())
     pairs = None
     if keep_pairs:
-        pairs = [
-            (int(forward.raw_to_sorted[f]), int(backward.raw_to_sorted[b]))
-            for f, b in raw_pairs
-        ]
+        # Raw row i of both blocks carries the same (q, j) label.
+        pairs = list(
+            zip(
+                (int(x) for x in forward.raw_to_sorted),
+                (int(y) for y in backward.raw_to_sorted),
+            )
+        )
     return MinimizerIndexData(
         source=source,
         z=z,
@@ -632,50 +1225,6 @@ def build_index_data_from_estimation(
 # --------------------------------------------------------------------------- #
 # point updates: localized leaf re-derivation                                  #
 # --------------------------------------------------------------------------- #
-def _leaf_letters(leaf: FactorLeaf, reference: np.ndarray, limit: int) -> np.ndarray:
-    """The first ``limit`` spelled letters of a leaf (reference + mismatches)."""
-    letters = np.array(reference[leaf.anchor : leaf.anchor + limit])
-    for offset, code in leaf.mismatches:
-        if offset < limit:
-            letters[offset] = code
-    return letters
-
-
-def _content_compare(a: FactorLeaf, b: FactorLeaf, reference: np.ndarray) -> int:
-    """The collection's total leaf order, evaluated on leaf *content*.
-
-    Same order as :meth:`LeafCollection._compare` — lexicographic on the
-    spelled letters, ties broken by (length, position, source) — but
-    computed against one shared reference, so leaves from an existing
-    collection and freshly derived leaves compare uniformly.
-    """
-    if a is b:
-        return 0
-    limit = min(a.length, b.length)
-    letters_a = _leaf_letters(a, reference, limit)
-    letters_b = _leaf_letters(b, reference, limit)
-    difference = np.nonzero(letters_a != letters_b)[0]
-    if len(difference):
-        offset = int(difference[0])
-        return -1 if letters_a[offset] < letters_b[offset] else 1
-    if a.length != b.length:
-        return -1 if a.length < b.length else 1
-    if a.position != b.position:
-        return -1 if a.position < b.position else 1
-    if a.source != b.source:
-        return -1 if a.source < b.source else 1
-    return 0
-
-
-def _content_lcp(a: FactorLeaf, b: FactorLeaf, reference: np.ndarray) -> int:
-    """Longest common prefix of two leaves, on their spelled letters."""
-    limit = min(a.length, b.length)
-    difference = np.nonzero(
-        _leaf_letters(a, reference, limit) != _leaf_letters(b, reference, limit)
-    )[0]
-    return int(difference[0]) if len(difference) else limit
-
-
 def _merge_collection(
     old_collection: LeafCollection,
     dirty: set,
@@ -684,59 +1233,94 @@ def _merge_collection(
 ) -> LeafCollection:
     """Merge an update's surviving and re-derived leaves into a sorted collection.
 
-    Surviving leaves keep their relative order (their content is untouched —
-    that is what made them survive), so the merge is a single comparator
-    pass.  Adjacent-LCP values are carried over where the old neighbourhood
-    survived intact (the LCP of two non-adjacent old leaves is the min of
-    the old adjacent LCPs between them) and recomputed directly only at the
-    seams around inserted leaves.
+    The kept rows are sliced out of the old parallel arrays, concatenated
+    with the fresh leaves' arrays and re-sorted through the same vectorised
+    radix sort a fresh build uses — the leaf order is a unique total order,
+    so this is exactly the stepwise merge, minus the per-leaf Python
+    comparisons.  Adjacent-LCP values are carried over where the old
+    neighbourhood survived intact (the LCP of two non-adjacent old leaves is
+    the min of the old adjacent LCPs between them) and recomputed directly
+    only at the seams around inserted leaves.  The cached search byte keys
+    survive the same way: kept rows keep their packed keys, only the
+    inserted rows' keys are computed.
     """
-    kept: list[FactorLeaf] = []
-    kept_old_index: list[int] = []
-    for index, leaf in enumerate(old_collection):
-        if (leaf.source, leaf.position) not in dirty:
-            kept.append(leaf)
-            kept_old_index.append(index)
-    fresh_sorted = sorted(
-        fresh, key=cmp_to_key(lambda a, b: _content_compare(a, b, reference))
+    old_arrays = old_collection.arrays
+    count = len(old_arrays)
+    if dirty:
+        span = (
+            int(
+                max(
+                    old_arrays.positions.max(initial=0),
+                    max(position for _, position in dirty),
+                )
+            )
+            + 2
+        )
+        leaf_keys = old_arrays.sources * span + old_arrays.positions
+        dirty_keys = np.asarray(
+            sorted(source * span + position for source, position in dirty),
+            dtype=np.int64,
+        )
+        kept_mask = ~np.isin(leaf_keys, dirty_keys)
+    else:
+        kept_mask = np.ones(count, dtype=bool)
+    kept_old_index = np.nonzero(kept_mask)[0]
+    kept_arrays = old_arrays.take(kept_old_index)
+    fresh_arrays = LeafArrays.from_leaves(fresh)
+    merged_count = len(kept_arrays) + len(fresh_arrays)
+    merged = LeafCollection(
+        LeafArrays.concatenate([kept_arrays, fresh_arrays]), reference
     )
-    # Binary-search each fresh leaf's slot among the kept leaves: the leaf
-    # order is strict (labels are unique), so insertion points are exact and
-    # non-decreasing along the sorted fresh leaves.
-    merged: list[FactorLeaf] = []
-    origins: list[int] = []  # old sorted index, or -1 for a fresh leaf
-    previous = 0
-    for leaf in fresh_sorted:
-        low, high = previous, len(kept)
-        while low < high:
-            middle = (low + high) // 2
-            if _content_compare(kept[middle], leaf, reference) < 0:
-                low = middle + 1
-            else:
-                high = middle
-        merged.extend(kept[previous:low])
-        origins.extend(kept_old_index[previous:low])
-        merged.append(leaf)
-        origins.append(-1)
-        previous = low
-    merged.extend(kept[previous:])
-    origins.extend(kept_old_index[previous:])
+    # Final sorted position of every kept row and every fresh row.
+    kept_target = merged.raw_to_sorted[: len(kept_arrays)]
+    fresh_target = merged.raw_to_sorted[len(kept_arrays) :]
+    # Old sorted index of each merged row, or -1 for a fresh leaf.
+    origins = np.full(merged_count, -1, dtype=np.int64)
+    origins[kept_target] = kept_old_index
 
     old_lcps = old_collection._cached_lcps
-    lcps = None
-    if old_lcps is not None:
-        lcps = np.zeros(len(merged), dtype=np.int64)
-        for t in range(1, len(merged)):
-            previous, current = origins[t - 1], origins[t]
-            if previous >= 0 and current == previous + 1:
-                lcps[t] = old_lcps[current]
-            elif previous >= 0 and current > previous:
+    if old_lcps is not None and merged_count:
+        lcps = np.zeros(merged_count, dtype=np.int64)
+        if merged_count > 1:
+            previous_origin = origins[:-1]
+            current_origin = origins[1:]
+            target = np.arange(1, merged_count, dtype=np.int64)
+            adjacent = (previous_origin >= 0) & (current_origin == previous_origin + 1)
+            lcps[target[adjacent]] = old_lcps[current_origin[adjacent]]
+            gap = (
+                (previous_origin >= 0)
+                & (current_origin > previous_origin + 1)
+            )
+            if gap.any():
                 # Old leaves with dirty leaves dropped in between: the LCP
                 # telescopes to the min over the removed stretch.
-                lcps[t] = int(np.min(old_lcps[previous + 1 : current + 1]))
-            else:
-                lcps[t] = _content_lcp(merged[t - 1], merged[t], reference)
-    return LeafCollection(merged, reference, presorted=True, trie_lcps=lcps)
+                gap_rows = np.nonzero(gap)[0]
+                for row in gap_rows:
+                    lcps[row + 1] = int(
+                        np.min(old_lcps[previous_origin[row] + 1 : current_origin[row] + 1])
+                    )
+            seams = np.nonzero(~(adjacent | gap))[0]
+            for row in seams:
+                lcps[row + 1] = merged._leaf_lcp(int(row), int(row) + 1)
+        merged._cached_lcps = lcps
+    # Carry the still-valid search caches over: kept rows keep their packed
+    # byte keys, the inserted rows' keys are computed at the cached width.
+    old_keys = old_collection._search_keys
+    if (
+        old_keys is not None
+        and old_collection._max_letter is not None
+        and old_collection._max_letter + 1 < 255
+    ):
+        width = old_collection._search_width
+        fresh_matrix = (
+            merged._content_matrix(fresh_target, 0, width) + 1
+        ).astype(np.uint8)
+        fresh_keys = np.ascontiguousarray(fresh_matrix).view(f"S{width}")[:, 0]
+        merged_keys = np.empty(merged_count, dtype=old_keys.dtype)
+        merged_keys[kept_target] = old_keys[kept_old_index]
+        merged_keys[fresh_target] = fresh_keys
+        merged._seed_search_caches(merged_keys, width, merged._max_letter_code())
+    return merged
 
 
 def apply_updates_to_data(
@@ -779,9 +1363,11 @@ def apply_updates_to_data(
     updated = np.asarray(sorted({int(p) for p in positions}), dtype=np.int64)
     new_heavy = data.heavy.updated_copy(source, updated)
 
-    old_labels: dict[int, list[int]] = {}
-    for leaf in data.forward:
-        old_labels.setdefault(leaf.source, []).append(leaf.position)
+    forward_sources = data.forward.sources
+    forward_positions = data.forward.positions
+    old_labels: dict[int, np.ndarray] = {}
+    for j in range(old_estimation.width):
+        old_labels[j] = np.sort(forward_positions[forward_sources == j])
 
     dirty: set[tuple[int, int]] = set()
     fresh_specs: list[tuple[int, int]] = []
@@ -800,7 +1386,7 @@ def apply_updates_to_data(
         else:
             q_new_list = []
         q_new = np.asarray(q_new_list, dtype=np.int64)
-        q_old = np.asarray(sorted(old_labels.get(j, [])), dtype=np.int64)
+        q_old = old_labels.get(j, np.empty(0, dtype=np.int64))
         for q in np.setdiff1d(q_old, q_new, assume_unique=True):
             dirty.add((j, int(q)))
         for q in np.setdiff1d(q_new, q_old, assume_unique=True):
@@ -853,11 +1439,16 @@ def apply_updates_to_data(
     pairs = None
     if data.pairs is not None:
         backward_slot = {
-            (leaf.source, leaf.position): index for index, leaf in enumerate(backward)
+            (int(source_id), int(position)): index
+            for index, (source_id, position) in enumerate(
+                zip(backward.sources, backward.positions)
+            )
         }
         pairs = [
-            (index, backward_slot[(leaf.source, leaf.position)])
-            for index, leaf in enumerate(forward)
+            (index, backward_slot[(int(source_id), int(position))])
+            for index, (source_id, position) in enumerate(
+                zip(forward.sources, forward.positions)
+            )
         ]
     counters = dict(data.counters)
     counters["forward_leaves"] = len(forward)

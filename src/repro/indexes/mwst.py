@@ -78,12 +78,14 @@ class MinimizerIndexBase(UncertainStringIndex):
         estimation: ZEstimation | None = None,
         data: MinimizerIndexData | None = None,
         space_model: SpaceModel = DEFAULT_SPACE_MODEL,
+        method: str = "vectorized",
     ) -> "MinimizerIndexBase":
         """Build the index through the explicit z-estimation path (Lemma 5).
 
         A pre-built :class:`MinimizerIndexData` (or z-estimation) may be
         shared across variants; the benchmark harness relies on this to
-        compare the variants on identical samples.
+        compare the variants on identical samples.  ``method`` selects the
+        array-backed fast path (default) or the per-leaf reference path.
         """
         started = time.perf_counter()
         tracker = ConstructionTracker()
@@ -91,7 +93,7 @@ class MinimizerIndexBase(UncertainStringIndex):
         tracker.allocate(space_model.probabilities(len(source) * source.sigma))
         if data is None:
             data = build_index_data_from_estimation(
-                source, z, ell, scheme=scheme, estimation=estimation
+                source, z, ell, scheme=scheme, estimation=estimation, method=method
             )
         elif data.ell != ell:
             raise ConstructionError(
@@ -179,7 +181,8 @@ class MinimizerIndexBase(UncertainStringIndex):
             if flo >= fhi or blo >= bhi:
                 return set()
             points = self._grid.report(flo, fhi, blo, bhi)
-            return {data.forward.leaf(x).position - mu for x, _ in points}
+            forward_positions = data.forward.positions
+            return {int(forward_positions[x]) - mu for x, _ in points}
         # Simple query (Section 5): search only the longer piece, verify later.
         if len(forward_piece) >= len(backward_piece):
             lo, hi = self._range(data.forward, self._forward_trie, forward_piece)

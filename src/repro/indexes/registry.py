@@ -193,10 +193,16 @@ class ConstructionPipeline:
         ell: int | None = None,
         scheme: MinimizerScheme | None = None,
         estimation: ZEstimation | None = None,
+        method: str = "vectorized",
     ) -> None:
+        """``method`` picks the construction path of the cached stages — the
+        array-backed fast path (default) or the per-leaf ``"reference"``
+        path; the old-vs-new construction benchmark runs one pipeline of
+        each, every other caller keeps the default."""
         self.source = source
         self.z = z
         self.ell = ell
+        self.method = method
         self._scheme = scheme
         self._estimation = estimation
         self._data: MinimizerIndexData | None = None
@@ -215,7 +221,9 @@ class ConstructionPipeline:
     def estimation(self) -> ZEstimation:
         """Stage 1: the z-estimation (cached, shared across variants)."""
         if self._estimation is None:
-            self._estimation = build_z_estimation(self.source, self.z)
+            self._estimation = build_z_estimation(
+                self.source, self.z, method=self.method
+            )
         return self._estimation
 
     def index_data(self) -> MinimizerIndexData:
@@ -231,6 +239,7 @@ class ConstructionPipeline:
                 self.ell,
                 scheme=self.scheme(),
                 estimation=self.estimation(),
+                method=self.method,
             )
         return self._data
 

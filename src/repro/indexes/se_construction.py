@@ -49,9 +49,18 @@ class DFSStatistics:
 
 
 class _MinSegmentTree:
-    """Point-update / range-min segment tree over (order value, tie) keys."""
+    """Point-update / range-min segment tree over packed integer keys.
 
-    _SENTINEL = (float("inf"), float("inf"))
+    Keys are ``(order value << 32) | (tie + offset)`` integers — one machine
+    comparison instead of a tuple compare — and :meth:`set` stops climbing as
+    soon as an ancestor's minimum is unchanged, which is the common case
+    when inserting a random-order k-mer into a populated window.
+    :meth:`bulk_fill` seeds every leaf at once and builds the internal nodes
+    bottom-up in O(size), which is how the heavy-spine descent batches its
+    ``n`` point updates into one pass.
+    """
+
+    _SENTINEL = 1 << 100
 
     def __init__(self, size: int) -> None:
         self._size = 1
@@ -59,33 +68,50 @@ class _MinSegmentTree:
             self._size *= 2
         self._keys = [self._SENTINEL] * (2 * self._size)
 
-    def set(self, position: int, key) -> None:
+    def set(self, position: int, key: int) -> None:
+        keys = self._keys
         node = self._size + position
-        self._keys[node] = key
-        node //= 2
+        keys[node] = key
+        node >>= 1
         while node:
-            self._keys[node] = min(self._keys[2 * node], self._keys[2 * node + 1])
-            node //= 2
+            left = keys[2 * node]
+            right = keys[2 * node + 1]
+            smallest = left if left < right else right
+            if keys[node] == smallest:
+                break
+            keys[node] = smallest
+            node >>= 1
 
     def clear(self, position: int) -> None:
         self.set(position, self._SENTINEL)
 
-    def range_min(self, lo: int, hi: int):
+    def bulk_fill(self, leaf_keys: list) -> None:
+        """Set leaves ``0 .. len(leaf_keys)`` at once (O(size) rebuild)."""
+        keys = self._keys
+        size = self._size
+        keys[size : size + len(leaf_keys)] = leaf_keys
+        for node in range(size - 1, 0, -1):
+            left = keys[2 * node]
+            right = keys[2 * node + 1]
+            keys[node] = left if left < right else right
+
+    def range_min(self, lo: int, hi: int) -> int:
         """Minimum key over positions [lo, hi); the sentinel if empty."""
         best = self._SENTINEL
+        keys = self._keys
         lo += self._size
         hi += self._size
         while lo < hi:
             if lo & 1:
-                if self._keys[lo] < best:
-                    best = self._keys[lo]
+                if keys[lo] < best:
+                    best = keys[lo]
                 lo += 1
             if hi & 1:
                 hi -= 1
-                if self._keys[hi] < best:
-                    best = self._keys[hi]
-            lo //= 2
-            hi //= 2
+                if keys[hi] < best:
+                    best = keys[hi]
+            lo >>= 1
+            hi >>= 1
         return best
 
 
@@ -115,18 +141,51 @@ class _ExtendedFactorDFS:
         self.n = n
         self.k = scheme.k
         self.heavy_codes = heavy.codes
-        # Letters sorted by decreasing probability per position, so the DFS can
-        # stop trying letters as soon as the solidity check fails.
-        self.sorted_letters: list[list[tuple[float, int]]] = []
+        # Letters sorted by decreasing probability per position, so the DFS
+        # can stop trying letters as soon as the solidity check fails.  One
+        # whole-matrix argsort instead of n per-row sorts; the count vector
+        # bounds each position's loop to its positive letters (zeros sort
+        # last under the stable descending order).
         matrix = view.matrix
-        for position in range(n):
-            row = matrix[position]
-            order = np.argsort(-row, kind="stable")
-            letters = [(float(row[code]), int(code)) for code in order if row[code] > 0.0]
-            self.sorted_letters.append(letters)
+        if n:
+            self.letter_order = np.argsort(-matrix, axis=1, kind="stable")
+            self.letter_probs = np.take_along_axis(matrix, self.letter_order, axis=1)
+            self.letter_counts = np.count_nonzero(matrix > 0.0, axis=1).tolist()
+        else:
+            self.letter_order = np.empty((0, view.sigma), dtype=np.int64)
+            self.letter_probs = np.empty((0, view.sigma), dtype=np.float64)
+            self.letter_counts = []
+        # Packed order keys of every *heavy* k-mer, so the (frequent) k-mer
+        # windows that lie entirely on the heavy spine skip the per-letter
+        # code accumulation.
+        self._heavy_keys = self._pack_heavy_keys()
 
     # -- k-mer handling ----------------------------------------------------------------
-    def _kmer_key(self, path_letters: np.ndarray, position: int):
+    def _pack_key(self, order_value: int, position: int) -> int:
+        """One integer encoding the (order value, tie) pair, order-preserving."""
+        tie = -position if self.reverse_orientation else position
+        return (int(order_value) << 32) | (tie + self.n)
+
+    def _pack_heavy_keys(self) -> list[int]:
+        """Packed keys of all heavy-spine k-mers, computed vectorised."""
+        n, k, sigma = self.n, self.k, self.scheme.sigma
+        if n < k:
+            return []
+        codes = np.zeros(n - k + 1, dtype=np.int64)
+        offsets = (
+            range(k - 1, -1, -1) if self.reverse_orientation else range(k)
+        )
+        # Mirrors _kmer_key's accumulation order: the reverse orientation
+        # reads the view letters backwards (the original-orientation k-mer).
+        for offset in offsets:
+            codes = codes * sigma + self.heavy_codes[offset : n - k + 1 + offset]
+        orders = self.scheme.order_values(codes)
+        return [
+            self._pack_key(int(order), position)
+            for position, order in enumerate(orders)
+        ]
+
+    def _kmer_key(self, path_letters: np.ndarray, position: int) -> int:
         """Order key of the k-mer anchored at ``position`` of the current path."""
         sigma = self.scheme.sigma
         code = 0
@@ -134,15 +193,14 @@ class _ExtendedFactorDFS:
             # The original-orientation k-mer reads the view letters backwards.
             for offset in range(self.k - 1, -1, -1):
                 code = code * sigma + int(path_letters[position + offset])
-            tie = -position
         else:
             for offset in range(self.k):
                 code = code * sigma + int(path_letters[position + offset])
-            tie = position
-        return (self.scheme.order_value(code), tie)
+        return self._pack_key(self.scheme.order_value(code), position)
 
-    def _pending_position(self, selected_tie) -> int:
-        """Map the selected k-mer back to the path position that must emit."""
+    def _pending_from_key(self, key: int) -> int:
+        """Map a selected k-mer key back to the path position that must emit."""
+        selected_tie = (key & 0xFFFFFFFF) - self.n
         if self.reverse_orientation:
             return -selected_tie + self.k - 1
         return selected_tie
@@ -194,9 +252,41 @@ class _ExtendedFactorDFS:
 
         # Frames: [node_position, letter_index, child_undo]; the root frame sits
         # at position n (the empty string) and descends towards position 0.
-        root_frame = [n, 0, None]
-        stack = [root_frame]
+        stack = [[n, 0, None]]
         probability = 1.0
+        letter_counts = self.letter_counts
+        letter_order = self.letter_order
+        letter_probs = self.letter_probs
+        heavy_keys = self._heavy_keys
+        sentinel = _MinSegmentTree._SENTINEL
+
+        if self.max_nodes is None:
+            # Batch the leftmost branch: the heavy spine is always tried
+            # first (heavy letters are probability-sorted first) and is
+            # always solid (its grown part is empty), so the first n frames,
+            # the n segment-tree point updates and the per-window solidity
+            # checks collapse into one vectorised prologue: frames are
+            # stacked in bulk, the tree is bottom-up filled with the
+            # precomputed heavy k-mer keys, and the pending minimizers of
+            # every solid spine window are seeded by plain range-min probes.
+            path_letters[:] = heavy_codes
+            tree.bulk_fill(heavy_keys)
+            for child_position in range(n - 1, -1, -1):
+                kmer_position = child_position if child_position + k <= n else -1
+                stack[-1][1] = 1
+                stack[-1][2] = (False, 1.0, kmer_position)
+                stack.append([child_position, 0, None])
+                if window_is_solid(child_position, 1.0):
+                    statistics.solid_windows += 1
+                    # Every queried window lies at positions ≥ child_position,
+                    # exactly the keys a stepwise descent would have set.
+                    key = tree.range_min(
+                        child_position, child_position + ell - k + 1
+                    )
+                    if key != sentinel:
+                        pending.add(self._pending_from_key(key))
+            statistics.nodes += n
+            statistics.max_depth = n
 
         while stack:
             frame = stack[-1]
@@ -216,8 +306,9 @@ class _ExtendedFactorDFS:
                 frame[2] = None
             child_position = node_position - 1
             descended = False
-            while child_position >= 0 and frame[1] < len(self.sorted_letters[child_position]):
-                letter_probability, code = self.sorted_letters[child_position][frame[1]]
+            while child_position >= 0 and frame[1] < letter_counts[child_position]:
+                letter_probability = float(letter_probs[child_position, frame[1]])
+                code = int(letter_order[child_position, frame[1]])
                 frame[1] += 1
                 pure_heavy = not diff_stack and code == int(heavy_codes[child_position])
                 if pure_heavy:
@@ -231,7 +322,7 @@ class _ExtendedFactorDFS:
                     if not is_solid_probability(candidate, z):
                         # Letters are sorted by decreasing probability: once one
                         # fails, the remaining (non-heavy) letters fail too.
-                        frame[1] = len(self.sorted_letters[child_position])
+                        frame[1] = letter_counts[child_position]
                         break
                     new_probability = candidate
                 if self.max_nodes is not None and statistics.nodes >= self.max_nodes:
@@ -249,14 +340,21 @@ class _ExtendedFactorDFS:
                 previous_probability = probability
                 probability = new_probability
                 kmer_position = -1
-                if child_position + self.k <= n:
+                if child_position + k <= n:
                     kmer_position = child_position
-                    tree.set(kmer_position, self._kmer_key(path_letters, kmer_position))
+                    if not diff_stack or diff_stack[-1][0] >= kmer_position + k:
+                        # The k-mer window lies entirely on the heavy spine
+                        # (the deepest diff sits past it): reuse the
+                        # precomputed packed key.
+                        key = heavy_keys[kmer_position]
+                    else:
+                        key = self._kmer_key(path_letters, kmer_position)
+                    tree.set(kmer_position, key)
                 if window_is_solid(child_position, probability):
                     statistics.solid_windows += 1
-                    key = tree.range_min(child_position, child_position + ell - self.k + 1)
-                    if key[0] != float("inf"):
-                        pending.add(self._pending_position(key[1]))
+                    key = tree.range_min(child_position, child_position + ell - k + 1)
+                    if key != sentinel:
+                        pending.add(self._pending_from_key(key))
                 frame[2] = (pushed_diff, previous_probability, kmer_position)
                 stack.append([child_position, 0, None])
                 descended = True

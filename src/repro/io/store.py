@@ -165,50 +165,31 @@ class _Container:
 # leaf collections                                                             #
 # --------------------------------------------------------------------------- #
 def _pack_collection(arrays: dict, prefix: str, collection) -> None:
-    leaves = list(collection)
-    arrays[f"{prefix}.anchor"] = np.array([l.anchor for l in leaves], dtype=np.int64)
-    arrays[f"{prefix}.length"] = np.array([l.length for l in leaves], dtype=np.int64)
-    arrays[f"{prefix}.position"] = np.array([l.position for l in leaves], dtype=np.int64)
-    arrays[f"{prefix}.source"] = np.array([l.source for l in leaves], dtype=np.int64)
-    starts = np.zeros(len(leaves) + 1, dtype=np.int64)
-    offsets: list[int] = []
-    codes: list[int] = []
-    for row, leaf in enumerate(leaves):
-        for offset, code in leaf.mismatches:
-            offsets.append(offset)
-            codes.append(code)
-        starts[row + 1] = len(offsets)
-    arrays[f"{prefix}.mm_start"] = starts
-    arrays[f"{prefix}.mm_offset"] = np.array(offsets, dtype=np.int64)
-    arrays[f"{prefix}.mm_code"] = np.array(codes, dtype=np.int64)
+    # The collection already IS parallel arrays: persist them as-is, no
+    # per-leaf object round-trip.
+    block = collection.arrays
+    arrays[f"{prefix}.anchor"] = block.anchors
+    arrays[f"{prefix}.length"] = block.lengths
+    arrays[f"{prefix}.position"] = block.positions
+    arrays[f"{prefix}.source"] = block.sources
+    arrays[f"{prefix}.mm_start"] = block.mm_start
+    arrays[f"{prefix}.mm_offset"] = block.mm_offset
+    arrays[f"{prefix}.mm_code"] = block.mm_code
 
 
 def _unpack_collection(container: _Container, prefix: str, reference, lcps=None):
-    from ..indexes.minimizer_core import FactorLeaf, LeafCollection
+    from ..indexes.minimizer_core import LeafArrays, LeafCollection
 
-    anchor = container.array(f"{prefix}.anchor")
-    length = container.array(f"{prefix}.length")
-    position = container.array(f"{prefix}.position")
-    source_ids = container.array(f"{prefix}.source")
-    starts = container.array(f"{prefix}.mm_start")
-    offsets = container.array(f"{prefix}.mm_offset")
-    codes = container.array(f"{prefix}.mm_code")
-    leaves = []
-    for row in range(len(anchor)):
-        lo, hi = int(starts[row]), int(starts[row + 1])
-        mismatches = tuple(
-            (int(offsets[index]), int(codes[index])) for index in range(lo, hi)
-        )
-        leaves.append(
-            FactorLeaf(
-                anchor=int(anchor[row]),
-                length=int(length[row]),
-                mismatches=mismatches,
-                position=int(position[row]),
-                source=int(source_ids[row]),
-            )
-        )
-    return LeafCollection(leaves, reference, presorted=True, trie_lcps=lcps)
+    block = LeafArrays(
+        container.array(f"{prefix}.anchor"),
+        container.array(f"{prefix}.length"),
+        container.array(f"{prefix}.position"),
+        container.array(f"{prefix}.source"),
+        container.array(f"{prefix}.mm_start"),
+        container.array(f"{prefix}.mm_offset"),
+        container.array(f"{prefix}.mm_code"),
+    )
+    return LeafCollection(block, reference, presorted=True, trie_lcps=lcps)
 
 
 # --------------------------------------------------------------------------- #

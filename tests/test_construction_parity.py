@@ -1,0 +1,281 @@
+"""Construction-parity sweep: the array-backed fast path vs the reference path.
+
+The perf work rebuilt the construction hot path as a structure-of-arrays
+pipeline (vectorised z-estimation materialisation, radix-sorted leaf arrays,
+vectorised mismatch extraction) while keeping the per-position / per-leaf
+reference implementation selectable.  These tests pin the contract that the
+fast path is **bit-identical**:
+
+* z-estimations agree entry-for-entry, including the edge cases (z = 1,
+  single-letter alphabets, fully-certain strings, tied-probability rows,
+  rows at the ``_weight_floor`` rounding boundary);
+* every estimation-built index variant is leaf-identical (anchors, lengths,
+  mismatch lists, labels, adjacent LCPs, grid pairing);
+* all 7 variants + the sharded build + store round-trips answer every query
+  mode identically through either path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from test_differential_fuzz import (
+    MODES,
+    leaf_tuples,
+    random_patterns,
+    random_weighted_string,
+)
+
+from repro.core.alphabet import Alphabet
+from repro.core.estimation import ESTIMATION_METHODS, build_z_estimation
+from repro.core.weighted_string import WeightedString
+from repro.errors import ConstructionError
+from repro.indexes import ConstructionPipeline, Query, build_index
+from repro.io.store import load_index, save_index
+
+#: The estimation-built kinds whose leaf data must be row-identical.
+ESTIMATION_MINIMIZER_KINDS = ("MWST", "MWSA", "MWST-G", "MWSA-G")
+ALL_MONOLITHIC = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G", "MWST-SE")
+
+#: (name, style, n, sigma, z, ell, seed) — a bounded, deterministic sweep.
+SWEEP = [
+    ("skewed", "skewed", 72, 4, 4.0, 3, 1301),
+    ("uniform", "uniform", 60, 3, 2.0, 3, 1402),
+    ("degenerate", "degenerate", 84, 4, 5.5, 4, 1503),
+    ("deep-z", "skewed", 64, 4, 8.0, 4, 1604),
+]
+
+
+def assert_estimations_identical(source: WeightedString, z: float) -> None:
+    reference = build_z_estimation(source, z, method="reference")
+    vectorized = build_z_estimation(source, z, method="vectorized")
+    assert np.array_equal(reference.strings, vectorized.strings)
+    assert np.array_equal(reference.ends, vectorized.ends)
+    assert reference.z == vectorized.z
+
+
+# --------------------------------------------------------------------------- #
+# estimation edge cases through the vectorised builder                         #
+# --------------------------------------------------------------------------- #
+class TestEstimationEdgeCases:
+    def test_z_equal_one(self):
+        source = random_weighted_string("uniform", 40, 3, 7)
+        assert_estimations_identical(source, 1.0)
+        estimation = build_z_estimation(source, 1.0)
+        assert estimation.width == 1
+        # The single string of a 1-estimation is the heavy string.
+        assert np.array_equal(estimation.strings[0], source.heavy_codes())
+
+    def test_single_letter_alphabet(self):
+        source = WeightedString(
+            np.ones((25, 1), dtype=np.float64), Alphabet("A")
+        )
+        assert_estimations_identical(source, 3.0)
+        estimation = build_z_estimation(source, 3.0)
+        assert np.all(estimation.strings == 0)
+        assert np.all(estimation.ends == len(source) - 1)
+
+    def test_fully_certain_string(self):
+        source = WeightedString.from_string("ABBABAABBA")
+        assert_estimations_identical(source, 6.0)
+        estimation = build_z_estimation(source, 6.0)
+        # Every token spells the input with a full-span property.
+        for j in range(estimation.width):
+            assert np.array_equal(estimation.strings[j], source.heavy_codes())
+            assert np.all(estimation.ends[j] == len(source) - 1)
+
+    def test_tied_probability_rows(self):
+        rows = [{"A": 0.5, "B": 0.5}] * 6 + [{"A": 1.0}] + [
+            {"A": 0.25, "B": 0.25, "C": 0.25, "D": 0.25}
+        ] * 4
+        source = WeightedString.from_dicts(rows, Alphabet("ABCD"))
+        for z in (2.0, 4.0, 8.0):
+            assert_estimations_identical(source, z)
+
+    def test_weight_floor_boundary_rows(self):
+        # z·P lands exactly on integers (0.5/0.25 quotas at z = 4) and just
+        # below them (1/3 rows at z = 3): the rounding-tolerance floor must
+        # behave identically through both builders.
+        rows = [
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.5, "B": 0.25, "C": 0.25},
+            {"A": 1.0 / 3.0, "B": 1.0 / 3.0, "C": 1.0 / 3.0},
+            {"A": 0.75, "B": 0.25},
+            {"A": 1.0},
+            {"A": 2.0 / 3.0, "B": 1.0 / 3.0},
+            {"A": 0.125, "B": 0.875},
+        ] * 3
+        source = WeightedString.from_dicts(rows, Alphabet("ABC"), normalize=True)
+        for z in (2.0, 3.0, 4.0, 8.0):
+            assert_estimations_identical(source, z)
+
+    def test_edge_sources_against_count_oracle(self):
+        # The defining Count property must hold through the fast path on the
+        # edge sources too (spot checks on short patterns).
+        source = WeightedString.from_dicts(
+            [{"A": 0.5, "B": 0.5}] * 5 + [{"B": 1.0}] * 3,
+            Alphabet("AB"),
+        )
+        z = 4.0
+        estimation = build_z_estimation(source, z, method="vectorized")
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            m = int(rng.integers(1, 4))
+            start = int(rng.integers(0, len(source) - m + 1))
+            pattern = [int(code) for code in rng.integers(0, 2, m)]
+            expected = int(
+                np.floor(
+                    z * source.occurrence_probability(pattern, start) + 1e-9
+                )
+            )
+            assert estimation.count(pattern, start) == expected
+
+    def test_methods_registry(self):
+        assert set(ESTIMATION_METHODS) == {"vectorized", "reference"}
+        source = WeightedString.from_string("AB")
+        with pytest.raises(ConstructionError):
+            build_z_estimation(source, 2.0, method="nope")
+
+
+# --------------------------------------------------------------------------- #
+# the sweep: leaf identity + query identity across every variant               #
+# --------------------------------------------------------------------------- #
+def assert_same_answers(old_index, new_index, patterns, label):
+    queries = [
+        Query(pattern, mode=mode, k=3 if mode == "topk" else None)
+        for pattern in patterns
+        for mode in MODES
+    ]
+    old_results = old_index.query_many(queries)
+    new_results = new_index.query_many(queries)
+    for old, new in zip(old_results, new_results):
+        assert old.as_dict() == new.as_dict(), label
+
+
+@pytest.mark.parametrize(
+    "name,style,n,sigma,z,ell,seed", SWEEP, ids=[entry[0] for entry in SWEEP]
+)
+def test_construction_parity_sweep(tmp_path, name, style, n, sigma, z, ell, seed):
+    source = random_weighted_string(style, n, sigma, seed)
+    assert_estimations_identical(source, z)
+    patterns = random_patterns(source, ell, seed + 1)
+    assert patterns
+
+    old_pipeline = ConstructionPipeline(source, z, ell=ell, method="reference")
+    new_pipeline = ConstructionPipeline(source, z, ell=ell, method="vectorized")
+    for kind in ALL_MONOLITHIC:
+        old_index = old_pipeline.build(kind)
+        new_index = new_pipeline.build(kind)
+        assert_same_answers(old_index, new_index, patterns, (name, kind))
+        if kind in ESTIMATION_MINIMIZER_KINDS:
+            old_data, new_data = old_index.data, new_index.data
+            assert leaf_tuples(old_data.forward) == leaf_tuples(new_data.forward)
+            assert leaf_tuples(old_data.backward) == leaf_tuples(new_data.backward)
+            assert np.array_equal(
+                old_data.forward.adjacent_lcps(), new_data.forward.adjacent_lcps()
+            )
+            assert np.array_equal(
+                old_data.backward.adjacent_lcps(), new_data.backward.adjacent_lcps()
+            )
+            assert old_data.pairs == new_data.pairs
+            assert np.array_equal(
+                old_data.forward.raw_to_sorted, new_data.forward.raw_to_sorted
+            )
+
+    # Sharded builds: the per-shard construction path must not change answers.
+    old_sharded = build_index(
+        source, z, kind="MWSA", ell=ell, shards=3, max_pattern_len=2 * ell,
+        method="reference",
+    )
+    new_sharded = build_index(
+        source, z, kind="MWSA", ell=ell, shards=3, max_pattern_len=2 * ell,
+        method="vectorized",
+    )
+    assert_same_answers(old_sharded, new_sharded, patterns, (name, "sharded"))
+    for old_shard, new_shard in zip(old_sharded.shard_indexes, new_sharded.shard_indexes):
+        assert leaf_tuples(old_shard.data.forward) == leaf_tuples(new_shard.data.forward)
+
+    # Store round-trip: persisting the array-backed build and reloading it
+    # must reproduce the reference-path answers too.
+    save_index(tmp_path / "new.idx", new_pipeline.build("MWSA-G"))
+    reloaded = load_index(tmp_path / "new.idx")
+    assert_same_answers(old_pipeline.build("MWSA-G"), reloaded, patterns, (name, "store"))
+    assert leaf_tuples(reloaded.data.forward) == leaf_tuples(
+        old_pipeline.build("MWSA-G").data.forward
+    )
+
+
+def test_sort_parity_with_tiny_widening_limits(monkeypatch):
+    """Force the widening rounds and the scalar-comparator fallback.
+
+    Shrinking the prefix/widening limits makes every sort exercise the
+    doubling rounds and the heavy-LCE fallback, which realistic alphabets
+    almost never reach; the resulting order must still equal the reference
+    sort's (the total order is unique).
+    """
+    from repro.indexes.minimizer_core import LeafCollection
+
+    monkeypatch.setattr(LeafCollection, "PRESORT_PREFIX", 2)
+    monkeypatch.setattr(LeafCollection, "SORT_WIDEN_LIMIT", 4)
+    for seed in (31, 32):
+        source = random_weighted_string("degenerate", 90, 3, seed)
+        z, ell = 4.0, 3
+        old_data = ConstructionPipeline(source, z, ell=ell, method="reference").index_data()
+        new_data = ConstructionPipeline(source, z, ell=ell, method="vectorized").index_data()
+        assert leaf_tuples(old_data.forward) == leaf_tuples(new_data.forward)
+        assert leaf_tuples(old_data.backward) == leaf_tuples(new_data.backward)
+        assert np.array_equal(
+            old_data.forward.adjacent_lcps(), new_data.forward.adjacent_lcps()
+        )
+
+
+def test_sort_parity_beyond_byte_packing():
+    """Alphabets too wide for byte-packed keys use the int-column radix path."""
+    rng = np.random.default_rng(21)
+    sigma = 300
+    n = 60
+    alphabet = Alphabet([f"s{i}" for i in range(sigma)])
+    matrix = np.zeros((n, sigma))
+    matrix[np.arange(n), rng.integers(0, sigma, n)] = 1.0
+    fuzzy = rng.random(n) < 0.3
+    matrix[fuzzy] = 0.0
+    matrix[fuzzy, rng.integers(0, sigma, int(fuzzy.sum()))] = 0.6
+    matrix[fuzzy, rng.integers(0, sigma, int(fuzzy.sum()))] += 0.4
+    source = WeightedString(matrix, alphabet, normalize=True)
+    z, ell = 3.0, 2
+    old_data = ConstructionPipeline(source, z, ell=ell, method="reference").index_data()
+    new_data = ConstructionPipeline(source, z, ell=ell, method="vectorized").index_data()
+    assert len(new_data.forward) > 0
+    assert leaf_tuples(old_data.forward) == leaf_tuples(new_data.forward)
+    assert leaf_tuples(old_data.backward) == leaf_tuples(new_data.backward)
+
+
+def test_merge_carries_search_caches():
+    """Update-merge keeps kept rows' packed search keys; fresh rows get new ones."""
+    source = random_weighted_string("skewed", 80, 4, 2203)
+    z, ell = 4.0, 3
+    index = build_index(source, z, kind="MWSA", ell=ell)
+    data = index.data
+    # Warm the byte-key cache, then update through the localized repair.
+    piece = [int(code) for code in source.heavy_codes()[:ell]]
+    data.forward.prefix_range_many([piece])
+    assert data.forward._search_keys is not None
+    cached_width = data.forward._search_width
+    rng = np.random.default_rng(5)
+    position = int(rng.integers(0, len(source)))
+    row = np.zeros(source.sigma)
+    row[int(rng.integers(source.sigma))] = 1.0
+    report = index.apply_updates([(position, row)])
+    if report.strategy == "localized":
+        merged = index.data.forward
+        if merged._search_keys is not None:
+            assert merged._search_width == cached_width
+            assert len(merged._search_keys) == len(merged)
+            # The carried keys must equal a from-scratch recomputation.
+            fresh = build_index(source, z, kind="MWSA", ell=ell).data.forward
+            fresh.prefix_range_many([piece])
+            assert np.array_equal(merged._search_keys, fresh._search_keys)
+    # Whatever the strategy, answers must stay oracle-exact.
+    fresh = build_index(source, z, kind="MWSA", ell=ell)
+    patterns = random_patterns(source, ell, 99)
+    assert index.match_many(patterns) == fresh.match_many(patterns)

@@ -15,19 +15,24 @@ from repro.indexes.se_construction import (
 from repro.sampling.minimizers import MinimizerScheme
 
 
+def _key(order: int, tie: int) -> int:
+    """Packed (order value, tie) key, mirroring _ExtendedFactorDFS._pack_key."""
+    return (order << 32) | tie
+
+
 class TestMinSegmentTree:
     def test_point_updates_and_queries(self):
         tree = _MinSegmentTree(8)
-        tree.set(2, (5, 2))
-        tree.set(5, (3, 5))
-        tree.set(7, (3, 7))
-        assert tree.range_min(0, 8) == (3, 5)
-        assert tree.range_min(0, 5) == (5, 2)
-        assert tree.range_min(6, 8) == (3, 7)
+        tree.set(2, _key(5, 2))
+        tree.set(5, _key(3, 5))
+        tree.set(7, _key(3, 7))
+        assert tree.range_min(0, 8) == _key(3, 5)
+        assert tree.range_min(0, 5) == _key(5, 2)
+        assert tree.range_min(6, 8) == _key(3, 7)
 
     def test_clear_restores_sentinel(self):
         tree = _MinSegmentTree(4)
-        tree.set(1, (1, 1))
+        tree.set(1, _key(1, 1))
         tree.clear(1)
         assert tree.range_min(0, 4) == tree._SENTINEL
 
@@ -35,11 +40,22 @@ class TestMinSegmentTree:
         tree = _MinSegmentTree(4)
         assert tree.range_min(2, 2) == tree._SENTINEL
 
-    def test_tie_breaking_prefers_smaller_tuple(self):
+    def test_tie_breaking_prefers_smaller_key(self):
         tree = _MinSegmentTree(4)
-        tree.set(0, (7, 3))
-        tree.set(1, (7, 1))
-        assert tree.range_min(0, 4) == (7, 1)
+        tree.set(0, _key(7, 3))
+        tree.set(1, _key(7, 1))
+        assert tree.range_min(0, 4) == _key(7, 1)
+
+    def test_bulk_fill_matches_point_updates(self):
+        bulk = _MinSegmentTree(6)
+        stepwise = _MinSegmentTree(6)
+        keys = [_key(order, tie) for tie, order in enumerate((9, 4, 6, 2, 8, 5))]
+        bulk.bulk_fill(keys)
+        for position, key in enumerate(keys):
+            stepwise.set(position, key)
+        for lo in range(6):
+            for hi in range(lo, 7):
+                assert bulk.range_min(lo, hi) == stepwise.range_min(lo, hi)
 
 
 class TestSpaceEfficientData:
