@@ -1,0 +1,295 @@
+"""HTTP serving throughput — micro-batching on vs off under concurrency.
+
+Not a paper figure: this benchmark tracks the asyncio serving layer
+(:mod:`repro.service.server`).  Closed-loop clients drive ``POST /query``
+over real localhost sockets with a Zipf-skewed pattern stream (the shape of
+production traffic), at several concurrency levels, in two configurations:
+
+* ``batching off`` — every request is answered individually (the baseline);
+* ``batching on``  — concurrent requests coalesce into one ``query_many``
+  execution per micro-batch window, so singleton HTTP requests get the
+  vectorized batch path and in-batch deduplication.
+
+The result cache is disabled in both configurations: the comparison
+isolates what *micro-batching* buys, not what the LRU cache buys (that is
+``bench_query_service.py``).  The standalone runner reports throughput and
+p50/p99 latency per row, asserts that micro-batching wins by at least
+``--min-speedup`` (default 2x) at the highest concurrency level, and
+finishes with a graceful-shutdown drain check: requests parked in an open
+batch window when ``shutdown()`` is called must all be answered, none
+dropped or errored.
+
+Run standalone, or at smoke scale for CI (skips the speedup floor — tiny
+runs are noise-dominated)::
+
+    python benchmarks/bench_http_serving.py
+    python benchmarks/bench_http_serving.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from collections import deque
+from pathlib import Path
+
+SOURCE_ROOT = Path(__file__).resolve().parent.parent / "src"
+if str(SOURCE_ROOT) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(SOURCE_ROOT))
+
+import pytest
+
+from repro.datasets.patterns import (
+    sample_random_patterns,
+    sample_valid_patterns,
+    sample_zipf_workload,
+)
+from repro.datasets.synthetic import sparse_uncertainty_string
+from repro.indexes import build_index
+from repro.service import QueryService
+from repro.service.client import AsyncHttpClient
+from repro.service.metrics import LATENCY_BUCKETS, Histogram
+from repro.service.server import HttpServer
+
+DEFAULT_LENGTH = 16_000
+DEFAULT_UNIQUE = 100
+DEFAULT_REQUESTS = 800
+DEFAULT_Z = 8.0
+DEFAULT_ELL = 16
+DEFAULT_ZIPF_S = 1.2
+DEFAULT_KIND = "MWSA"
+DEFAULT_CONCURRENCY = (8, 32)
+DEFAULT_WINDOW_MS = 2.0
+# Sized to the top concurrency level: a full batch flushes immediately
+# instead of waiting out the window remainder.
+DEFAULT_MAX_BATCH = 32
+DEFAULT_MIN_SPEEDUP = 2.0
+
+
+def make_workload(length: int, unique: int, requests: int, z: float, ell: int,
+                  zipf_s: float):
+    """The synthetic source and a Zipf-skewed request stream over a mixed pool."""
+    source = sparse_uncertainty_string(length, 4, delta=0.1, seed=11)
+    valid_count = (7 * unique) // 10
+    pool = sample_valid_patterns(source, z, m=ell, count=valid_count, seed=1)
+    pool += sample_random_patterns(source, m=ell, count=unique - valid_count, seed=2)
+    stream = sample_zipf_workload(pool, requests, s=zipf_s, seed=7)
+    return source, pool, stream
+
+
+async def closed_loop(index, stream, concurrency: int, *, batching: bool,
+                      window: float, max_batch: int) -> dict:
+    """One timed run: ``concurrency`` clients drain the stream over HTTP."""
+    service = QueryService(index, cache_enabled=False)
+    server = HttpServer(
+        service,
+        batch_window=window,
+        max_batch=max_batch,
+        batching=batching,
+        queue_limit=max(256, 4 * concurrency),
+        request_timeout=60.0,
+    )
+    host, port = await server.start("127.0.0.1", 0)
+    pending = deque(stream)
+    latencies = Histogram(LATENCY_BUCKETS)
+    errors = 0
+
+    async def client_loop() -> None:
+        nonlocal errors
+        client = await AsyncHttpClient.connect(host, port)
+        while True:
+            try:
+                pattern = pending.popleft()
+            except IndexError:
+                break
+            started = time.perf_counter()
+            response = await client.request("POST", "/query", {"pattern": pattern})
+            latencies.observe(time.perf_counter() - started)
+            if response.status != 200:
+                errors += 1
+        await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client_loop() for _ in range(concurrency)))
+    elapsed = time.perf_counter() - started
+    batch_stats = server.server_stats()["batching"]
+    await server.shutdown()
+    return {
+        "batching": batching,
+        "concurrency": concurrency,
+        "requests": len(stream),
+        "errors": errors,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": len(stream) / elapsed,
+        "p50_ms": 1e3 * latencies.quantile(0.5),
+        "p99_ms": 1e3 * latencies.quantile(0.99),
+        "mean_batch_size": round(batch_stats["mean_batch_size"], 2),
+        "largest_batch": batch_stats["largest_batch"],
+    }
+
+
+async def drain_check(index, concurrency: int) -> dict:
+    """Graceful shutdown: requests parked in an open window are all answered."""
+    service = QueryService(index, cache_enabled=False)
+    server = HttpServer(service, batch_window=30.0, max_batch=10_000)
+    host, port = await server.start("127.0.0.1", 0)
+    pattern = sample_valid_patterns(
+        index.source, index.z, m=index.minimum_pattern_length, count=1, seed=3
+    )[0]
+
+    async def one_request() -> int:
+        client = await AsyncHttpClient.connect(host, port)
+        response = await client.request("POST", "/query", {"pattern": pattern})
+        await client.close()
+        return response.status
+
+    tasks = [asyncio.create_task(one_request()) for _ in range(concurrency)]
+    while server.server_stats()["inflight"] < concurrency:
+        await asyncio.sleep(0.001)  # every request parked in the window
+    report = await server.shutdown(drain=True)
+    statuses = await asyncio.gather(*tasks)
+    return {
+        "inflight_at_shutdown": concurrency,
+        "drained": report["drained"],
+        "drain_expired": report["drain_expired"],
+        "answered_ok": sum(1 for status in statuses if status == 200),
+        "dropped_or_errored": sum(1 for status in statuses if status != 200),
+    }
+
+
+@pytest.fixture(scope="module")
+def http_workload():
+    source, pool, stream = make_workload(
+        DEFAULT_LENGTH, DEFAULT_UNIQUE, 400, DEFAULT_Z, DEFAULT_ELL,
+        DEFAULT_ZIPF_S,
+    )
+    index = build_index(source, DEFAULT_Z, kind=DEFAULT_KIND, ell=DEFAULT_ELL)
+    return index, stream
+
+
+@pytest.mark.parametrize("batching", (False, True))
+def test_http_serving_throughput(benchmark, http_workload, batching):
+    index, stream = http_workload
+
+    def payload():
+        return asyncio.run(
+            closed_loop(index, stream, 8, batching=batching,
+                        window=DEFAULT_WINDOW_MS / 1e3, max_batch=DEFAULT_MAX_BATCH)
+        )
+
+    row = benchmark.pedantic(payload, rounds=1, iterations=1)
+    assert row["errors"] == 0
+    if batching:
+        assert row["largest_batch"] > 1
+    benchmark.extra_info.update(
+        {key: row[key] for key in
+         ("batching", "requests_per_second", "p50_ms", "p99_ms",
+          "mean_batch_size", "largest_batch")}
+    )
+
+
+def main(argv=None) -> int:
+    """Standalone batching-off-vs-on comparison over real sockets."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    parser.add_argument("--unique", type=int, default=DEFAULT_UNIQUE)
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument("--z", type=float, default=DEFAULT_Z)
+    parser.add_argument("--ell", type=int, default=DEFAULT_ELL)
+    parser.add_argument("--zipf-s", type=float, default=DEFAULT_ZIPF_S)
+    parser.add_argument("--kind", default=DEFAULT_KIND)
+    parser.add_argument("--concurrency", type=int, nargs="+",
+                        default=list(DEFAULT_CONCURRENCY))
+    parser.add_argument("--batch-window-ms", type=float, default=DEFAULT_WINDOW_MS)
+    parser.add_argument("--max-batch", type=int, default=DEFAULT_MAX_BATCH)
+    parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+                        help="required batching-on/off speedup at the highest "
+                        "concurrency level")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: skips the speedup floor (noise-"
+                        "dominated at this scale), keeps every correctness check")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the measured rows (with run metadata) to FILE")
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        arguments.length = min(arguments.length, 1_200)
+        arguments.requests = min(arguments.requests, 300)
+        arguments.concurrency = [8]
+
+    source, pool, stream = make_workload(
+        arguments.length, arguments.unique, arguments.requests,
+        arguments.z, arguments.ell, arguments.zipf_s,
+    )
+    index = build_index(source, arguments.z, kind=arguments.kind, ell=arguments.ell)
+    print(
+        f"workload: n={len(source)}, z={arguments.z:g}, ell={arguments.ell}, "
+        f"kind={arguments.kind}, {len(stream)} requests over {len(pool)} "
+        f"patterns (zipf s={arguments.zipf_s:g}), cache disabled"
+    )
+
+    rows = []
+    for concurrency in arguments.concurrency:
+        for batching in (False, True):
+            row = asyncio.run(
+                closed_loop(
+                    index, stream, concurrency, batching=batching,
+                    window=arguments.batch_window_ms / 1e3,
+                    max_batch=arguments.max_batch,
+                )
+            )
+            rows.append(row)
+            mode = "on " if batching else "off"
+            print(
+                f"concurrency {concurrency:>3}, batching {mode}: "
+                f"{row['requests_per_second']:>8,.0f} req/s, "
+                f"p50 {row['p50_ms']:.2f} ms, p99 {row['p99_ms']:.2f} ms, "
+                f"mean batch {row['mean_batch_size']}, "
+                f"largest {row['largest_batch']}"
+            )
+            if row["errors"]:
+                print(f"FAIL: {row['errors']} non-200 responses")
+                return 1
+
+    top = max(arguments.concurrency)
+    off = next(r for r in rows
+               if r["concurrency"] == top and not r["batching"])
+    on = next(r for r in rows if r["concurrency"] == top and r["batching"])
+    speedup = on["requests_per_second"] / off["requests_per_second"]
+    print(f"micro-batching speedup at concurrency {top}: {speedup:.1f}x")
+    if not arguments.smoke and speedup < arguments.min_speedup:
+        print(
+            f"FAIL: micro-batching must be at least {arguments.min_speedup:g}x "
+            f"the per-request baseline at concurrency {top}"
+        )
+        return 1
+
+    drain = asyncio.run(drain_check(index, max(8, top)))
+    print(
+        f"graceful shutdown: {drain['answered_ok']}/{drain['inflight_at_shutdown']} "
+        f"in-flight requests answered, {drain['dropped_or_errored']} dropped"
+    )
+    if drain["dropped_or_errored"] or drain["drain_expired"]:
+        print("FAIL: graceful shutdown dropped or errored in-flight requests")
+        return 1
+
+    if arguments.json:
+        from repro.bench.metadata import run_metadata
+
+        payload = {"metadata": run_metadata(), "rows": rows, "drain": drain,
+                   "workload": {"n": len(source), "requests": len(stream),
+                                "unique_patterns": len(pool),
+                                "zipf_s": arguments.zipf_s,
+                                "batch_window_ms": arguments.batch_window_ms,
+                                "max_batch": arguments.max_batch}}
+        with open(arguments.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {arguments.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The HTTP serving layer, end to end in one process.
+
+Starts the stdlib-only asyncio HTTP server (the machinery behind
+``python -m repro.cli serve-http``) over a cached ``QueryService``, then
+drives it with the bundled asyncio client:
+
+* single queries (``POST /query``) — concurrent requests coalesce into one
+  micro-batched execution, each response reports its cache provenance;
+* an explicit batch (``POST /query/batch``) with a per-item error;
+* a point update (``POST /update``) that reweights one position and
+  invalidates exactly the affected cache entries;
+* counters (``GET /stats``) and Prometheus text (``GET /metrics``);
+* a graceful shutdown that drains everything in flight.
+
+Run with:  python examples/http_serving.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import WeightedString
+from repro.indexes import build_index
+from repro.service import QueryService
+from repro.service.client import AsyncHttpClient
+from repro.service.server import HttpServer
+
+
+def build_service() -> QueryService:
+    # The paper's Example 1 string (length 6 over {A, B}), indexed at z = 4.
+    uncertain = WeightedString.from_dicts(
+        [
+            {"A": 1.0},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.75, "B": 0.25},
+            {"A": 0.8, "B": 0.2},
+            {"A": 0.5, "B": 0.5},
+            {"A": 0.25, "B": 0.75},
+        ]
+    )
+    index = build_index(uncertain, 4, kind="MWSA", ell=2)
+    return QueryService(index, cache_size=64)
+
+
+async def main() -> None:
+    server = HttpServer(build_service(), batch_window=0.002, max_batch=16)
+    host, port = await server.start("127.0.0.1", 0)  # 0 = ephemeral port
+    print(f"serving on http://{host}:{port}")
+
+    client = await AsyncHttpClient.connect(host, port)
+
+    # --- Single queries: concurrent requests micro-batch ------------------
+    async def one_query(pattern: str) -> dict:
+        worker = await AsyncHttpClient.connect(host, port)
+        response = await worker.request("POST", "/query", {"pattern": pattern})
+        await worker.close()
+        return response.json()
+
+    answers = await asyncio.gather(*(one_query("AB") for _ in range(4)))
+    print("POST /query  :", answers[0]["positions"],
+          "cached flags:", [answer["cached"] for answer in answers])
+    batching = server.server_stats()["batching"]
+    print(f"micro-batching: {batching['batches']} executions for "
+          f"{batching['batched_requests']} requests "
+          f"(largest batch {batching['largest_batch']})")
+
+    # --- An explicit batch with one invalid entry -------------------------
+    response = await client.request(
+        "POST", "/query/batch",
+        {"queries": ["AB", {"pattern": "AB", "mode": "topk", "k": 1}, "A?"]},
+    )
+    for item in response.json()["results"]:
+        print("batch item   :", item.get("positions", item.get("error")))
+
+    # --- A point update invalidates exactly the affected entries ----------
+    response = await client.request(
+        "POST", "/update",
+        {"updates": [{"position": 1, "distribution": {"B": 1.0}}]},
+    )
+    report = response.json()["update"]
+    print(f"POST /update : strategy={report['strategy']}, "
+          f"invalidated {report['invalidated_entries']} cache entries")
+    after = await client.request("POST", "/query", {"pattern": "AB"})
+    print("after update :", after.json()["positions"])
+
+    # --- Observability ----------------------------------------------------
+    stats = (await client.request("GET", "/stats")).json()
+    print(f"GET /stats   : {stats['service']['queries']} queries, "
+          f"hit rate {stats['service']['hit_rate']:.0%}, "
+          f"{stats['server']['requests']} HTTP requests")
+    metrics = (await client.request("GET", "/metrics")).text
+    sample = [line for line in metrics.splitlines()
+              if line.startswith("repro_service_queries_total")]
+    print("GET /metrics :", *sample)
+
+    await client.close()
+    report = await server.shutdown()
+    print(f"shutdown     : drained {report['drained']} in-flight requests")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,6 +1,6 @@
 """Command-line interface: build indexes, run queries, inspect datasets, serve.
 
-Installed as the ``repro-uncertain`` console script.  Six sub-commands:
+Installed as the ``repro-uncertain`` console script.  Seven sub-commands:
 
 * ``info``        — Table 2-style characteristics of a named or PWM-file dataset;
 * ``build``       — build an index (optionally sharded via ``--shards`` /
@@ -19,7 +19,12 @@ Installed as the ``repro-uncertain`` console script.  Six sub-commands:
 * ``serve``       — a line-oriented stdin/stdout JSON query loop over a
   cached :class:`~repro.service.QueryService` (one request per line, one
   JSON response per line), including an ``update`` op with exact cache
-  invalidation.
+  invalidation;
+* ``serve-http``  — the same service behind a stdlib-only asyncio HTTP/1.1
+  JSON API (``POST /query`` / ``/query/batch`` / ``/update``, ``GET
+  /stats`` / ``/healthz`` / ``/metrics``) with cross-request
+  micro-batching, per-client rate limiting, load shedding and
+  Prometheus-format metrics.
 
 ``--json`` on the query sub-commands switches to a stable machine-readable
 schema (positions, probabilities, timing, planner statistics); ``build
@@ -36,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import tracemalloc
@@ -55,6 +61,7 @@ from .io.store import (
     save_sharded_store,
 )
 from .service import QueryService
+from .service.protocol import parse_updates, query_from_payload
 
 __all__ = ["main", "build_parser"]
 
@@ -268,6 +275,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
 
+    serve_http = subparsers.add_parser(
+        "serve-http",
+        help="asyncio HTTP/1.1 JSON API over a cached QueryService "
+        "(micro-batching, rate limiting, load shedding, /metrics)",
+    )
+    add_build_arguments(serve_http, source_required=False)
+    serve_http.add_argument(
+        "--store", help="load the index from this store file instead of building"
+    )
+    serve_http.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU result-cache capacity (default: 1024 results)",
+    )
+    serve_http.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve_http.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_http.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral port; default: 8765)",
+    )
+    serve_http.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batch collection window in milliseconds (default: 2)",
+    )
+    serve_http.add_argument(
+        "--max-batch", type=int, default=64,
+        help="most requests coalesced into one execution (default: 64)",
+    )
+    serve_http.add_argument(
+        "--no-batching", action="store_true",
+        help="answer each request individually (the baseline mode)",
+    )
+    serve_http.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="admitted-request ceiling; beyond it requests are shed with "
+        "HTTP 429 (default: 256)",
+    )
+    serve_http.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="per-client token-bucket rate in requests/second (0 disables)",
+    )
+    serve_http.add_argument(
+        "--burst", type=float,
+        help="token-bucket burst capacity (default: the rate)",
+    )
+    serve_http.add_argument(
+        "--request-timeout", type=float, default=10.0,
+        help="per-request execution budget in seconds (default: 10)",
+    )
+
     return parser
 
 
@@ -332,30 +390,8 @@ def _command_build(arguments) -> dict:
     return report
 
 
-def _parse_updates(payload) -> list[tuple[int, dict]]:
-    """Normalize a JSON update list into ``(position, distribution)`` pairs.
-
-    Accepts ``{"position": i, "distribution": {...}}`` objects and bare
-    ``[position, distribution]`` pairs.
-    """
-    if not isinstance(payload, list):
-        raise ReproError("updates must be a JSON list")
-    pairs = []
-    for entry in payload:
-        if isinstance(entry, dict):
-            if "position" not in entry or "distribution" not in entry:
-                raise ReproError(
-                    "each update object needs 'position' and 'distribution'"
-                )
-            pairs.append((entry["position"], entry["distribution"]))
-        elif isinstance(entry, (list, tuple)) and len(entry) == 2:
-            pairs.append((entry[0], entry[1]))
-        else:
-            raise ReproError(
-                "each update must be an object with position/distribution "
-                "or a [position, distribution] pair"
-            )
-    return pairs
+#: Normalize a JSON update list (shared with the HTTP API's /update route).
+_parse_updates = parse_updates
 
 
 def _command_update(arguments) -> dict:
@@ -526,27 +562,17 @@ def _serve_request(service: QueryService, line: str) -> dict:
                 raise ReproError(
                     "updates need an explicit '\"cmd\": \"update\"' request"
                 )
-            pattern = request.get("pattern")
-            if pattern is None:
-                raise ReproError("a JSON request needs a 'pattern' field")
-            zs = request.get("zs")
-            query = Query(
-                pattern,
-                mode=request.get("mode", "locate"),
-                k=request.get("k"),
-                z=request.get("z"),
-                # An explicitly given empty sweep must raise, not silently
-                # degrade to a single-z answer of the wrong shape.
-                zs=None if zs is None else tuple(zs),
-            )
+            query = query_from_payload(request)
         else:
             query = Query(line)
-        hits_before = service.hits
         started = time.perf_counter()
-        result = service.query(query)
+        # Per-request provenance, not a global hit-counter delta: a delta of
+        # service.hits misattributes hits as soon as two requests are in
+        # flight (the HTTP layer's normal operating mode).
+        results, origins = service.query_many([query], provenance=True)
         micros = 1e6 * (time.perf_counter() - started)
-        response = result.as_dict()
-        response["cached"] = service.hits > hits_before
+        response = results[0].as_dict()
+        response["cached"] = origins[0] != "miss"
         response["micros"] = round(micros, 3)
         return response
     except (ReproError, TypeError, ValueError) as error:
@@ -576,15 +602,85 @@ def _command_serve(arguments) -> None:
         cache_enabled=not arguments.no_cache,
     )
     stdout = sys.stdout
+
+    def emit(payload) -> bool:
+        """Write and flush one response line; False when the pipe is gone.
+
+        A downstream consumer that exits early (``head``, a crashed client)
+        closes our stdout: the loop must stop cleanly (exit code 0), not
+        traceback on ``BrokenPipeError`` / a closed file.
+        """
+        try:
+            stdout.write(json.dumps(payload) + "\n")
+            stdout.flush()
+            return True
+        except (BrokenPipeError, ValueError):
+            return False
+
     for raw in sys.stdin:
         line = raw.strip()
         if not line:
             continue
-        stdout.write(json.dumps(_serve_request(service, line)) + "\n")
-        stdout.flush()
-    stdout.write(json.dumps({"stats": service.stats()}) + "\n")
-    stdout.flush()
+        if not emit(_serve_request(service, line)):
+            _silence_broken_stdout()
+            return None  # skip the final stats line: nobody is reading
+    emit({"stats": service.stats()})
     return None
+
+
+def _command_serve_http(arguments) -> None:
+    """The asyncio HTTP serving loop (see :mod:`repro.service.server`).
+
+    Prints one ``serving on http://host:port`` line once the socket is
+    bound (the CI smoke test waits for it), then serves until SIGINT /
+    SIGTERM; shutdown flushes the pending micro-batch and drains in-flight
+    requests before exiting.
+    """
+    import asyncio
+
+    from .service.server import run_server
+
+    index = _obtain_index(arguments)
+    service = QueryService(
+        index,
+        cache_size=arguments.cache_size,
+        cache_enabled=not arguments.no_cache,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving on http://{host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            run_server(
+                service,
+                host=arguments.host,
+                port=arguments.port,
+                ready=ready,
+                batch_window=arguments.batch_window_ms / 1000.0,
+                max_batch=arguments.max_batch,
+                batching=not arguments.no_batching,
+                queue_limit=arguments.queue_limit,
+                rate=arguments.rate_limit,
+                burst=arguments.burst,
+                request_timeout=arguments.request_timeout,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return None
+
+
+def _silence_broken_stdout() -> None:
+    """Point the broken stdout at devnull so interpreter exit stays quiet.
+
+    CPython flushes ``sys.stdout`` during shutdown; after a broken pipe that
+    flush would print an ignored-exception message and flip the exit status.
+    """
+    try:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except (OSError, ValueError, AttributeError):
+        pass  # stdout is not a real file descriptor (tests, embedding)
 
 
 def main(argv=None) -> int:
@@ -598,6 +694,7 @@ def main(argv=None) -> int:
         "query-batch": _command_query_batch,
         "update": _command_update,
         "serve": _command_serve,
+        "serve-http": _command_serve_http,
     }
     try:
         result = handlers[arguments.command](arguments)

@@ -44,13 +44,35 @@ def coerce_pattern_array(
     the batch engine; ``validate=False`` skips the per-letter range check so
     batch callers can validate a whole batch with a single reduction (they
     re-run the validating path on failure to raise the canonical error).
+
+    Coercion itself is always strict: non-integral letter codes (``0.9``,
+    ``-0.5``, ``nan``) raise :class:`~repro.errors.PatternError` instead of
+    silently truncating to a *different* pattern's codes — truncation once
+    let an invalid pattern alias a valid one's cache key and be answered
+    that entry's result.
     """
     if isinstance(pattern, str):
         codes = np.asarray(source.alphabet.encode(pattern), dtype=np.int64)
     else:
         if not isinstance(pattern, (list, tuple, np.ndarray)):
             pattern = list(pattern)
-        codes = np.array(pattern, dtype=np.int64, ndmin=1)
+        raw = np.array(pattern, ndmin=1)
+        if raw.dtype == np.int64:
+            codes = raw
+        elif raw.dtype.kind in "iub":
+            codes = raw.astype(np.int64)
+        else:
+            try:
+                codes = raw.astype(np.int64)
+            except (TypeError, ValueError, OverflowError) as error:
+                raise PatternError(
+                    f"letter codes must be integers: {error}"
+                ) from error
+            if not np.array_equal(codes, raw):
+                raise PatternError(
+                    "letter codes must be integers; a non-integral code "
+                    "would silently truncate to a different pattern"
+                )
     if validate and len(codes):
         lowest, highest = int(codes.min()), int(codes.max())
         if lowest < 0 or highest >= source.sigma:

@@ -5,9 +5,31 @@
 pattern normalization, request deduplication and an LRU result cache — the
 piece that turns the library's indexes into something that can serve skewed
 production traffic.  The CLI's ``serve`` sub-command wraps it in a
-line-oriented stdin/stdout JSON loop.
+line-oriented stdin/stdout JSON loop; ``serve-http`` puts it behind
+:class:`~repro.service.server.HttpServer`, a stdlib-only asyncio HTTP/1.1
+JSON API with cross-request micro-batching
+(:mod:`~repro.service.batching`), per-client rate limiting, load shedding
+and Prometheus-format metrics (:mod:`~repro.service.metrics`).
 """
 
 from .query_service import QueryService
 
-__all__ = ["QueryService"]
+__all__ = ["QueryService", "HttpServer", "AsyncHttpClient", "MicroBatcher"]
+
+
+def __getattr__(name):
+    # Lazy re-exports: importing QueryService must not pull asyncio server
+    # machinery into every CLI invocation.
+    if name == "HttpServer":
+        from .server import HttpServer
+
+        return HttpServer
+    if name == "AsyncHttpClient":
+        from .client import AsyncHttpClient
+
+        return AsyncHttpClient
+    if name == "MicroBatcher":
+        from .batching import MicroBatcher
+
+        return MicroBatcher
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,115 @@
+"""A minimal asyncio HTTP/1.1 client for the serving layer (stdlib only).
+
+Just enough HTTP for the closed-loop benchmark, the soak tests and the CI
+smoke run: keep-alive connections, JSON request bodies, Content-Length
+responses.  Not a general-purpose client — it speaks exactly the subset
+:mod:`repro.service.server` emits, which keeps both ends small and tested
+against each other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["HttpResponse", "AsyncHttpClient"]
+
+
+class HttpResponse:
+    """One parsed response: status, lowercase headers, raw body."""
+
+    __slots__ = ("status", "reason", "headers", "body")
+
+    def __init__(self, status: int, reason: str, headers: dict, body: bytes) -> None:
+        self.status = status
+        self.reason = reason
+        self.headers = headers
+        self.body = body
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"HttpResponse(status={self.status}, bytes={len(self.body)})"
+
+
+class AsyncHttpClient:
+    """One keep-alive connection to an :class:`~repro.service.server.HttpServer`.
+
+    Usage::
+
+        client = await AsyncHttpClient.connect(host, port)
+        response = await client.request("POST", "/query", {"pattern": "AB"})
+        assert response.status == 200
+        await client.close()
+
+    A connection issues one request at a time (HTTP/1.1 without pipelining);
+    open several clients for concurrency — that is exactly what the
+    closed-loop benchmark does.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncHttpClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        close: bool = False,
+    ) -> HttpResponse:
+        """Send one request and read its response (JSON body when given)."""
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = [
+            f"{method} {path} HTTP/1.1",
+            "Host: localhost",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        if body:
+            head.append("Content-Type: application/json")
+        self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> HttpResponse:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        parts = line.decode("latin-1").strip().split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {line!r}")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) == 3 else ""
+        headers: dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise ConnectionError("connection closed inside response headers")
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        return HttpResponse(status, reason, headers, body)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

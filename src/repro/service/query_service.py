@@ -112,13 +112,21 @@ class QueryService:
             request = Query(pattern, mode=mode, k=k, z=z, zs=zs)
         return self.query_many([request])[0]
 
-    def query_many(self, requests: Sequence) -> list[QueryResult]:
+    def query_many(
+        self, requests: Sequence, *, provenance: bool = False
+    ) -> list[QueryResult] | tuple[list[QueryResult], list[str]]:
         """Answer a batch of requests, serving repeats from the cache.
 
         Entries may be :class:`Query` objects or bare patterns (``locate``
         mode).  Requests repeated within the batch are answered once; a
         request whose key is already cached counts as a hit, each distinct
         uncached key as one miss.
+
+        With ``provenance=True`` the return value is ``(results, origins)``
+        where ``origins[i]`` is ``"cache"``, ``"dedup"`` or ``"miss"`` for
+        request ``i`` — the per-request provenance concurrent callers need
+        (a global hit-counter delta misattributes hits as soon as two
+        requests are in flight).
         """
         queries = [
             request if isinstance(request, Query) else Query(request)
@@ -126,12 +134,14 @@ class QueryService:
         ]
         keys = [self._key(query) for query in queries]
         results: list[QueryResult | None] = [None] * len(queries)
+        origins: list[str] = ["miss"] * len(queries)
         pending: OrderedDict[tuple, list[int]] = OrderedDict()
         cache_hits = dedup_hits = misses = 0
         for position, key in enumerate(keys):
             if self._cache_enabled and key in self._cache:
                 self._cache.move_to_end(key)
                 results[position] = self._cache[key]
+                origins[position] = "cache"
                 cache_hits += 1
             elif key in pending:
                 # Duplicate of an uncached request earlier in this batch:
@@ -140,6 +150,7 @@ class QueryService:
                 # traffic served without touching the index, whether the
                 # saved execution came from the cache or from deduplication.
                 pending[key].append(position)
+                origins[position] = "dedup"
                 dedup_hits += 1
             else:
                 pending[key] = [position]
@@ -157,14 +168,47 @@ class QueryService:
         self._dedup_hits += dedup_hits
         self._misses += misses
         self._queries += len(queries)
+        if provenance:
+            return results, origins
         return results
 
     def _key(self, query: Query) -> tuple:
-        """Normalized cache key: coerced codes + mode + threshold parameters."""
-        codes = coerce_pattern_array(
-            query.pattern, self._index.source, validate=False
-        )
+        """Normalized cache key: coerced codes + mode + threshold parameters.
+
+        Coercion *validates* the pattern (strict integral codes, alphabet
+        range) before keying: an invalid pattern must raise
+        :class:`~repro.errors.PatternError` here, on the hit path, never
+        reach the cache lookup with a truncated key that can collide with a
+        cached valid pattern and silently be served that entry's answer.
+        """
+        codes = coerce_pattern_array(query.pattern, self._index.source)
         return (codes.tobytes(), query.mode, query.k, query.z, query.zs)
+
+    def validate(self, request) -> Query:
+        """Normalize and fully validate one request without executing it.
+
+        Returns the :class:`Query` (built from a bare pattern if needed)
+        after running the same pattern checks the planner would — strict
+        code coercion, alphabet range and the index's pattern-length bounds.
+        Admission layers (the HTTP micro-batcher) use this to reject an
+        invalid request individually instead of poisoning the whole batch
+        it would have been coalesced into.
+        """
+        query = request if isinstance(request, Query) else Query(request)
+        codes = coerce_pattern_array(query.pattern, self._index.source)
+        self._index._prepare_pattern(codes)
+        index_z = self._index.z
+        overrides = query.zs if query.zs is not None else (
+            (query.z,) if query.z is not None else ()
+        )
+        for value in overrides:
+            if value > index_z:
+                raise QueryError(
+                    f"query threshold z={value:g} is looser than the index's "
+                    f"z={index_z:g}; occurrences with probability below "
+                    f"1/{index_z:g} are not indexed"
+                )
+        return query
 
     def _store(self, key: tuple, result: QueryResult) -> None:
         if not self._cache_enabled:

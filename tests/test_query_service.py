@@ -505,3 +505,136 @@ class TestUpdateCli:
         capsys.readouterr()
         assert cli_main(["update", "--store", str(store)]) == 1
         assert "exactly one" in capsys.readouterr().err
+
+
+class TestCacheKeyValidation:
+    """The cache-hit validation bypass: an invalid pattern must raise on the
+    warm path exactly as it does on the cold path.
+
+    numpy truncates floats on ``astype(int64)`` (``[0.9] -> [0]``), so before
+    the fix a float pattern's cache key collided with the valid pattern it
+    truncated to and was silently served that entry's answer.
+    """
+
+    def test_float_pattern_rejected_against_warm_cache(self, index):
+        service = QueryService(index)
+        valid = [0, 1, 0, 0]
+        warmed = service.query(valid)
+        # Both truncate to the warmed key ([0.9] -> [0], [-0.5] -> [0]):
+        # before the fix these were silent cache hits with the wrong answer.
+        for bad in ([0.9, 1, 0, 0], [-0.5, 1, 0, 0]):
+            with pytest.raises(PatternError):
+                service.query(bad)
+        # The cached entry is untouched and still served for the real key.
+        assert service.query(valid) is warmed
+        stats = service.stats()
+        assert stats["queries"] == 2  # failed requests never count
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_float_pattern_rejected_against_cold_cache(self, index):
+        service = QueryService(index)
+        with pytest.raises(PatternError):
+            service.query([0.9, 1, 0, 0])
+        assert service.stats()["queries"] == 0
+
+    def test_out_of_range_code_rejected_cold_and_warm(self, index):
+        service = QueryService(index)
+        with pytest.raises(PatternError):
+            service.query([9, 1, 0, 0])  # cold cache
+        service.query([0, 1, 0, 0])
+        with pytest.raises(PatternError):
+            service.query([9, 1, 0, 0])  # warm cache
+        stats = service.stats()
+        assert stats["queries"] == 1 and stats["misses"] == 1
+
+    def test_validate_rejects_what_execution_would(self, index):
+        """Admission-time validation agrees with the execution paths."""
+        from repro.errors import QueryError
+
+        service = QueryService(index)
+        returned = service.validate([0, 1, 0, 0])
+        assert isinstance(returned, Query)
+        for bad in ([0.9, 1, 0, 0], [9, 1, 0, 0], [0], ""):
+            with pytest.raises(PatternError):
+                service.validate(bad)
+        with pytest.raises(QueryError, match="looser than the index"):
+            service.validate(Query([0, 1, 0, 0], z=99.0))
+        with pytest.raises(QueryError, match="looser than the index"):
+            service.validate(Query([0, 1, 0, 0], mode="count", zs=(2.0, 99.0)))
+        # A validated query executes without re-raising.
+        assert service.query(returned).positions == index.locate([0, 1, 0, 0])
+
+
+class TestProvenance:
+    """Per-request cache provenance (a global hit-counter delta misattributes
+    hits as soon as two requests are in flight)."""
+
+    def test_query_many_reports_per_request_origins(self, index):
+        service = QueryService(index)
+        one, two = [0, 1, 0, 0], [1, 0, 1, 1]
+        results, origins = service.query_many(
+            [one, two, one, one], provenance=True
+        )
+        assert origins == ["miss", "miss", "dedup", "dedup"]
+        assert results[0] is results[2] is results[3]
+        results, origins = service.query_many([one, two], provenance=True)
+        assert origins == ["cache", "cache"]
+
+    def test_origins_with_cache_disabled(self, index):
+        service = QueryService(index, cache_enabled=False)
+        one = [0, 1, 0, 0]
+        _, origins = service.query_many([one, one], provenance=True)
+        assert origins == ["miss", "dedup"]
+        # Nothing was cached: a later request misses again.
+        _, origins = service.query_many([one], provenance=True)
+        assert origins == ["miss"]
+
+    def test_provenance_matches_counter_movement(self, index):
+        service = QueryService(index)
+        patterns = [[0, 1, 0, 0], [0, 1, 0, 0], [1, 0, 1, 1]]
+        _, origins = service.query_many(patterns, provenance=True)
+        stats = service.stats()
+        assert origins.count("miss") == stats["misses"]
+        assert origins.count("dedup") == stats["dedup_hits"]
+        assert origins.count("cache") == stats["cache_hits"]
+
+
+class _BrokenStdout:
+    """A stdout whose pipe vanishes after ``works_for`` written lines."""
+
+    def __init__(self, works_for: int) -> None:
+        self.lines: list[str] = []
+        self.works_for = works_for
+
+    def write(self, text: str) -> None:
+        if len(self.lines) >= self.works_for:
+            raise BrokenPipeError("downstream consumer is gone")
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        if len(self.lines) > self.works_for:  # pragma: no cover
+            raise BrokenPipeError("downstream consumer is gone")
+
+
+class TestServeBrokenPipe:
+    """The serve loop must exit 0 when its consumer closes the pipe
+    (``repro-uncertain serve | head -1``), not traceback."""
+
+    def test_broken_pipe_mid_stream_exits_cleanly(
+        self, monkeypatch, pwm_path
+    ):
+        stdout = _BrokenStdout(works_for=1)
+        monkeypatch.setattr("sys.stdin", io.StringIO("AAAA\nAAAA\nAAAA\n"))
+        monkeypatch.setattr("sys.stdout", stdout)
+        exit_code = cli_main(["serve", *build_args(pwm_path)])
+        assert exit_code == 0
+        # Exactly the delivered response; no stats line into a dead pipe.
+        assert len(stdout.lines) == 1
+        assert json.loads(stdout.lines[0])["positions"] == [0]
+
+    def test_stdout_closed_before_first_response(self, monkeypatch, pwm_path):
+        closed = io.StringIO()
+        closed.close()  # writes raise ValueError("I/O operation on closed file")
+        monkeypatch.setattr("sys.stdin", io.StringIO("AAAA\n"))
+        monkeypatch.setattr("sys.stdout", closed)
+        assert cli_main(["serve", *build_args(pwm_path)]) == 0
