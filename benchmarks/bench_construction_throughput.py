@@ -55,6 +55,13 @@ TWO_PATH_KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G")
 MONOLITHIC_MINIMIZER_FAMILY = ("MWST", "MWSA", "MWST-G", "MWSA-G")
 #: The acceptance bar: reference-path vs fast-path aggregate build time.
 REQUIRED_SPEEDUP = 3.0
+#: The tree variants whose construction the CSR trie core accelerates.
+TREE_FAMILY = ("WST", "MWST")
+#: The array/kernel-core acceptance bar: PR-5 path (object tries) vs the CSR
+#: path, aggregate end-to-end build time of the tree family.
+REQUIRED_TREE_SPEEDUP = 2.0
+#: Every monolithic kind, for the store save/reload throughput rows.
+ALL_MONOLITHIC_KINDS = (*TWO_PATH_KINDS, "MWST-SE")
 
 
 def make_workload(length: int, pattern_count: int, z: float, ell: int):
@@ -137,6 +144,12 @@ def main(argv=None) -> int:
         f"faster through the fast path (default: {REQUIRED_SPEEDUP:g} at "
         f"n >= {DEFAULT_LENGTH}, off below)",
     )
+    parser.add_argument(
+        "--require-tree-speedup", type=float, default=None,
+        help=f"fail unless the tree family (WST+MWST) builds this much faster "
+        f"through the CSR-trie core than through the PR-5 object-trie path "
+        f"(default: {REQUIRED_TREE_SPEEDUP:g} at n >= {DEFAULT_LENGTH}, off below)",
+    )
     parser.add_argument("--json", action="store_true", help="machine-readable report")
     arguments = parser.parse_args(argv)
 
@@ -160,6 +173,8 @@ def main(argv=None) -> int:
         build_variant(warmup_source, arguments.z, arguments.ell, "MWSA", method)
 
     rows = []
+    built: dict[str, object] = {}
+    build_seconds: dict[str, float] = {}
     family_old = family_new = 0.0
     targets = [(kind, None) for kind in TWO_PATH_KINDS]
     targets.append(("MWSA", arguments.shards))  # the sharded build
@@ -196,6 +211,9 @@ def main(argv=None) -> int:
                 )
             )
         rows.append(row)
+        if shards is None:
+            built[kind] = new_index
+            build_seconds[kind] = new_seconds
         if kind in MONOLITHIC_MINIMIZER_FAMILY and shards is None:
             family_old += old_seconds
             family_new += new_seconds
@@ -211,19 +229,80 @@ def main(argv=None) -> int:
         )
     se_index.match_many(patterns)  # exercise the built index
     rows.append(se_row)
+    built["MWST-SE"] = se_index
+    build_seconds["MWST-SE"] = se_seconds
+
+    # PR-5 path rows: the same end-to-end builds through the object-trie
+    # construction that PR 5 shipped, against the CSR-trie core.  Both are
+    # the vectorized pipeline — the toggle isolates exactly the trie layer,
+    # which dominates the tree-variant builds.
+    from repro.strings.trie import trie_implementation
+
+    tree_rows = []
+    tree_old = tree_new = 0.0
+    for kind in TREE_FAMILY:
+        with trie_implementation("object"):
+            started = time.perf_counter()
+            pr5_index = build_variant(source, arguments.z, arguments.ell, kind, "vectorized")
+            pr5_seconds = time.perf_counter() - started
+        csr_seconds = build_seconds[kind]
+        if pr5_index.match_many(patterns) != built[kind].match_many(patterns):
+            print(f"MISMATCH: {kind} answers differ between trie implementations")
+            return 1
+        tree_rows.append({
+            "kind": kind,
+            "pr5_object_trie_seconds": pr5_seconds,
+            "csr_trie_seconds": csr_seconds,
+            "speedup": pr5_seconds / csr_seconds if csr_seconds > 0 else None,
+        })
+        tree_old += pr5_seconds
+        tree_new += csr_seconds
+    tree_speedup = tree_old / tree_new if tree_new > 0 else None
+
+    # Store round-trip rows: persisted CSR tries and grid levels mean a
+    # reload re-derives nothing, so load time should sit far below build time.
+    import tempfile
+
+    from repro.io.store import load_index, save_index
+
+    reload_rows = []
+    with tempfile.TemporaryDirectory() as directory:
+        for kind in ALL_MONOLITHIC_KINDS:
+            path = os.path.join(directory, f"{kind}.idx")
+            started = time.perf_counter()
+            save_index(path, built[kind])
+            save_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            loaded = load_index(path)
+            load_seconds = time.perf_counter() - started
+            if loaded.match_many(patterns) != built[kind].match_many(patterns):
+                print(f"MISMATCH: {kind} answers differ after a store round-trip")
+                return 1
+            reload_rows.append({
+                "kind": kind,
+                "build_seconds": build_seconds[kind],
+                "save_seconds": save_seconds,
+                "load_seconds": load_seconds,
+                "reload_speedup": (
+                    build_seconds[kind] / load_seconds if load_seconds > 0 else None
+                ),
+            })
 
     family_speedup = family_old / family_new if family_new > 0 else None
     from repro.bench.metadata import run_metadata
 
     report = {
-        "schema": "repro.bench.construction_throughput.v1",
+        "schema": "repro.bench.construction_throughput.v2",
         "metadata": run_metadata(),
         "length": len(source),
         "z": arguments.z,
         "ell": arguments.ell,
         "patterns": len(patterns),
         "rows": rows,
+        "tree_rows": tree_rows,
+        "reload_rows": reload_rows,
         "monolithic_minimizer_family_speedup": family_speedup,
+        "tree_family_pr5_speedup": tree_speedup,
         "peak_rss_bytes": peak_rss_bytes(),
     }
     if arguments.json:
@@ -249,13 +328,36 @@ def main(argv=None) -> int:
             f"monolithic minimizer family (MWST/MWSA/±G) aggregate speedup: "
             f"{family_speedup:.2f}x"
         )
+        for row in tree_rows:
+            print(
+                f"{row['kind']}: pr5-object-trie={row['pr5_object_trie_seconds']:.3f}s  "
+                f"csr-trie={row['csr_trie_seconds']:.3f}s  "
+                f"speedup={row['speedup']:.2f}x"
+            )
+        print(f"tree family (WST+MWST) aggregate speedup over PR-5: {tree_speedup:.2f}x")
+        for row in reload_rows:
+            print(
+                f"{row['kind']}: build={row['build_seconds']:.3f}s  "
+                f"save={row['save_seconds']:.3f}s  load={row['load_seconds']:.3f}s  "
+                f"reload-speedup={row['reload_speedup']:.1f}x"
+            )
+    failed = False
     if required is not None and (family_speedup is None or family_speedup < required):
         print(
             f"FAIL: monolithic minimizer family speedup {family_speedup:.2f}x "
             f"is below the required {required:g}x"
         )
-        return 1
-    return 0
+        failed = True
+    required_tree = arguments.require_tree_speedup
+    if required_tree is None and arguments.length >= DEFAULT_LENGTH:
+        required_tree = REQUIRED_TREE_SPEEDUP
+    if required_tree is not None and (tree_speedup is None or tree_speedup < required_tree):
+        print(
+            f"FAIL: tree family speedup over the PR-5 path {tree_speedup:.2f}x "
+            f"is below the required {required_tree:g}x"
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

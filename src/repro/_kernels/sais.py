@@ -1,0 +1,88 @@
+"""Scalar loops of the SA-IS suffix-array construction.
+
+The driver in :mod:`repro.strings.suffix_array` keeps everything that
+vectorises well (type classification, bucket tables, LMS extraction) in
+numpy; the four loops below are the irreducibly sequential parts — induced
+sorting and LMS-substring naming — and compile under numba when the kernel
+engine is active.  They are equally valid plain Python over numpy arrays,
+which is the tested fallback.
+
+Conventions: ``text`` is an int64 array over a dense alphabet ``0..sigma-1``
+whose last symbol is a unique smallest sentinel; ``types`` is a bool array
+with ``True`` for S-type suffixes; empty ``sa`` slots hold ``-1``.
+"""
+
+from __future__ import annotations
+
+from . import njit
+
+__all__ = ["place_lms", "induce_l", "induce_s", "name_lms"]
+
+
+@njit(cache=True)
+def place_lms(sa, text, positions, tails):
+    """Drop LMS positions at the tails of their buckets (any order works)."""
+    for index in range(positions.shape[0]):
+        position = positions[index]
+        symbol = text[position]
+        tails[symbol] -= 1
+        sa[tails[symbol]] = position
+
+
+@njit(cache=True)
+def induce_l(sa, text, types, heads):
+    """Left-to-right pass inducing L-type suffixes from what is placed."""
+    for index in range(sa.shape[0]):
+        position = sa[index]
+        if position > 0 and not types[position - 1]:
+            symbol = text[position - 1]
+            sa[heads[symbol]] = position - 1
+            heads[symbol] += 1
+
+
+@njit(cache=True)
+def induce_s(sa, text, types, tails):
+    """Right-to-left pass inducing S-type suffixes from what is placed."""
+    for index in range(sa.shape[0] - 1, -1, -1):
+        position = sa[index]
+        if position > 0 and types[position - 1]:
+            symbol = text[position - 1]
+            tails[symbol] -= 1
+            sa[tails[symbol]] = position - 1
+
+
+@njit(cache=True)
+def name_lms(text, types, is_lms, sorted_lms, names):
+    """Name sorted LMS substrings; equal substrings share a name.
+
+    Writes the name of each LMS position into ``names`` (indexed by text
+    position) and returns the number of distinct names.
+    """
+    previous = sorted_lms[0]
+    names[previous] = 0
+    current = 0
+    for index in range(1, sorted_lms.shape[0]):
+        position = sorted_lms[index]
+        offset = 0
+        same = True
+        while True:
+            if (
+                text[previous + offset] != text[position + offset]
+                or types[previous + offset] != types[position + offset]
+            ):
+                same = False
+                break
+            if offset > 0:
+                previous_ends = is_lms[previous + offset]
+                position_ends = is_lms[position + offset]
+                if previous_ends and position_ends:
+                    break
+                if previous_ends != position_ends:
+                    same = False
+                    break
+            offset += 1
+        if not same:
+            current += 1
+        names[position] = current
+        previous = position
+    return current + 1

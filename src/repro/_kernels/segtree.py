@@ -1,0 +1,96 @@
+"""Point-update / range-min segment tree kernels for the MWST-SE DFS.
+
+The DFS packs its keys as ``(order_value << 32) | (tie + n)``.  The order
+value of the default random minimizer order is a full 64-bit mix, so the
+packed key does not fit a machine word — the Python tree compares arbitrary
+big ints.  The kernel variant therefore splits every key into an
+``(order, low)`` pair (``uint64`` order half, ``int64`` low half < 2^32) and
+compares lexicographically, which is exactly the packed big-int order.  The
+pair sentinel ``(2^64 - 1, 2^62)`` is strictly greater than every real pair
+(real low halves are below 2^32) and maps back to the caller's sentinel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import njit
+
+__all__ = [
+    "PAIR_SENTINEL_HI",
+    "PAIR_SENTINEL_LO",
+    "seg_set",
+    "seg_bulk_fill",
+    "seg_range_min",
+]
+
+PAIR_SENTINEL_HI = 2**64 - 1
+PAIR_SENTINEL_LO = 2**62
+
+
+@njit(cache=True)
+def seg_set(keys_hi, keys_lo, size, position, key_hi, key_lo):
+    """Set one leaf, climbing only while ancestors' minima change."""
+    node = size + position
+    keys_hi[node] = key_hi
+    keys_lo[node] = key_lo
+    node >>= 1
+    while node:
+        left = 2 * node
+        right = left + 1
+        if keys_hi[left] < keys_hi[right] or (
+            keys_hi[left] == keys_hi[right] and keys_lo[left] <= keys_lo[right]
+        ):
+            best_hi = keys_hi[left]
+            best_lo = keys_lo[left]
+        else:
+            best_hi = keys_hi[right]
+            best_lo = keys_lo[right]
+        if keys_hi[node] == best_hi and keys_lo[node] == best_lo:
+            break
+        keys_hi[node] = best_hi
+        keys_lo[node] = best_lo
+        node >>= 1
+
+
+@njit(cache=True)
+def seg_bulk_fill(keys_hi, keys_lo, size, leaf_hi, leaf_lo):
+    """Seed leaves ``0 .. len(leaf_hi)`` and rebuild internal nodes bottom-up."""
+    count = leaf_hi.shape[0]
+    for index in range(count):
+        keys_hi[size + index] = leaf_hi[index]
+        keys_lo[size + index] = leaf_lo[index]
+    for node in range(size - 1, 0, -1):
+        left = 2 * node
+        right = left + 1
+        if keys_hi[left] < keys_hi[right] or (
+            keys_hi[left] == keys_hi[right] and keys_lo[left] <= keys_lo[right]
+        ):
+            keys_hi[node] = keys_hi[left]
+            keys_lo[node] = keys_lo[left]
+        else:
+            keys_hi[node] = keys_hi[right]
+            keys_lo[node] = keys_lo[right]
+
+
+@njit(cache=True)
+def seg_range_min(keys_hi, keys_lo, size, lo, hi):
+    """Minimum pair over positions ``[lo, hi)``; the pair sentinel if empty."""
+    best_hi = np.uint64(0xFFFFFFFFFFFFFFFF)
+    best_lo = np.int64(1) << np.int64(62)
+    lo += size
+    hi += size
+    while lo < hi:
+        if lo & 1:
+            if keys_hi[lo] < best_hi or (keys_hi[lo] == best_hi and keys_lo[lo] < best_lo):
+                best_hi = keys_hi[lo]
+                best_lo = keys_lo[lo]
+            lo += 1
+        if hi & 1:
+            hi -= 1
+            if keys_hi[hi] < best_hi or (keys_hi[hi] == best_hi and keys_lo[hi] < best_lo):
+                best_hi = keys_hi[hi]
+                best_lo = keys_lo[hi]
+        lo >>= 1
+        hi >>= 1
+    return best_hi, best_lo

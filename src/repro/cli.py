@@ -346,9 +346,13 @@ def _command_info(arguments) -> dict:
 def _command_build(arguments) -> dict:
     machine = getattr(arguments, "json", False)
     if machine:
+        from ._kernels import collect_stages
+
         # --json is the measured report: run the build under tracemalloc so
         # the schema carries an exact Python-side peak, not just the
-        # space-model accounting.
+        # space-model accounting.  Stage timers are drained first so the
+        # report covers only this build.
+        collect_stages()
         tracemalloc.start()
     started = time.perf_counter()
     index = _build_index(arguments)
@@ -374,6 +378,7 @@ def _command_build(arguments) -> dict:
         store_report["store_dir"] = arguments.store_dir
         store_report["store_dir_seconds"] = time.perf_counter() - started
     if machine:
+        from ._kernels import collect_stages, engine
         from .bench.measure import peak_rss_bytes
 
         return {
@@ -382,6 +387,8 @@ def _command_build(arguments) -> dict:
                 "wall_seconds": wall_seconds,
                 "tracemalloc_peak_bytes": tracemalloc_peak,
                 "peak_rss_bytes": peak_rss_bytes(),
+                "engine": engine(),
+                "stages": collect_stages(),
             },
             "index": report,
             **store_report,

@@ -355,6 +355,32 @@ class LeafCollection:
                 return int(arrays.mm_code[entry])
         return int(self._reference[int(arrays.anchors[index]) + offset])
 
+    def letters_at(self, rows: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`letter` over parallel ``(row, offset)`` queries.
+
+        The mismatch entries of each row are stored with ascending offsets,
+        so ``row * span + offset`` keys are globally sorted and one
+        ``searchsorted`` resolves every query against the mismatch CSR; the
+        rest reads the reference at ``anchor + offset``.
+        """
+        arrays = self._arrays
+        rows = np.asarray(rows, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if not len(rows):
+            return np.empty(0, dtype=np.int64)
+        result = self._reference[arrays.anchors[rows] + offsets].astype(np.int64)
+        if len(arrays.mm_offset):
+            span = int(max(arrays.mm_offset.max(), offsets.max())) + 1
+            counts = arrays.mm_start[1:] - arrays.mm_start[:-1]
+            entry_rows = np.repeat(np.arange(len(arrays.anchors), dtype=np.int64), counts)
+            entry_keys = entry_rows * span + arrays.mm_offset
+            query_keys = rows * span + offsets
+            slots = np.searchsorted(entry_keys, query_keys)
+            clipped = np.minimum(slots, len(entry_keys) - 1)
+            found = entry_keys[clipped] == query_keys
+            result[found] = arrays.mm_code[clipped[found]]
+        return result
+
     def leaf(self, index: int) -> FactorLeaf:
         """The leaf at a sorted index (a lazily materialised view)."""
         cached = self._leaf_cache[index]
@@ -898,8 +924,13 @@ class LeafCollection:
                 self._arrays.lengths,
                 self.adjacent_lcps(),
                 self.letter,
+                bulk_letter=self.letters_at,
             )
         return self._trie
+
+    def adopt_trie(self, trie: CompactedTrie) -> None:
+        """Install a persisted trie so :meth:`build_trie` skips re-derivation."""
+        self._trie = trie
 
     # -- size accounting -------------------------------------------------------------------
     def total_mismatches(self) -> int:

@@ -60,6 +60,9 @@ class MinimizerIndexBase(UncertainStringIndex):
         self._data = data
         self._stats = stats
         self._grid = grid
+        self._grid_brute_force_limit: int | None = (
+            grid.brute_force_limit if grid is not None else None
+        )
         self._forward_trie = None
         self._backward_trie = None
         if self.use_trie:
@@ -79,6 +82,7 @@ class MinimizerIndexBase(UncertainStringIndex):
         data: MinimizerIndexData | None = None,
         space_model: SpaceModel = DEFAULT_SPACE_MODEL,
         method: str = "vectorized",
+        grid_brute_force_limit: int | None = None,
     ) -> "MinimizerIndexBase":
         """Build the index through the explicit z-estimation path (Lemma 5).
 
@@ -86,6 +90,8 @@ class MinimizerIndexBase(UncertainStringIndex):
         shared across variants; the benchmark harness relies on this to
         compare the variants on identical samples.  ``method`` selects the
         array-backed fast path (default) or the per-leaf reference path.
+        ``grid_brute_force_limit`` overrides the grid's backend-selection
+        threshold (grid variants only; ignored elsewhere).
         """
         started = time.perf_counter()
         tracker = ConstructionTracker()
@@ -112,7 +118,7 @@ class MinimizerIndexBase(UncertainStringIndex):
                     "grid variants need the leaf pairing; build the index data "
                     "with keep_pairs=True (the estimation path does by default)"
                 )
-            grid = Grid2D(data.pairs)
+            grid = Grid2D(data.pairs, brute_force_limit=grid_brute_force_limit)
             tracker.allocate(space_model.words(4 * len(data.pairs)))
         index_size = data.size_bytes(
             space_model, as_tree=cls.use_trie, with_grid=cls.use_grid
@@ -148,7 +154,11 @@ class MinimizerIndexBase(UncertainStringIndex):
         if self.use_trie:
             self._forward_trie = data.forward.build_trie()
             self._backward_trie = data.backward.build_trie()
-        self._grid = Grid2D(data.pairs) if self.use_grid else None
+        self._grid = (
+            Grid2D(data.pairs, brute_force_limit=self._grid_brute_force_limit)
+            if self.use_grid
+            else None
+        )
         self._stats.index_size_bytes = data.size_bytes(
             as_tree=self.use_trie, with_grid=self.use_grid
         )
@@ -166,6 +176,11 @@ class MinimizerIndexBase(UncertainStringIndex):
     def data(self) -> MinimizerIndexData:
         """The shared minimizer index data (for inspection and tests)."""
         return self._data
+
+    @property
+    def grid(self) -> Grid2D | None:
+        """The 2D range-reporting grid (grid variants only)."""
+        return self._grid
 
     def _range(self, collection, trie, piece) -> tuple[int, int]:
         if self.use_trie and trie is not None:

@@ -32,7 +32,13 @@ class PropertySuffixStructure:
     length under the corresponding property array.
     """
 
-    def __init__(self, estimation: ZEstimation, *, with_lcp: bool = False) -> None:
+    def __init__(
+        self,
+        estimation: ZEstimation,
+        *,
+        with_lcp: bool = False,
+        sa_method: str = "auto",
+    ) -> None:
         width, length = estimation.width, estimation.length
         strings = estimation.strings
         piece = length + 1
@@ -40,7 +46,10 @@ class PropertySuffixStructure:
         for j in range(width):
             text[j * piece : j * piece + length] = strings[j] + 1
         self.text = text
-        self.sa = suffix_array(text)
+        # "auto" resolves to SA-IS under the compiled kernel engine and to
+        # vectorised prefix doubling on plain CPython; both are kept
+        # bit-identical by the differential suite, so either may serve.
+        self.sa = suffix_array(text, method=sa_method)
         self.lcp = lcp_array(text, self.sa) if with_lcp else None
 
         # Map each concatenation position to (string, position-in-X).

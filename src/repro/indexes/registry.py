@@ -194,15 +194,19 @@ class ConstructionPipeline:
         scheme: MinimizerScheme | None = None,
         estimation: ZEstimation | None = None,
         method: str = "vectorized",
+        grid_brute_force_limit: int | None = None,
     ) -> None:
         """``method`` picks the construction path of the cached stages — the
         array-backed fast path (default) or the per-leaf ``"reference"``
         path; the old-vs-new construction benchmark runs one pipeline of
-        each, every other caller keeps the default."""
+        each, every other caller keeps the default.
+        ``grid_brute_force_limit`` overrides the ``Grid2D`` backend-selection
+        threshold for the grid variants built by this pipeline."""
         self.source = source
         self.z = z
         self.ell = ell
         self.method = method
+        self.grid_brute_force_limit = grid_brute_force_limit
         self._scheme = scheme
         self._estimation = estimation
         self._data: MinimizerIndexData | None = None
@@ -253,6 +257,8 @@ class ConstructionPipeline:
             options.setdefault("data", self.index_data())
         if spec.needs_ell and not spec.shares_data:
             options.setdefault("scheme", self.scheme())
+        if self.grid_brute_force_limit is not None and getattr(spec.cls, "use_grid", False):
+            options.setdefault("grid_brute_force_limit", self.grid_brute_force_limit)
         return build_index(self.source, self.z, kind=kind, ell=self.ell, **options)
 
     def build_many(self, kinds) -> dict[str, UncertainStringIndex]:

@@ -41,6 +41,12 @@ class _SuffixLetterAccessor:
     def __call__(self, key: int, depth: int) -> int:
         return int(self.text[self.sa[key] + depth])
 
+    def bulk(self, keys: np.ndarray, depths: np.ndarray) -> np.ndarray:
+        """Vectorised twin over parallel key/depth arrays."""
+        keys = np.asarray(keys, dtype=np.int64)
+        depths = np.asarray(depths, dtype=np.int64)
+        return np.asarray(self.text, dtype=np.int64)[np.asarray(self.sa)[keys] + depths]
+
 
 class WeightedSuffixTree(UncertainStringIndex):
     """The WST baseline: property suffix tree over the z-estimation."""
@@ -88,7 +94,8 @@ class WeightedSuffixTree(UncertainStringIndex):
         text = structure.text
         sa = structure.sa
         lengths = len(text) - sa
-        trie = CompactedTrie(lengths, structure.lcp, _SuffixLetterAccessor(text, sa))
+        accessor = _SuffixLetterAccessor(text, sa)
+        trie = CompactedTrie(lengths, structure.lcp, accessor, bulk_letter=accessor.bulk)
         tracker.allocate(space_model.tree_nodes(trie.node_count))
         stats = IndexStats(
             name=cls.name,

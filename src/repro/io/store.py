@@ -18,10 +18,13 @@ bytes   content
 
 Arrays are loaded with :func:`numpy.memmap` by default, so the probability
 matrix and the leaf/suffix arrays stay on disk until touched; pass
-``mmap=False`` to read everything into RAM.  The heavy construction stages
-are never re-run on load — only small query-acceleration caches (compacted
-tries, range-maximum tables, 2D grids) are re-derived from the persisted
-arrays.  Unknown magic numbers, formats or versions raise
+``mmap=False`` to read everything into RAM.  Nothing expensive is re-run on
+load: the CSR compacted-trie arrays and the range-tree grid levels are
+persisted alongside the leaf/suffix arrays and rehydrated directly, so only
+the tiny range-maximum table of the baselines is derived from loaded data.
+Stores written before the trie/grid arrays existed still load — the extra
+arrays are presence-gated on the manifest, and missing ones fall back to the
+old re-derivation path.  Unknown magic numbers, formats or versions raise
 :class:`~repro.errors.SerializationError` with the supported versions listed.
 """
 
@@ -140,6 +143,14 @@ class _Container:
         self._manifest = header["arrays"]
         self._data_start = _align(len(_MAGIC) + 8 + header_length)
 
+    def has(self, name: str) -> bool:
+        """Whether the store holds an array called ``name``.
+
+        Optional artefacts (trie / grid arrays) are presence-gated on the
+        manifest so stores written before they existed still load.
+        """
+        return name in self._manifest
+
     def array(self, name: str) -> np.ndarray:
         try:
             spec = self._manifest[name]
@@ -250,12 +261,28 @@ def _pack_body(index, arrays: dict, prefix: str) -> dict:
         if index.use_trie:
             arrays[f"{prefix}fwd.lcp"] = data.forward.adjacent_lcps()
             arrays[f"{prefix}bwd.lcp"] = data.backward.adjacent_lcps()
+            for side, collection in (("fwd", data.forward), ("bwd", data.backward)):
+                trie = collection.build_trie()
+                if trie.implementation == "csr":
+                    for name, array in trie.to_arrays().items():
+                        arrays[f"{prefix}{side}.trie.{name}"] = array
         if data.pairs is not None:
             arrays[f"{prefix}pairs"] = np.array(data.pairs, dtype=np.int64).reshape(
                 len(data.pairs), 2
             )
+        grid_meta = None
+        if index.use_grid and index.grid is not None:
+            grid = index.grid
+            grid_meta = {
+                "backend": grid.backend_name,
+                "brute_force_limit": grid.brute_force_limit,
+            }
+            if grid.backend_name == "range_tree":
+                for name, array in grid._backend.to_arrays().items():
+                    arrays[f"{prefix}grid.{name}"] = array
         scheme = data.scheme
         return {
+            "grid": grid_meta,
             "family": "minimizer",
             "kind": index.name,
             "ell": data.ell,
@@ -276,6 +303,9 @@ def _pack_body(index, arrays: dict, prefix: str) -> dict:
         arrays[f"{prefix}ps.sa"] = structure.sa
         if structure.lcp is not None:
             arrays[f"{prefix}ps.lcp"] = structure.lcp
+        if isinstance(index, WeightedSuffixTree) and index._trie.implementation == "csr":
+            for name, array in index._trie.to_arrays().items():
+                arrays[f"{prefix}ps.trie.{name}"] = array
         arrays[f"{prefix}ps.rank_positions"] = structure.rank_positions
         arrays[f"{prefix}ps.rank_valid_lengths"] = structure.rank_valid_lengths
         return {
@@ -299,6 +329,27 @@ def _unpack_body(container: _Container, meta: dict, prefix: str, source, z: floa
     if family in {"wst", "wsa"}:
         return _unpack_baseline(container, meta, prefix, source, z)
     raise SerializationError(f"unknown stored index family {family!r}")
+
+
+def _adopt_stored_tries(container: _Container, prefix: str, data) -> None:
+    """Install persisted CSR tries on both leaf collections (if stored)."""
+    from ..strings.trie import _CSR_ARRAY_NAMES, CompactedTrie
+
+    for side, collection in (("fwd", data.forward), ("bwd", data.backward)):
+        if not container.has(f"{prefix}{side}.trie.depth"):
+            continue
+        trie_arrays = {
+            name: container.array(f"{prefix}{side}.trie.{name}")
+            for name in _CSR_ARRAY_NAMES
+        }
+        collection.adopt_trie(
+            CompactedTrie.from_arrays(
+                trie_arrays,
+                collection.lengths,
+                collection.letter,
+                bulk_letter=collection.letters_at,
+            )
+        )
 
 
 def _unpack_minimizer(container: _Container, meta: dict, prefix: str, source, z: float):
@@ -335,6 +386,8 @@ def _unpack_minimizer(container: _Container, meta: dict, prefix: str, source, z:
         construction=meta.get("construction", "estimation"),
         counters=dict(meta.get("counters", {})),
     )
+    if cls.use_trie:
+        _adopt_stored_tries(container, prefix, data)
     grid = None
     if cls.use_grid:
         from ..geometry.grid import Grid2D
@@ -343,7 +396,17 @@ def _unpack_minimizer(container: _Container, meta: dict, prefix: str, source, z:
             raise SerializationError(
                 f"stored {meta['kind']} index is missing its grid pairing"
             )
-        grid = Grid2D(pairs)
+        grid_meta = meta.get("grid") or {}
+        limit = grid_meta.get("brute_force_limit")
+        if container.has(f"{prefix}grid.points"):
+            grid = Grid2D.from_arrays(
+                container.array(f"{prefix}grid.points"),
+                container.array(f"{prefix}grid.level_ys"),
+                container.array(f"{prefix}grid.level_idx"),
+                brute_force_limit=limit,
+            )
+        else:
+            grid = Grid2D(pairs, brute_force_limit=limit)
     return cls(source, z, data, _stats_from_meta(meta["stats"]), grid)
 
 
@@ -351,7 +414,7 @@ def _unpack_baseline(container: _Container, meta: dict, prefix: str, source, z: 
     from ..indexes.property_structures import PropertySuffixStructure
     from ..indexes.wsa import WeightedSuffixArray
     from ..indexes.wst import WeightedSuffixTree, _SuffixLetterAccessor
-    from ..strings.trie import CompactedTrie
+    from ..strings.trie import _CSR_ARRAY_NAMES, CompactedTrie
 
     with_lcp = meta["family"] == "wst"
     lcp = container.array(f"{prefix}ps.lcp") if with_lcp else None
@@ -368,9 +431,19 @@ def _unpack_baseline(container: _Container, meta: dict, prefix: str, source, z: 
     if meta["family"] == "wsa":
         return WeightedSuffixArray(source, z, structure, stats)
     lengths = len(structure.text) - structure.sa
-    trie = CompactedTrie(
-        lengths, structure.lcp, _SuffixLetterAccessor(structure.text, structure.sa)
-    )
+    accessor = _SuffixLetterAccessor(structure.text, structure.sa)
+    if container.has(f"{prefix}ps.trie.depth"):
+        trie_arrays = {
+            name: container.array(f"{prefix}ps.trie.{name}")
+            for name in _CSR_ARRAY_NAMES
+        }
+        trie = CompactedTrie.from_arrays(
+            trie_arrays, lengths, accessor, bulk_letter=accessor.bulk
+        )
+    else:
+        trie = CompactedTrie(
+            lengths, structure.lcp, accessor, bulk_letter=accessor.bulk
+        )
     return WeightedSuffixTree(source, z, structure, trie, stats)
 
 

@@ -12,6 +12,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .._kernels.lcp import kasai
 from .rmq import SparseTableRMQ
 from .suffix_array import rank_array, suffix_array
 
@@ -26,19 +27,7 @@ def lcp_array(text: Sequence[int], sa: np.ndarray) -> np.ndarray:
     if n == 0:
         return lcp
     ranks = rank_array(sa)
-    length = 0
-    for position in range(n):
-        rank = ranks[position]
-        if rank == 0:
-            length = 0
-            continue
-        other = int(sa[rank - 1])
-        limit = n - max(position, other)
-        while length < limit and text[position + length] == text[other + length]:
-            length += 1
-        lcp[rank] = length
-        if length:
-            length -= 1
+    kasai(text, np.ascontiguousarray(sa, dtype=np.int64), ranks, lcp)
     return lcp
 
 

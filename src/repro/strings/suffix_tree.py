@@ -41,6 +41,7 @@ class SuffixTree:
             lengths,
             self._lcp,
             lambda key, depth: int(text[sa[key] + depth]),
+            bulk_letter=lambda keys, depths: text[sa[keys] + depths],
         )
 
     # -- shape ------------------------------------------------------------------

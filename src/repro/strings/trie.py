@@ -13,15 +13,57 @@ stores letters: it is built from
 
 Every node records the contiguous range of key indices in its subtree, so a
 query that walks the trie ends with the exact set of matching keys.
+
+Two construction implementations exist and stay bit-identical:
+
+* ``"csr"`` (default) — the topology comes out of the array kernel in
+  :mod:`repro._kernels.trie` as parent/child CSR arrays (node ranges, edge
+  key/depth spans, child index sorted by first letter).  :class:`TrieNode`
+  objects are only materialised lazily, as a view, when somebody walks
+  ``root`` / ``iter_nodes``.  The arrays round-trip through
+  :meth:`CompactedTrie.to_arrays` / :meth:`CompactedTrie.from_arrays`, which
+  is how the store reloads tries without re-deriving them.
+* ``"object"`` — the original per-node builder, kept as the parity oracle
+  and selectable via :func:`trie_implementation` (benchmarks use it to
+  measure the pre-CSR construction path).
 """
 
 from __future__ import annotations
 
+import contextlib
 from collections.abc import Callable, Sequence
 
-__all__ = ["TrieNode", "CompactedTrie"]
+import numpy as np
+
+from .._kernels import stage_timer
+from .._kernels.trie import trie_topology
+
+__all__ = ["TrieNode", "CompactedTrie", "trie_implementation"]
 
 LetterAccessor = Callable[[int, int], int]
+BulkLetterAccessor = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+_IMPLEMENTATIONS = ("csr", "object")
+_default_implementation = "csr"
+
+
+@contextlib.contextmanager
+def trie_implementation(name: str):
+    """Force the construction implementation within a ``with`` block.
+
+    ``name`` is ``"csr"`` or ``"object"``.  Benchmarks wrap legacy-path
+    builds in ``trie_implementation("object")``; parity tests use it to
+    build both representations from the same inputs.
+    """
+    global _default_implementation
+    if name not in _IMPLEMENTATIONS:
+        raise ValueError(f"unknown trie implementation: {name!r}")
+    previous = _default_implementation
+    _default_implementation = name
+    try:
+        yield
+    finally:
+        _default_implementation = previous
 
 
 class TrieNode:
@@ -60,6 +102,19 @@ class TrieNode:
         )
 
 
+_CSR_ARRAY_NAMES = (
+    "depth",
+    "parent_depth",
+    "edge_key",
+    "parent",
+    "lo",
+    "hi",
+    "child_start",
+    "child_id",
+    "child_letter",
+)
+
+
 class CompactedTrie:
     """A compacted trie over ``count`` sorted keys accessed through a callback.
 
@@ -73,31 +128,95 @@ class CompactedTrie:
     letter:
         ``letter(key_index, depth)`` returns the code of the letter of a key
         at a given depth; only called for valid depths.
+    bulk_letter:
+        optional vectorised twin, ``bulk_letter(keys, depths) -> codes`` over
+        parallel int64 arrays; used to resolve all first-edge letters in one
+        call during CSR construction.
+    implementation:
+        ``"csr"`` or ``"object"``; defaults to the ambient choice set by
+        :func:`trie_implementation`.
 
     The keys must be sorted so that a key that is a prefix of another comes
     first, and so that keys sharing a prefix are contiguous — i.e. ordinary
     lexicographic order.
     """
 
+    #: Class-level counter of from-keys constructions (``from_arrays`` does
+    #: not count) — the no-rederivation test hook for store reloads.
+    construction_count = 0
+
     def __init__(
         self,
         lengths: Sequence[int],
         lcps: Sequence[int],
         letter: LetterAccessor,
+        *,
+        bulk_letter: BulkLetterAccessor | None = None,
+        implementation: str | None = None,
     ) -> None:
         self._letter = letter
-        self._lengths = list(int(value) for value in lengths)
-        self.root = TrieNode(0, 0, 0 if self._lengths else -1)
-        self._node_count = 1
-        self._build(list(int(value) for value in lcps))
-        self._assign_ranges()
+        self._bulk_letter = bulk_letter
+        self._lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        chosen = _default_implementation if implementation is None else implementation
+        if chosen not in _IMPLEMENTATIONS:
+            raise ValueError(f"unknown trie implementation: {chosen!r}")
+        self._implementation = chosen
+        self._view_root: TrieNode | None = None
+        CompactedTrie.construction_count += 1
+        if chosen == "object":
+            with stage_timer("trie"):
+                self._build_object(np.asarray(lcps, dtype=np.int64))
+            return
+        with stage_timer("trie"):
+            self._build_csr(np.ascontiguousarray(lcps, dtype=np.int64))
 
-    # -- construction -----------------------------------------------------------
-    def _build(self, lcps: Sequence[int]) -> None:
+    # -- CSR construction --------------------------------------------------------
+    def _build_csr(self, lcps: np.ndarray) -> None:
+        (
+            self._depth,
+            self._parent_depth,
+            self._edge_key,
+            self._parent,
+            self._lo,
+            self._hi,
+        ) = trie_topology(self._lengths, lcps)
+        self._node_count = len(self._depth)
+        count = self._node_count
+        child_start = np.zeros(count + 1, dtype=np.int64)
+        if count > 1:
+            # Node ids are already in ascending first-letter order within each
+            # parent (keys arrive sorted), so a stable sort by parent yields
+            # the child CSR directly.
+            children = np.argsort(self._parent[1:], kind="stable") + 1
+            child_start[1:] = np.cumsum(np.bincount(self._parent[1:], minlength=count))
+            keys = self._edge_key[children]
+            depths = self._parent_depth[children]
+            if self._bulk_letter is not None:
+                letters = np.ascontiguousarray(self._bulk_letter(keys, depths), dtype=np.int64)
+            else:
+                letter = self._letter
+                letters = np.fromiter(
+                    (letter(int(key), int(depth)) for key, depth in zip(keys, depths)),
+                    dtype=np.int64,
+                    count=len(children),
+                )
+            self._child_id = children
+            self._child_letter = letters
+        else:
+            self._child_id = np.empty(0, dtype=np.int64)
+            self._child_letter = np.empty(0, dtype=np.int64)
+        self._child_start = child_start
+
+    # -- object construction (parity oracle / legacy path) -----------------------
+    def _build_object(self, lcps: np.ndarray) -> None:
+        lengths = [int(value) for value in self._lengths]
+        lcp_list = [int(value) for value in lcps]
         letter = self._letter
-        stack: list[TrieNode] = [self.root]
-        for index, length in enumerate(self._lengths):
-            depth = 0 if index == 0 else min(lcps[index], length)
+        root = TrieNode(0, 0, 0 if lengths else -1)
+        node_count = 1
+        stack: list[TrieNode] = [root]
+        for index, length in enumerate(lengths):
+            depth = 0 if index == 0 else min(lcp_list[index], length)
             last_popped: TrieNode | None = None
             while stack[-1].depth > depth:
                 last_popped = stack.pop()
@@ -111,26 +230,24 @@ class CompactedTrie:
                 last_popped.parent_depth = depth
                 attach = middle
                 stack.append(middle)
-                self._node_count += 1
+                node_count += 1
             if length > attach.depth:
                 leaf = TrieNode(length, attach.depth, index)
                 leaf.terminal.append(index)
                 attach.children[letter(index, attach.depth)] = leaf
                 stack.append(leaf)
-                self._node_count += 1
+                node_count += 1
             else:
                 attach.terminal.append(index)
-
-    def _assign_ranges(self) -> None:
         # Iterative post-order pass computing each node's key-index range.
         order: list[TrieNode] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
+        walk = [root]
+        while walk:
+            node = walk.pop()
             order.append(node)
-            stack.extend(node.children.values())
+            walk.extend(node.children.values())
         for node in reversed(order):
-            lo, hi = len(self._lengths), -1
+            lo, hi = len(lengths), -1
             for key in node.terminal:
                 lo = min(lo, key)
                 hi = max(hi, key + 1)
@@ -139,6 +256,89 @@ class CompactedTrie:
                     lo = min(lo, child.lo)
                     hi = max(hi, child.hi)
             node.lo, node.hi = (lo, hi) if hi >= 0 else (0, 0)
+        self._view_root = root
+        self._node_count = node_count
+
+    # -- array round-trip --------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The CSR node/child arrays (for persistence)."""
+        if self._implementation != "csr":
+            raise ValueError("to_arrays requires the csr implementation")
+        return {
+            "depth": self._depth,
+            "parent_depth": self._parent_depth,
+            "edge_key": self._edge_key,
+            "parent": self._parent,
+            "lo": self._lo,
+            "hi": self._hi,
+            "child_start": self._child_start,
+            "child_id": self._child_id,
+            "child_letter": self._child_letter,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict[str, np.ndarray],
+        lengths: Sequence[int],
+        letter: LetterAccessor,
+        *,
+        bulk_letter: BulkLetterAccessor | None = None,
+    ) -> CompactedTrie:
+        """Rehydrate a CSR trie from :meth:`to_arrays` output (no rebuild)."""
+        trie = cls.__new__(cls)
+        trie._letter = letter
+        trie._bulk_letter = bulk_letter
+        trie._lengths = np.asarray(lengths, dtype=np.int64)
+        trie._implementation = "csr"
+        trie._view_root = None
+        for name in _CSR_ARRAY_NAMES:
+            setattr(trie, f"_{name}", np.asarray(arrays[name], dtype=np.int64))
+        trie._node_count = len(trie._depth)
+        return trie
+
+    @property
+    def implementation(self) -> str:
+        """The construction implementation this trie uses."""
+        return self._implementation
+
+    # -- lazy object view --------------------------------------------------------
+    @property
+    def root(self) -> TrieNode:
+        """The root :class:`TrieNode` (materialised lazily in CSR mode)."""
+        if self._view_root is None:
+            self._view_root = self._materialize_view()
+        return self._view_root
+
+    def _materialize_view(self) -> TrieNode:
+        count = self._node_count
+        depth = self._depth
+        parent_depth = self._parent_depth
+        edge_key = self._edge_key
+        lo = self._lo
+        hi = self._hi
+        child_start = self._child_start
+        child_id = self._child_id
+        child_letter = self._child_letter
+        lengths = self._lengths
+        nodes = [
+            TrieNode(int(depth[v]), int(parent_depth[v]), int(edge_key[v]))
+            for v in range(count)
+        ]
+        for v in range(count):
+            node = nodes[v]
+            node.lo = int(lo[v])
+            node.hi = int(hi[v])
+            for slot in range(int(child_start[v]), int(child_start[v + 1])):
+                node.children[int(child_letter[slot])] = nodes[int(child_id[slot])]
+            if node.hi > node.lo:
+                # Keys ending exactly here: in-range keys whose length equals
+                # the node depth (ranges nest, depths along a path increase,
+                # so the node is unique).
+                block = np.nonzero(lengths[node.lo : node.hi] == node.depth)[0]
+                for key in block:
+                    node.terminal.append(int(key) + node.lo)
+        return nodes[0]
 
     # -- shape ---------------------------------------------------------------------
     @property
@@ -153,7 +353,7 @@ class CompactedTrie:
 
     def key_length(self, key_index: int) -> int:
         """Length of one key."""
-        return self._lengths[key_index]
+        return int(self._lengths[key_index])
 
     def iter_nodes(self):
         """Yield every node (pre-order)."""
@@ -169,8 +369,40 @@ class CompactedTrie:
 
         Returns the half-open ``(lo, hi)`` range of key indices; ``(0, 0)``
         when no key starts with the pattern.  The walk costs O(|pattern|)
-        letter accesses.
+        letter accesses (plus O(log sigma) per node in CSR mode).
         """
+        if self._implementation == "object" or self._view_root is not None:
+            return self._descend_object(pattern)
+        letter = self._letter
+        child_start = self._child_start
+        child_letter = self._child_letter
+        child_id = self._child_id
+        node_depth = self._depth
+        node_edge_key = self._edge_key
+        node = 0
+        depth = 0
+        m = len(pattern)
+        while depth < m:
+            start = int(child_start[node])
+            stop = int(child_start[node + 1])
+            target = int(pattern[depth])
+            slot = start + int(np.searchsorted(child_letter[start:stop], target))
+            if slot == stop or int(child_letter[slot]) != target:
+                return 0, 0
+            child = int(child_id[slot])
+            # Match the remaining letters on the edge.
+            edge_end = int(node_depth[child])
+            key = int(node_edge_key[child])
+            offset = depth + 1
+            while offset < min(m, edge_end):
+                if letter(key, offset) != int(pattern[offset]):
+                    return 0, 0
+                offset += 1
+            node = child
+            depth = edge_end
+        return int(self._lo[node]), int(self._hi[node])
+
+    def _descend_object(self, pattern: Sequence[int]) -> tuple[int, int]:
         letter = self._letter
         node = self.root
         depth = 0
@@ -179,7 +411,6 @@ class CompactedTrie:
             child = node.children.get(int(pattern[depth]))
             if child is None:
                 return 0, 0
-            # Match the remaining letters on the edge.
             edge_end = child.depth
             key = child.edge_key
             offset = depth + 1

@@ -1,0 +1,172 @@
+"""The optional compiled-kernel layer: detection, fallback, kernel parity.
+
+``repro._kernels`` is Numba-or-nothing: when ``numba`` imports, the scalar
+loops are jit-compiled; otherwise the *same functions* run as plain Python
+over numpy arrays.  Everything here must therefore pass identically under
+both engines, and the ``REPRO_KERNELS`` environment switch must force the
+python engine on demand (the CI matrix leg runs the suite that way).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro._kernels import NUMBA, collect_stages, engine, record_stage, stage_timer
+from repro._kernels.lcp import kasai
+from repro._kernels.trie import trie_topology_arrays, trie_topology_python
+
+
+class TestEngineDetection:
+    def test_engine_matches_numba_flag(self):
+        assert engine() == ("numba" if NUMBA else "python")
+
+    def test_env_off_forces_python(self):
+        code = (
+            "from repro._kernels import NUMBA, engine; "
+            "assert engine() == 'python' and not NUMBA"
+        )
+        environment = dict(os.environ, REPRO_KERNELS="off")
+        root = os.path.join(os.path.dirname(__file__), "..", "src")
+        environment["PYTHONPATH"] = root + os.pathsep + environment.get("PYTHONPATH", "")
+        subprocess.run([sys.executable, "-c", code], check=True, env=environment)
+
+    def test_env_require_fails_without_numba(self):
+        code = "import repro._kernels"
+        environment = dict(os.environ, REPRO_KERNELS="require")
+        root = os.path.join(os.path.dirname(__file__), "..", "src")
+        environment["PYTHONPATH"] = root + os.pathsep + environment.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", code], env=environment, capture_output=True
+        )
+        try:
+            import numba  # noqa: F401
+
+            assert result.returncode == 0
+        except ImportError:
+            assert result.returncode != 0
+
+
+class TestTrieTopologyTwins:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_python_and_array_twins_agree(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        keys = sorted(
+            {
+                tuple(rng.randrange(3) for _ in range(rng.randint(1, 9)))
+                for _ in range(rng.randint(1, 50))
+            }
+        )
+        lengths = np.array([len(key) for key in keys], dtype=np.int64)
+        lcps = np.zeros(len(keys), dtype=np.int64)
+        for index in range(1, len(keys)):
+            previous, current = keys[index - 1], keys[index]
+            common = 0
+            while (
+                common < len(previous)
+                and common < len(current)
+                and previous[common] == current[common]
+            ):
+                common += 1
+            lcps[index] = common
+        python_arrays = trie_topology_python(lengths, lcps)
+        kernel_arrays = trie_topology_arrays(lengths, lcps)
+        for left, right in zip(python_arrays, kernel_arrays):
+            np.testing.assert_array_equal(left, right)
+
+
+class TestKasaiKernel:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive_lcp(self, seed):
+        rng = np.random.default_rng(seed)
+        text = rng.integers(0, 4, size=int(rng.integers(2, 80))).astype(np.int64)
+        sa = np.array(
+            sorted(range(len(text)), key=lambda s: tuple(text[s:])), dtype=np.int64
+        )
+        ranks = np.empty(len(text), dtype=np.int64)
+        ranks[sa] = np.arange(len(text))
+        lcp = np.zeros(len(text), dtype=np.int64)
+        kasai(text, sa, ranks, lcp)
+        for rank in range(1, len(text)):
+            a, b = text[sa[rank - 1] :], text[sa[rank] :]
+            common = 0
+            while common < len(a) and common < len(b) and a[common] == b[common]:
+                common += 1
+            assert lcp[rank] == common
+
+
+class TestSegmentTreeKernel:
+    def test_pair_kernel_matches_bigint_tree(self):
+        import random
+
+        from repro.indexes.se_construction import (
+            _KernelMinSegmentTree,
+            _MinSegmentTree,
+        )
+
+        rng = random.Random(41)
+        for _ in range(60):
+            n = rng.randint(1, 48)
+            reference = _MinSegmentTree(n)
+            kernel = _KernelMinSegmentTree(n)
+            # Full-uint64 order halves: the packed keys exceed 64 bits.
+            keys = [
+                (rng.getrandbits(64) << 32) | rng.randrange(2**31) for _ in range(n)
+            ]
+            for position in range(n):
+                if rng.random() < 0.3:
+                    keys[position] = _MinSegmentTree._SENTINEL
+            reference.bulk_fill(keys)
+            kernel.bulk_fill(keys)
+            for _ in range(25):
+                if rng.random() < 0.5:
+                    position = rng.randrange(n)
+                    if rng.random() < 0.25:
+                        reference.clear(position)
+                        kernel.clear(position)
+                    else:
+                        key = (rng.getrandbits(64) << 32) | rng.randrange(2**31)
+                        reference.set(position, key)
+                        kernel.set(position, key)
+                lo = rng.randint(0, n)
+                hi = rng.randint(lo, n)
+                assert reference.range_min(lo, hi) == kernel.range_min(lo, hi)
+
+
+class TestStageTimers:
+    def test_record_and_collect(self):
+        collect_stages()  # drain
+        record_stage("trie", 0.25)
+        record_stage("trie", 0.5)
+        record_stage("sa", 1.0)
+        stages = collect_stages()
+        assert stages == {"trie": 0.75, "sa": 1.0}
+        assert collect_stages() == {}  # reset drained the accumulator
+
+    def test_stage_timer_context(self):
+        collect_stages()
+        with stage_timer("grid"):
+            pass
+        stages = collect_stages()
+        assert set(stages) == {"grid"}
+        assert stages["grid"] >= 0.0
+
+    def test_build_records_stages(self):
+        from repro.core.alphabet import Alphabet
+        from repro.core.weighted_string import WeightedString
+        from repro.indexes.registry import build_index
+
+        rng = np.random.default_rng(2)
+        matrix = rng.dirichlet(np.ones(4), size=200)
+        source = WeightedString(matrix, Alphabet("ACGT"))
+        collect_stages()
+        build_index(source, 4.0, kind="MWST", ell=6)
+        assert "trie" in collect_stages()
+        build_index(source, 4.0, kind="WSA")
+        assert "sa" in collect_stages()

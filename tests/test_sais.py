@@ -1,0 +1,108 @@
+"""SA-IS differential tests: linear-time construction vs prefix doubling.
+
+Both suffix-array constructions must be bit-identical on every input —
+SA-IS is selected automatically under the compiled kernel engine, prefix
+doubling on plain CPython, and a store written by one must answer exactly
+like an index built by the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.strings.suffix_array import (
+    SA_METHODS,
+    suffix_array,
+)
+
+
+def naive_suffix_array(text) -> list[int]:
+    return sorted(range(len(text)), key=lambda start: tuple(text[start:]))
+
+
+class TestSaisMatchesPrefixDoubling:
+    @pytest.mark.parametrize("sigma", [1, 2, 4, 26, 255, 1000])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_texts(self, sigma, seed):
+        rng = np.random.default_rng(1000 * sigma + seed)
+        for length in (1, 2, 3, 7, 50, 300):
+            text = rng.integers(0, sigma, size=length).astype(np.int64)
+            doubled = suffix_array(text, method="prefix_doubling")
+            sais = suffix_array(text, method="sais")
+            np.testing.assert_array_equal(doubled, sais)
+
+    def test_edge_cases(self):
+        for text in ([], [5], [0, 0, 0, 0], [3, 2, 1, 0], [0, 1, 2, 3], [7] * 40):
+            codes = np.asarray(text, dtype=np.int64)
+            np.testing.assert_array_equal(
+                suffix_array(codes, method="prefix_doubling"),
+                suffix_array(codes, method="sais"),
+            )
+
+    def test_large_sparse_codes(self):
+        # Rank compression must handle huge, sparse letter codes.
+        rng = np.random.default_rng(9)
+        text = rng.integers(0, 10**9, size=200).astype(np.int64)
+        np.testing.assert_array_equal(
+            suffix_array(text, method="prefix_doubling"),
+            suffix_array(text, method="sais"),
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_against_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        text = rng.integers(0, 3, size=int(rng.integers(1, 60))).astype(np.int64)
+        expected = naive_suffix_array(list(text))
+        for method in ("prefix_doubling", "sais"):
+            np.testing.assert_array_equal(suffix_array(text, method=method), expected)
+
+    def test_repeats_stress_lms_naming(self):
+        # Highly periodic strings exercise the LMS-substring naming pass.
+        for period in ([0, 1], [0, 0, 1], [1, 0, 0, 1], [2, 1, 0]):
+            text = np.asarray(period * 40, dtype=np.int64)
+            np.testing.assert_array_equal(
+                suffix_array(text, method="prefix_doubling"),
+                suffix_array(text, method="sais"),
+            )
+
+
+class TestMethodSelection:
+    def test_auto_is_a_known_method(self):
+        assert "auto" in SA_METHODS
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="method"):
+            suffix_array(np.asarray([1, 2], dtype=np.int64), method="bogus")
+
+    def test_auto_matches_both(self):
+        rng = np.random.default_rng(4)
+        text = rng.integers(0, 5, size=120).astype(np.int64)
+        auto = suffix_array(text, method="auto")
+        np.testing.assert_array_equal(auto, suffix_array(text, method="sais"))
+        np.testing.assert_array_equal(auto, suffix_array(text, method="prefix_doubling"))
+
+
+class TestPropertyStructureDifferential:
+    def test_structures_agree_across_sa_methods(self):
+        from repro.core import build_z_estimation
+        from repro.core.alphabet import Alphabet
+        from repro.core.weighted_string import WeightedString
+        from repro.indexes.property_structures import PropertySuffixStructure
+
+        rng = np.random.default_rng(13)
+        base = rng.integers(0, 4, size=200)
+        matrix = np.full((200, 4), 0.04)
+        matrix[np.arange(200), base] = 0.88
+        source = WeightedString(matrix, Alphabet("ACGT"))
+        estimation = build_z_estimation(source, 4.0)
+        doubled = PropertySuffixStructure(
+            estimation, with_lcp=True, sa_method="prefix_doubling"
+        )
+        sais = PropertySuffixStructure(estimation, with_lcp=True, sa_method="sais")
+        np.testing.assert_array_equal(doubled.sa, sais.sa)
+        np.testing.assert_array_equal(doubled.lcp, sais.lcp)
+        np.testing.assert_array_equal(doubled.rank_positions, sais.rank_positions)
+        patterns = [[int(c) for c in base[start : start + 6]] for start in range(0, 180, 17)]
+        for pattern in patterns:
+            assert doubled.locate(pattern) == sais.locate(pattern)
