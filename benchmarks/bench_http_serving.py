@@ -31,7 +31,11 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import signal
+import subprocess
 import sys
+import tempfile
 import time
 from collections import deque
 from pathlib import Path
@@ -67,6 +71,12 @@ DEFAULT_WINDOW_MS = 2.0
 # instead of waiting out the window remainder.
 DEFAULT_MAX_BATCH = 32
 DEFAULT_MIN_SPEEDUP = 2.0
+DEFAULT_WORKER_LEVELS = (1, 2)
+DEFAULT_MIN_SCALING = 1.7
+#: Per-extra-worker *private* bytes in store-file mappings, as a fraction of
+#: the store size.  A worker that truly serves from the shared map keeps its
+#: private share near zero; copying the arrays would put it near 1.0.
+DEFAULT_MAX_PRIVATE_FRACTION = 0.15
 
 
 def make_workload(length: int, unique: int, requests: int, z: float, ell: int,
@@ -160,6 +170,222 @@ async def drain_check(index, concurrency: int) -> dict:
     }
 
 
+# -- multi-worker scaling over one shared memory-mapped store -----------------
+
+
+def measured_cores() -> int:
+    """CPU cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def store_mapping_bytes(pid: int, store_path: str) -> dict | None:
+    """Resident-memory accounting of one process's store-file mappings.
+
+    Walks ``/proc/<pid>/smaps`` and sums the entries whose backing path lies
+    under ``store_path``.  This is the direct measurement behind the sharing
+    claim: a worker serving from the shared map keeps the index pages
+    file-backed and *clean* — every resident page lives once in the page
+    cache, whichever worker faulted it first (the kernel labels a page
+    ``Private_Clean`` until a second process touches it, so clean bytes are
+    shared either way).  ``private_dirty`` is the copy signal: a worker that
+    wrote (copy-on-write) into the map holds genuinely duplicated pages.
+    """
+    prefix = str(Path(store_path).resolve())
+    totals = {"rss": 0, "private_dirty": 0, "clean": 0}
+    in_store = False
+    try:
+        with open(f"/proc/{pid}/smaps", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                head = line.split(" ", 1)[0]
+                if "-" in head and ":" not in head:
+                    # a mapping header line: "addr-addr perms offset dev inode path"
+                    fields = line.rstrip("\n").split(maxsplit=5)
+                    in_store = len(fields) == 6 and fields[5].startswith(prefix)
+                elif in_store:
+                    name, _, rest = line.partition(":")
+                    if name == "Rss":
+                        totals["rss"] += int(rest.split()[0]) * 1024
+                    elif name == "Private_Dirty":
+                        totals["private_dirty"] += int(rest.split()[0]) * 1024
+                    elif name in ("Private_Clean", "Shared_Clean"):
+                        totals["clean"] += int(rest.split()[0]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return totals
+
+
+async def drive_stream(host: str, port: int, stream, concurrency: int) -> dict:
+    """Drain a request stream against an already-running server."""
+    pending = deque(stream)
+    latencies = Histogram(LATENCY_BUCKETS)
+    errors = 0
+
+    async def client_loop() -> None:
+        nonlocal errors
+        client = await AsyncHttpClient.connect(host, port)
+        while True:
+            try:
+                pattern = pending.popleft()
+            except IndexError:
+                break
+            started = time.perf_counter()
+            response = await client.request("POST", "/query", {"pattern": pattern})
+            latencies.observe(time.perf_counter() - started)
+            if response.status != 200:
+                errors += 1
+        await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client_loop() for _ in range(concurrency)))
+    elapsed = time.perf_counter() - started
+    return {
+        "requests": len(stream),
+        "errors": errors,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": len(stream) / elapsed,
+        "p50_ms": 1e3 * latencies.quantile(0.5),
+        "p99_ms": 1e3 * latencies.quantile(0.99),
+    }
+
+
+def cluster_row(store_path: str, workers: int, stream, concurrency: int, *,
+                window_ms: float, max_batch: int) -> dict:
+    """One serve-http subprocess at ``--workers N``: throughput + memory."""
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve-http",
+         "--store", store_path, "--workers", str(workers), "--port", "0",
+         "--no-cache", "--batch-window-ms", str(window_ms),
+         "--max-batch", str(max_batch), "--request-timeout", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        if not line.startswith("serving on http://"):
+            raise RuntimeError(
+                f"serve-http never came up: {proc.stderr.read()[-2000:]}"
+            )
+        address = line.split("http://", 1)[1]
+        host, port_text = address.rsplit(":", 1)
+        row = asyncio.run(drive_stream(host, int(port_text), stream, concurrency))
+        row["workers"] = workers
+
+        async def snapshot() -> dict:
+            client = await AsyncHttpClient.connect(host, int(port_text))
+            response = await client.request("GET", "/stats")
+            await client.close()
+            return response.json()
+
+        stats = asyncio.run(snapshot())
+        if workers > 1:
+            pids = [int(pid) for pid in stats["supervisor"]["pids"].values()]
+            row["store_bytes"] = stats["supervisor"]["store_bytes"]
+            row["worker_memory"] = {
+                str(number): snap.get("memory", {})
+                for number, snap in stats.get("workers", {}).items()
+            }
+        else:
+            pids = [proc.pid]
+            row["store_bytes"] = sum(
+                p.stat().st_size for p in
+                ([Path(store_path)] if Path(store_path).is_file()
+                 else Path(store_path).iterdir())
+            )
+        row["store_mappings"] = {
+            str(pid): store_mapping_bytes(pid, store_path) for pid in pids
+        }
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        if code != 0:
+            raise RuntimeError(
+                f"serve-http exited {code}: {proc.stderr.read()[-2000:]}"
+            )
+        return row
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def multi_worker_section(arguments, index, stream) -> tuple[list, dict] | None:
+    """Scaling rows at each worker level plus the scaling/memory gates."""
+    if not hasattr(os, "fork"):
+        print("multi-worker: skipped (no os.fork on this platform)")
+        return None
+    from repro.io.store import save_index
+
+    levels = sorted(set(arguments.workers_levels))
+    concurrency = max(arguments.concurrency)
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as temp_dir:
+        store_path = str(Path(temp_dir) / "index.store")
+        save_index(store_path, index)
+        # Flush writeback first: pages of a just-written file sit dirty in
+        # the page cache, and a mapping of a dirty page is accounted as
+        # Private_Dirty in smaps — which would masquerade as copy-on-write.
+        os.sync()
+        for workers in levels:
+            row = cluster_row(
+                store_path, workers, stream, concurrency,
+                window_ms=arguments.batch_window_ms,
+                max_batch=arguments.max_batch,
+            )
+            rows.append(row)
+            print(
+                f"workers {workers}: {row['requests_per_second']:>8,.0f} req/s, "
+                f"p50 {row['p50_ms']:.2f} ms, p99 {row['p99_ms']:.2f} ms, "
+                f"errors {row['errors']}"
+            )
+
+    cores = measured_cores()
+    single = next(r for r in rows if r["workers"] == min(levels))
+    top = next(r for r in rows if r["workers"] == max(levels))
+    speedup = top["requests_per_second"] / single["requests_per_second"]
+    enforced = cores >= max(levels) and not arguments.smoke
+    gates = {
+        "cores": cores,
+        "speedup": round(speedup, 3),
+        "min_scaling": arguments.min_scaling,
+        "scaling_enforced": enforced,
+        "scaling_skip_reason": None if enforced else (
+            "smoke run" if arguments.smoke
+            else f"only {cores} core(s) measured; {max(levels)} workers "
+            "cannot run in parallel"
+        ),
+        "max_private_fraction": DEFAULT_MAX_PRIVATE_FRACTION,
+        "private_fractions": {},
+    }
+    print(
+        f"multi-worker scaling {min(levels)}->{max(levels)}: {speedup:.2f}x "
+        f"({'enforced' if enforced else 'recorded, not enforced: ' + str(gates['scaling_skip_reason'])})"
+    )
+    # The memory gate holds on any core count: every worker must really map
+    # the store (resident pages in the file mappings) and must not have
+    # copy-on-write'd into it — dirty private pages are the only bytes that
+    # physically duplicate the index per worker.
+    store_bytes = max(1, top["store_bytes"])
+    for pid, mapping in (top.get("store_mappings") or {}).items():
+        if mapping is None:
+            continue
+        fraction = mapping["private_dirty"] / store_bytes
+        gates["private_fractions"][pid] = round(fraction, 4)
+        gates.setdefault("mapped_pids", []).append(pid)
+        print(
+            f"  worker pid {pid}: store mappings rss={mapping['rss']:,} B, "
+            f"clean={mapping['clean']:,} B, "
+            f"private_dirty={mapping['private_dirty']:,} B "
+            f"({100 * fraction:.1f}% of the {store_bytes:,} B store)"
+        )
+        if mapping["rss"] == 0:
+            print(f"  WARNING: pid {pid} has no resident store pages")
+    return rows, gates
+
+
 @pytest.fixture(scope="module")
 def http_workload():
     source, pool, stream = make_workload(
@@ -208,6 +434,14 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
                         help="required batching-on/off speedup at the highest "
                         "concurrency level")
+    parser.add_argument("--workers-levels", type=int, nargs="+",
+                        default=list(DEFAULT_WORKER_LEVELS),
+                        help="serve-http --workers levels for the scaling rows")
+    parser.add_argument("--min-scaling", type=float, default=DEFAULT_MIN_SCALING,
+                        help="required multi-worker throughput speedup (only "
+                        "enforced when enough cores are measured)")
+    parser.add_argument("--no-cluster", action="store_true",
+                        help="skip the multi-worker subprocess rows")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI run: skips the speedup floor (noise-"
                         "dominated at this scale), keeps every correctness check")
@@ -276,15 +510,47 @@ def main(argv=None) -> int:
         print("FAIL: graceful shutdown dropped or errored in-flight requests")
         return 1
 
+    cluster_rows: list = []
+    cluster_gates: dict = {}
+    if not arguments.no_cluster:
+        section = multi_worker_section(arguments, index, stream)
+        if section is not None:
+            cluster_rows, cluster_gates = section
+            if any(row["errors"] for row in cluster_rows):
+                print("FAIL: multi-worker rows saw non-200 responses")
+                return 1
+            if (cluster_gates["scaling_enforced"]
+                    and cluster_gates["speedup"] < arguments.min_scaling):
+                print(
+                    f"FAIL: {max(arguments.workers_levels)} workers must be at "
+                    f"least {arguments.min_scaling:g}x one worker on "
+                    f"{cluster_gates['cores']} cores"
+                )
+                return 1
+            over = {
+                pid: fraction
+                for pid, fraction in cluster_gates["private_fractions"].items()
+                if fraction > DEFAULT_MAX_PRIVATE_FRACTION
+            }
+            if over:
+                print(
+                    f"FAIL: worker copy-on-write share of the store mappings "
+                    f"exceeds {DEFAULT_MAX_PRIVATE_FRACTION:.0%}: {over} — the "
+                    "index is being copied, not shared"
+                )
+                return 1
+
     if arguments.json:
         from repro.bench.metadata import run_metadata
 
         payload = {"metadata": run_metadata(), "rows": rows, "drain": drain,
+                   "cluster_rows": cluster_rows, "cluster_gates": cluster_gates,
                    "workload": {"n": len(source), "requests": len(stream),
                                 "unique_patterns": len(pool),
                                 "zipf_s": arguments.zipf_s,
                                 "batch_window_ms": arguments.batch_window_ms,
-                                "max_batch": arguments.max_batch}}
+                                "max_batch": arguments.max_batch,
+                                "smoke": bool(arguments.smoke)}}
         with open(arguments.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {arguments.json}")

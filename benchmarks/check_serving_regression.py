@@ -1,0 +1,202 @@
+"""Regression gate: validate the HTTP-serving snapshot (and a fresh run).
+
+``BENCH_http_serving.json`` (committed at the repository root) records the
+serving-layer benchmark: micro-batching rows at each concurrency level, the
+multi-worker scaling rows with their memory accounting, and the gates the
+run was held to.  This checker enforces two absolute bars on whichever
+report it is pointed at:
+
+* **micro-batching** — at the highest measured concurrency, batching-on
+  must beat batching-off by ``--min-batching-speedup`` (default 2x, the
+  PR-6 bar);
+* **multi-worker scaling** — the top worker level must beat one worker by
+  ``--min-scaling`` (default 1.7x) **when the run measured enough cores to
+  enforce it**; a snapshot that recorded a skip (``scaling_enforced:
+  false``, e.g. a single-core runner) passes with the skip reported, so CI
+  stays honest on small machines without losing the gate on real ones;
+* **shared memory** — every worker's copy-on-write share of the store
+  mappings must stay under ``--max-private-fraction`` (default 15% of the
+  store size): the mapped index must be shared, not copied per worker.
+
+With ``--fresh`` a second report is compared against the snapshot on a
+relative band: fresh throughputs must reach ``--min-ratio`` (default 0.25)
+of the snapshot's, catching collapses without tripping on machine noise.
+
+Usage::
+
+    python benchmarks/check_serving_regression.py --snapshot BENCH_http_serving.json
+    python benchmarks/bench_http_serving.py --smoke --json fresh.json
+    python benchmarks/check_serving_regression.py \
+        --snapshot BENCH_http_serving.json --fresh fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_MIN_BATCHING_SPEEDUP = 2.0
+DEFAULT_MIN_SCALING = 1.7
+DEFAULT_MAX_PRIVATE_FRACTION = 0.15
+DEFAULT_MIN_RATIO = 0.25
+
+
+def batching_speedup(report: dict) -> tuple[int, float] | None:
+    """(top concurrency, on/off speedup) from the micro-batching rows."""
+    rows = report.get("rows") or []
+    if not rows:
+        return None
+    top = max(row["concurrency"] for row in rows)
+    off = [r for r in rows if r["concurrency"] == top and not r["batching"]]
+    on = [r for r in rows if r["concurrency"] == top and r["batching"]]
+    if not off or not on:
+        return None
+    return top, on[0]["requests_per_second"] / off[0]["requests_per_second"]
+
+
+def check_report(report: dict, *, min_batching: float, min_scaling: float,
+                 max_private: float, label: str) -> list[str]:
+    """Absolute-bar violations of one report."""
+    violations = []
+    for row in (report.get("rows") or []) + (report.get("cluster_rows") or []):
+        if row.get("errors"):
+            violations.append(
+                f"{label}: {row['errors']} non-200 responses in a measured row"
+            )
+    smoke = bool((report.get("workload") or {}).get("smoke"))
+    pair = batching_speedup(report)
+    if pair is None:
+        violations.append(f"{label}: no micro-batching rows to check")
+    elif smoke:
+        # The bench itself waives the absolute bar at smoke scale (noise-
+        # dominated); the relative band against the snapshot still applies.
+        print(
+            f"note ({label}): smoke run — batching bar not enforced "
+            f"(recorded {pair[1]:.2f}x at concurrency {pair[0]})"
+        )
+    else:
+        top, speedup = pair
+        if speedup < min_batching:
+            violations.append(
+                f"{label}: micro-batching speedup {speedup:.2f}x at "
+                f"concurrency {top} is below the {min_batching:g}x bar"
+            )
+    gates = report.get("cluster_gates") or {}
+    if not gates:
+        violations.append(f"{label}: no multi-worker gates recorded")
+        return violations
+    if gates.get("scaling_enforced"):
+        if gates.get("speedup", 0.0) < min_scaling:
+            violations.append(
+                f"{label}: multi-worker scaling {gates.get('speedup')}x on "
+                f"{gates.get('cores')} cores is below the {min_scaling:g}x bar"
+            )
+    else:
+        print(
+            f"note ({label}): scaling bar not enforced — "
+            f"{gates.get('scaling_skip_reason')} "
+            f"(recorded {gates.get('speedup')}x on {gates.get('cores')} core(s))"
+        )
+    fractions = gates.get("private_fractions") or {}
+    if not fractions:
+        violations.append(
+            f"{label}: no per-worker store-mapping accounting recorded"
+        )
+    for pid, fraction in sorted(fractions.items()):
+        if fraction > max_private:
+            violations.append(
+                f"{label}: worker pid {pid} copy-on-write share "
+                f"{fraction:.1%} of the store exceeds {max_private:.0%} — "
+                "the mapped index is being copied, not shared"
+            )
+    return violations
+
+
+def compare_fresh(snapshot: dict, fresh: dict, min_ratio: float) -> list[str]:
+    """Relative-band violations: fresh throughput vs the snapshot."""
+    violations = []
+
+    def throughputs(report, key, tag):
+        return {
+            (tag, row.get("workers"), row.get("concurrency"), row.get("batching")):
+            row["requests_per_second"]
+            for row in report.get(key) or []
+        }
+
+    for key, tag in (("rows", "batching"), ("cluster_rows", "cluster")):
+        reference = throughputs(snapshot, key, tag)
+        measured = throughputs(fresh, key, tag)
+        for name, value in sorted(
+            reference.items(), key=lambda item: str(item[0])
+        ):
+            got = measured.get(name)
+            if got is None:
+                continue  # a fresh smoke run may measure fewer levels
+            floor = value * min_ratio
+            if got < floor:
+                violations.append(
+                    f"{name}: fresh {got:,.0f} req/s < {floor:,.0f} "
+                    f"(snapshot {value:,.0f} * tolerance {min_ratio:g})"
+                )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--snapshot", required=True,
+                        help="committed BENCH_http_serving.json")
+    parser.add_argument("--fresh", help="optional fresh --json run to compare")
+    parser.add_argument("--min-batching-speedup", type=float,
+                        default=DEFAULT_MIN_BATCHING_SPEEDUP,
+                        help=f"micro-batching bar (default "
+                        f"{DEFAULT_MIN_BATCHING_SPEEDUP:g}x)")
+    parser.add_argument("--min-scaling", type=float, default=DEFAULT_MIN_SCALING,
+                        help=f"multi-worker bar when enforced (default "
+                        f"{DEFAULT_MIN_SCALING:g}x)")
+    parser.add_argument("--max-private-fraction", type=float,
+                        default=DEFAULT_MAX_PRIVATE_FRACTION,
+                        help=f"per-worker copy-on-write ceiling (default "
+                        f"{DEFAULT_MAX_PRIVATE_FRACTION:g})")
+    parser.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_RATIO,
+                        help=f"fresh throughput must reach this fraction of "
+                        f"the snapshot (default {DEFAULT_MIN_RATIO:g})")
+    arguments = parser.parse_args(argv)
+    with open(arguments.snapshot, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    violations = check_report(
+        snapshot,
+        min_batching=arguments.min_batching_speedup,
+        min_scaling=arguments.min_scaling,
+        max_private=arguments.max_private_fraction,
+        label="snapshot",
+    )
+    if arguments.fresh:
+        with open(arguments.fresh, "r", encoding="utf-8") as handle:
+            fresh = json.load(handle)
+        violations += check_report(
+            fresh,
+            min_batching=arguments.min_batching_speedup,
+            min_scaling=arguments.min_scaling,
+            max_private=arguments.max_private_fraction,
+            label="fresh",
+        )
+        violations += compare_fresh(snapshot, fresh, arguments.min_ratio)
+    if violations:
+        print(f"REGRESSION: {len(violations)} serving gate(s) violated")
+        for message in violations:
+            print(f"  {message}")
+        return 1
+    pair = batching_speedup(snapshot)
+    print(
+        f"OK: serving gates hold (micro-batching "
+        f"{pair[1]:.2f}x >= {arguments.min_batching_speedup:g}x at "
+        f"concurrency {pair[0]}; scaling "
+        f"{(snapshot.get('cluster_gates') or {}).get('speedup')}x "
+        f"{'enforced' if (snapshot.get('cluster_gates') or {}).get('scaling_enforced') else 'recorded'})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ __all__ = [
     "measure_build",
     "measure_query_time",
     "peak_rss_bytes",
+    "smaps_rollup_bytes",
     "timed",
 ]
 
@@ -47,6 +48,45 @@ def peak_rss_bytes() -> int | None:
         return int(usage) if sys.platform == "darwin" else int(usage) * 1024
     except (ImportError, ValueError, OSError):
         return None
+
+
+#: ``smaps_rollup`` fields worth reporting, normalized to snake_case keys.
+_SMAPS_FIELDS = {
+    "Rss": "rss",
+    "Pss": "pss",
+    "Shared_Clean": "shared_clean",
+    "Shared_Dirty": "shared_dirty",
+    "Private_Clean": "private_clean",
+    "Private_Dirty": "private_dirty",
+}
+
+
+def smaps_rollup_bytes(pid: int | str = "self") -> dict[str, int] | None:
+    """Shared/private resident-memory accounting from ``/proc/<pid>/smaps_rollup``.
+
+    Returns ``{rss, pss, shared_clean, shared_dirty, private_clean,
+    private_dirty}`` in bytes, plus derived ``shared`` and ``private``
+    totals, or ``None`` where the kernel does not expose the file (non-Linux,
+    or a PID gone away).  This is how the multi-worker serving bench proves
+    the memory-mapped index is *shared*: N workers over one store show the
+    index pages as shared (counted once physically) while private bytes stay
+    at roughly one Python heap per worker.
+    """
+    try:
+        with open(f"/proc/{pid}/smaps_rollup", encoding="ascii") as handle:
+            values: dict[str, int] = {}
+            for line in handle:
+                name, _, rest = line.partition(":")
+                key = _SMAPS_FIELDS.get(name.strip())
+                if key is not None:
+                    values[key] = int(rest.split()[0]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    if not values:
+        return None
+    values["shared"] = values.get("shared_clean", 0) + values.get("shared_dirty", 0)
+    values["private"] = values.get("private_clean", 0) + values.get("private_dirty", 0)
+    return values
 
 
 def timed(function: Callable, *args, **kwargs):

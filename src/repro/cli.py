@@ -79,13 +79,20 @@ def _build_index(arguments):
     source = _load_source(arguments)
     if arguments.z is None:
         raise ReproError("--z is required when building an index")
+    # serve-http reserves --workers for serving processes and renames the
+    # shard-build parallelism flag to --build-workers.
+    build_workers = (
+        arguments.build_workers
+        if hasattr(arguments, "build_workers")
+        else arguments.workers
+    )
     return build_index(
         source,
         arguments.z,
         kind=arguments.kind or "MWSA",
         ell=arguments.ell,
         shards=arguments.shards,
-        workers=arguments.workers,
+        workers=build_workers,
         max_pattern_len=arguments.max_pattern_len,
     )
 
@@ -96,6 +103,26 @@ _BUILD_OPTIONS = (
     "dataset", "pwm", "length", "z", "ell", "kind", "shards", "workers",
     "max_pattern_len",
 )
+
+
+def _check_store_conflicts(arguments) -> None:
+    """Reject build options alongside --store (the store fixes them all)."""
+    names = [
+        "build_workers"
+        if name == "workers" and hasattr(arguments, "build_workers")
+        else name
+        for name in _BUILD_OPTIONS
+    ]
+    conflicting = [
+        f"--{name.replace('_', '-')}"
+        for name in names
+        if getattr(arguments, name) is not None
+    ]
+    if conflicting:
+        raise ReproError(
+            f"--store loads a saved index; it cannot be combined with "
+            f"build options ({', '.join(conflicting)})"
+        )
 
 
 def _load_store(path, *, mmap: bool = True):
@@ -112,16 +139,7 @@ def _load_store(path, *, mmap: bool = True):
 def _obtain_index(arguments):
     """The index to query: reloaded from a store file, or built on the spot."""
     if arguments.store:
-        conflicting = [
-            f"--{name.replace('_', '-')}"
-            for name in _BUILD_OPTIONS
-            if getattr(arguments, name) is not None
-        ]
-        if conflicting:
-            raise ReproError(
-                f"--store loads a saved index; it cannot be combined with "
-                f"build options ({', '.join(conflicting)})"
-            )
+        _check_store_conflicts(arguments)
         return _load_store(arguments.store)
     return _build_index(arguments)
 
@@ -139,7 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--pwm", help="position-weight-matrix file to describe")
     info.add_argument("--length", type=int, help="override the dataset length")
 
-    def add_build_arguments(sub, *, source_required: bool = True) -> None:
+    def add_build_arguments(
+        sub, *, source_required: bool = True, build_workers_flag: bool = False
+    ) -> None:
         group = sub.add_mutually_exclusive_group(required=source_required)
         group.add_argument("--dataset", choices=sorted(DATASETS), help="named synthetic dataset")
         group.add_argument("--pwm", help="position-weight-matrix file to index")
@@ -156,8 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--shards", type=int, help="build a sharded index over this many chunks"
         )
+        # serve-http uses --workers for serving processes, so its shard-build
+        # parallelism flag is spelled --build-workers there.
         sub.add_argument(
-            "--workers", type=int, help="parallel shard-build processes (with --shards)"
+            "--build-workers" if build_workers_flag else "--workers",
+            dest="build_workers" if build_workers_flag else "workers",
+            type=int,
+            help="parallel shard-build processes (with --shards)",
         )
         sub.add_argument(
             "--max-pattern-len",
@@ -280,9 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="asyncio HTTP/1.1 JSON API over a cached QueryService "
         "(micro-batching, rate limiting, load shedding, /metrics)",
     )
-    add_build_arguments(serve_http, source_required=False)
+    add_build_arguments(serve_http, source_required=False, build_workers_flag=True)
     serve_http.add_argument(
         "--store", help="load the index from this store file instead of building"
+    )
+    serve_http.add_argument(
+        "--workers", type=int, default=1,
+        help="serving worker processes over one shared memory-mapped store "
+        "(default: 1 = in-process serving, no fork)",
     )
     serve_http.add_argument(
         "--cache-size", type=int, default=1024,
@@ -324,6 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument(
         "--request-timeout", type=float, default=10.0,
         help="per-request execution budget in seconds (default: 10)",
+    )
+    serve_http.add_argument(
+        "--warm-log", metavar="FILE",
+        help="warm the result cache from this pattern log before accepting "
+        "traffic (one pattern per line, or JSON lines with a 'pattern' field)",
+    )
+    serve_http.add_argument(
+        "--warm-top", type=int, metavar="K",
+        help="warm at most the K most frequent patterns of --warm-log "
+        "(default: the cache capacity)",
+    )
+    serve_http.add_argument(
+        "--tenant-class", action="append", metavar="NAME=RATE[:BURST]",
+        help="per-tenant quota class for the X-Tenant header (repeatable; "
+        "class 'default' covers unknown tenants; RATE 0 = unlimited)",
     )
 
     return parser
@@ -635,29 +680,173 @@ def _command_serve(arguments) -> None:
     return None
 
 
+class _StartupTerminated(Exception):
+    """SIGTERM/SIGINT arrived while serve-http was still starting up."""
+
+
+def _parse_tenant_classes(specs) -> dict | None:
+    """``NAME=RATE[:BURST]`` specs → ``{name: (rate, burst)}`` quota classes."""
+    if not specs:
+        return None
+    classes: dict[str, tuple[float, float]] = {}
+    for spec in specs:
+        name, separator, tail = spec.partition("=")
+        name = name.strip()
+        if not name or not separator:
+            raise ReproError(
+                f"invalid --tenant-class {spec!r} (expected NAME=RATE[:BURST])"
+            )
+        rate_text, _, burst_text = tail.partition(":")
+        try:
+            rate = float(rate_text)
+            burst = float(burst_text) if burst_text else max(1.0, rate)
+        except ValueError as error:
+            raise ReproError(f"invalid --tenant-class {spec!r}: {error}") from error
+        classes[name] = (rate, burst)
+    return classes
+
+
+def _load_warm_patterns(path) -> list:
+    """Patterns from a warm log: bare lines, or JSON lines with a pattern.
+
+    A JSON object line contributes its ``"pattern"`` field (the shape access
+    logs capture); a JSON array line is a list-form weighted pattern.  A warm
+    log is advisory, so malformed JSON lines are skipped, not fatal.
+    """
+    patterns: list = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line[0] in "[{":
+                    try:
+                        payload = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(payload, dict):
+                        payload = payload.get("pattern")
+                    if payload is not None:
+                        patterns.append(payload)
+                else:
+                    patterns.append(line)
+    except OSError as error:
+        raise ReproError(f"cannot read warm log: {error}") from error
+    return patterns
+
+
+def _serve_http_cluster(arguments, tenant_classes, warm_patterns, ready) -> None:
+    """The prefork multi-worker path of ``serve-http`` (``--workers > 1``).
+
+    The supervisor needs a store on disk that every worker can memory-map:
+    ``--store`` is used as-is; otherwise the index is built once here, saved
+    to a temporary store, and the temporary files are removed on exit.
+    """
+    import shutil
+    import tempfile
+
+    from .service.supervisor import Supervisor
+
+    temp_dir = None
+    try:
+        if arguments.store:
+            _check_store_conflicts(arguments)
+            store_path = arguments.store
+        else:
+            index = _build_index(arguments)
+            temp_dir = tempfile.mkdtemp(prefix="repro-serve-")
+            from .indexes.sharded import ShardedIndex
+
+            if isinstance(index, ShardedIndex):
+                store_path = os.path.join(temp_dir, "store")
+                save_sharded_store(store_path, index)
+            else:
+                store_path = os.path.join(temp_dir, "index.store")
+                save_index(store_path, index)
+            # The supervisor reloads from the store (mmap) so workers share
+            # pages; the built copy would only double the supervisor's RSS.
+            del index
+        supervisor = Supervisor(
+            store_path,
+            workers=arguments.workers,
+            host=arguments.host,
+            port=arguments.port,
+            service_options={
+                "cache_size": arguments.cache_size,
+                "cache_enabled": not arguments.no_cache,
+            },
+            server_options={
+                "batch_window": arguments.batch_window_ms / 1000.0,
+                "max_batch": arguments.max_batch,
+                "batching": not arguments.no_batching,
+                "queue_limit": arguments.queue_limit,
+                "rate": arguments.rate_limit,
+                "burst": arguments.burst,
+                "request_timeout": arguments.request_timeout,
+                "tenant_classes": tenant_classes,
+            },
+            warm_patterns=warm_patterns,
+            warm_top=arguments.warm_top,
+            ready=ready,
+        )
+        status = supervisor.run()
+        if status:
+            raise SystemExit(status)
+    finally:
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+    return None
+
+
 def _command_serve_http(arguments) -> None:
     """The asyncio HTTP serving loop (see :mod:`repro.service.server`).
 
     Prints one ``serving on http://host:port`` line once the socket is
     bound (the CI smoke test waits for it), then serves until SIGINT /
     SIGTERM; shutdown flushes the pending micro-batch and drains in-flight
-    requests before exiting.
+    requests before exiting.  ``--workers N`` (N > 1) switches to the
+    prefork supervisor of :mod:`repro.service.supervisor`: one process binds
+    the socket and owns the store, N forked workers memory-map it and serve.
     """
     import asyncio
+    import signal
 
     from .service.server import run_server
 
-    index = _obtain_index(arguments)
-    service = QueryService(
-        index,
-        cache_size=arguments.cache_size,
-        cache_enabled=not arguments.no_cache,
+    tenant_classes = _parse_tenant_classes(arguments.tenant_class)
+    warm_patterns = (
+        _load_warm_patterns(arguments.warm_log) if arguments.warm_log else None
     )
 
     def ready(host: str, port: int) -> None:
         print(f"serving on http://{host}:{port}", flush=True)
 
+    # Index loading can take a while; a SIGTERM/SIGINT that lands before the
+    # event loop (or the supervisor) installs its own handlers must still
+    # exit 0 cleanly.  Install raising handlers for the whole startup window
+    # and translate them into a quiet return.
+    def _terminated(signum, frame):
+        raise _StartupTerminated
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _terminated)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
     try:
+        if arguments.workers and arguments.workers > 1:
+            return _serve_http_cluster(arguments, tenant_classes, warm_patterns, ready)
+        index = _obtain_index(arguments)
+        service = QueryService(
+            index,
+            cache_size=arguments.cache_size,
+            cache_enabled=not arguments.no_cache,
+        )
+        if warm_patterns:
+            service.warm(warm_patterns, top=arguments.warm_top)
         asyncio.run(
             run_server(
                 service,
@@ -671,10 +860,17 @@ def _command_serve_http(arguments) -> None:
                 rate=arguments.rate_limit,
                 burst=arguments.burst,
                 request_timeout=arguments.request_timeout,
+                tenant_classes=tenant_classes,
             )
         )
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        pass
+    except (KeyboardInterrupt, _StartupTerminated):
+        pass  # terminated during startup or serving: a clean exit, not an error
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
     return None
 
 

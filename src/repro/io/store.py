@@ -46,9 +46,11 @@ from ..version import __version__
 __all__ = [
     "save_index",
     "load_index",
+    "stored_arrays",
     "save_sharded_store",
     "load_sharded_store",
     "refresh_sharded_store",
+    "reload_sharded_store",
     "STORE_FORMAT",
     "STORE_VERSION",
     "SHARDED_STORE_FORMAT",
@@ -503,14 +505,35 @@ def load_index(path, *, mmap: bool = True):
     return _unpack_body(container, meta["body"], "", source, float(meta["z"]))
 
 
+def stored_arrays(index) -> dict[str, np.ndarray]:
+    """The persisted arrays of a live index, as the live objects.
+
+    Returns the same ``{name: array}`` mapping :func:`save_index` would write,
+    but referencing the index's *current* array objects — so after a
+    ``load_index(..., mmap=True)`` round trip every entry should chain through
+    ``.base`` to a :class:`numpy.memmap`.  The ``pairs`` entry is the one
+    exception: it is re-materialized from Python tuples on both save and load,
+    so it is never mmap-backed.  Used by tests to pin the multi-worker RSS
+    story (forked workers must share the page cache, not copy the arrays).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    _pack_body(index, arrays, "")
+    arrays["source"] = index.source.matrix
+    return arrays
+
+
 # --------------------------------------------------------------------------- #
 # sharded directory store                                                      #
 # --------------------------------------------------------------------------- #
-def _shard_file_name(number: int) -> str:
+def _shard_file_name(number: int, generation: int = 0) -> str:
+    if generation:
+        return f"shard-{number:04d}.g{generation}.idx"
     return f"shard-{number:04d}.idx"
 
 
-def _sharded_manifest(index) -> dict:
+def _sharded_manifest(index, files=None) -> dict:
+    if files is None:
+        files = [_shard_file_name(number) for number in range(len(index.shards))]
     return {
         "format": SHARDED_STORE_FORMAT,
         "version": SHARDED_STORE_VERSION,
@@ -524,10 +547,10 @@ def _sharded_manifest(index) -> dict:
             {
                 "plan": [shard.start, shard.core_end, shard.end],
                 "generation": generation,
-                "file": _shard_file_name(number),
+                "file": file,
             }
-            for number, (shard, generation) in enumerate(
-                zip(index.shards, index.generations)
+            for (shard, generation, file) in zip(
+                index.shards, index.generations, files
             )
         ],
     }
@@ -584,15 +607,23 @@ def save_sharded_store(directory, index) -> None:
     _write_manifest(directory, _sharded_manifest(index))
 
 
-def refresh_sharded_store(directory, index) -> dict:
+def refresh_sharded_store(directory, index, *, generation_names: bool = False) -> dict:
     """Persist an updated sharded index, rewriting only dirty shard files.
 
     Compares the stored per-shard generation stamps against
     ``index.generations`` and rewrites exactly the shard files whose
     generation moved (plus the manifest).  Returns
-    ``{"rewritten": [...], "skipped": count}``.  The shard plan must match
-    the stored one — a re-sharded index needs a full
+    ``{"rewritten": [...], "skipped": count, "obsolete": [...]}``.  The shard
+    plan must match the stored one — a re-sharded index needs a full
     :func:`save_sharded_store`.
+
+    With ``generation_names=True`` a dirty shard is written to a *new*
+    generation-stamped file (``shard-0002.g3.idx``) instead of truncating the
+    old one in place.  That is what makes live multi-worker serving safe:
+    processes still memory-mapping the previous file keep reading consistent
+    bytes, and the superseded paths come back in ``"obsolete"`` so the caller
+    can unlink them once every reader has re-mapped (POSIX keeps mappings of
+    unlinked files valid until the last reference drops).
     """
     from ..indexes.sharded import ShardedIndex
 
@@ -619,37 +650,33 @@ def refresh_sharded_store(directory, index) -> dict:
                 "save_sharded_store instead of refreshing"
             )
     rewritten = []
+    obsolete = []
     generations = index.generations
+    files = [entry["file"] for entry in stored]
     for number, entry in enumerate(stored):
         if int(entry["generation"]) != generations[number]:
-            save_index(directory / entry["file"], index.shard_indexes[number])
+            name = entry["file"]
+            if generation_names:
+                name = _shard_file_name(number, generations[number])
+            save_index(directory / name, index.shard_indexes[number])
             rewritten.append(number)
-    _write_manifest(directory, _sharded_manifest(index))
-    return {"rewritten": rewritten, "skipped": len(stored) - len(rewritten)}
+            if name != entry["file"]:
+                obsolete.append(str(directory / entry["file"]))
+            files[number] = name
+    _write_manifest(directory, _sharded_manifest(index, files=files))
+    return {
+        "rewritten": rewritten,
+        "skipped": len(stored) - len(rewritten),
+        "obsolete": obsolete,
+    }
 
 
-def load_sharded_store(directory, *, mmap: bool = True):
-    """Reload a sharded index from a directory store.
-
-    Shard files load exactly like single-index stores (memory-mapped by
-    default); the parent probability matrix is reassembled from the shards'
-    core slices, so the directory holds no duplicate full-string copy.
-    """
-    from ..indexes.sharded import Shard, ShardedIndex
+def _assemble_sharded(manifest: dict, shards, indexes, generations):
+    """Build the parent :class:`ShardedIndex` from loaded shard indexes."""
+    from ..indexes.sharded import ShardedIndex
     from ..indexes.space import IndexStats
 
-    directory = Path(directory)
-    manifest = _read_manifest(directory)
     alphabet = Alphabet(manifest["alphabet"])
-    z = float(manifest["z"])
-    shards = []
-    indexes = []
-    generations = []
-    for entry in manifest["shards"]:
-        start, core_end, end = (int(value) for value in entry["plan"])
-        shards.append(Shard(start=start, core_end=core_end, end=end))
-        generations.append(int(entry["generation"]))
-        indexes.append(load_index(directory / entry["file"], mmap=mmap))
     cores = [
         index.source.matrix[: shard.core_end - shard.start]
         for shard, index in zip(shards, indexes)
@@ -669,7 +696,7 @@ def load_sharded_store(directory, *, mmap: bool = True):
     )
     return ShardedIndex(
         source,
-        z,
+        float(manifest["z"]),
         shards,
         indexes,
         manifest["kind"],
@@ -677,3 +704,67 @@ def load_sharded_store(directory, *, mmap: bool = True):
         stats,
         generations=generations,
     )
+
+
+def load_sharded_store(directory, *, mmap: bool = True):
+    """Reload a sharded index from a directory store.
+
+    Shard files load exactly like single-index stores (memory-mapped by
+    default); the parent probability matrix is reassembled from the shards'
+    core slices, so the directory holds no duplicate full-string copy.
+    """
+    from ..indexes.sharded import Shard
+
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    shards = []
+    indexes = []
+    generations = []
+    for entry in manifest["shards"]:
+        start, core_end, end = (int(value) for value in entry["plan"])
+        shards.append(Shard(start=start, core_end=core_end, end=end))
+        generations.append(int(entry["generation"]))
+        indexes.append(load_index(directory / entry["file"], mmap=mmap))
+    return _assemble_sharded(manifest, shards, indexes, generations)
+
+
+def reload_sharded_store(directory, previous, *, mmap: bool = True):
+    """Re-read a directory store, re-mapping only shards whose generation moved.
+
+    ``previous`` is the :class:`ShardedIndex` currently serving (typically the
+    result of an earlier :func:`load_sharded_store`).  Shards whose plan *and*
+    generation stamp match the manifest keep their already-loaded shard index
+    object (and its live memory maps); only moved shards are re-opened from
+    their (generation-stamped) files.  Returns ``(index, reloaded_numbers)``.
+
+    The parent probability matrix is reassembled from the shard cores, so the
+    swap is a plain object replacement — readers holding the previous index
+    keep a fully consistent view until they drop it.
+    """
+    from ..indexes.sharded import Shard
+
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    previous_plans = [
+        [shard.start, shard.core_end, shard.end] for shard in previous.shards
+    ]
+    previous_generations = previous.generations
+    shards = []
+    indexes = []
+    generations = []
+    reloaded = []
+    for number, entry in enumerate(manifest["shards"]):
+        start, core_end, end = (int(value) for value in entry["plan"])
+        shards.append(Shard(start=start, core_end=core_end, end=end))
+        generation = int(entry["generation"])
+        generations.append(generation)
+        if (
+            number < len(previous_plans)
+            and previous_plans[number] == [start, core_end, end]
+            and previous_generations[number] == generation
+        ):
+            indexes.append(previous.shard_indexes[number])
+        else:
+            indexes.append(load_index(directory / entry["file"], mmap=mmap))
+            reloaded.append(number)
+    return _assemble_sharded(manifest, shards, indexes, generations), reloaded

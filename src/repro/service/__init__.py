@@ -14,7 +14,13 @@ and Prometheus-format metrics (:mod:`~repro.service.metrics`).
 
 from .query_service import QueryService
 
-__all__ = ["QueryService", "HttpServer", "AsyncHttpClient", "MicroBatcher"]
+__all__ = [
+    "QueryService",
+    "HttpServer",
+    "AsyncHttpClient",
+    "MicroBatcher",
+    "Supervisor",
+]
 
 
 def __getattr__(name):
@@ -32,4 +38,8 @@ def __getattr__(name):
         from .batching import MicroBatcher
 
         return MicroBatcher
+    if name == "Supervisor":
+        from .supervisor import Supervisor
+
+        return Supervisor
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -43,7 +43,9 @@ class MicroBatcher:
     before it fires join the pending batch, and reaching ``max_batch``
     flushes immediately.  Each flush answers the whole batch with one
     ``query_many(..., provenance=True)`` call and resolves every waiter
-    with its ``(result, origin)`` pair.
+    with its ``(result, origin, generation)`` triple — the service
+    generation is read under the same lock as the execution, so the tag
+    can never name a generation the answer was not computed against.
 
     A request that fails *inside* a flush (despite admission-time
     validation) must not poison its co-batched neighbours: on a batch
@@ -104,7 +106,7 @@ class MicroBatcher:
     async def submit(self, query):
         """Answer one request, coalescing it with concurrent ones.
 
-        Returns ``(QueryResult, origin)`` with origin one of
+        Returns ``(QueryResult, origin, generation)`` with origin one of
         ``"cache"`` / ``"dedup"`` / ``"miss"``; raises whatever the
         execution raised for *this* request.
         """
@@ -113,12 +115,13 @@ class MicroBatcher:
                 results, origins = self._service.query_many(
                     [query], provenance=True
                 )
+                generation = self._service.generation
             self._batches += 1
             self._batched_requests += 1
             self._largest_batch = max(self._largest_batch, 1)
             if self._on_batch is not None:
                 self._on_batch(1)
-            return results[0], origins[0]
+            return results[0], origins[0], generation
         future = asyncio.get_running_loop().create_future()
         self._pending.append((query, future))
         if len(self._pending) >= self._max_batch:
@@ -163,9 +166,10 @@ class MicroBatcher:
             except Exception:
                 self._resolve_individually(batch)
             else:
+                generation = self._service.generation
                 for (_, future), result, origin in zip(batch, results, origins):
                     if not future.done():
-                        future.set_result((result, origin))
+                        future.set_result((result, origin, generation))
         self._batches += 1
         self._batched_requests += len(batch)
         self._largest_batch = max(self._largest_batch, len(batch))
@@ -186,7 +190,9 @@ class MicroBatcher:
                     future.set_exception(error)
             else:
                 if not future.done():
-                    future.set_result((results[0], origins[0]))
+                    future.set_result(
+                        (results[0], origins[0], self._service.generation)
+                    )
 
 
 class TokenBucket:
@@ -213,30 +219,66 @@ class TokenBucket:
 
 
 class RateLimiter:
-    """Per-client token buckets with a bounded, LRU-recycled client table."""
+    """Per-client token buckets with a bounded, LRU-recycled client table.
+
+    ``classes`` maps tenant-class names to ``(rate, burst)`` tiers.  A
+    request arriving with a tenant name (the ``X-Tenant`` header) is charged
+    against one bucket per tenant *value* at that tenant's tier — unknown
+    tenants fall back to the ``"default"`` class when one is configured, and
+    to the per-client-IP bucket otherwise, so quota configuration can be
+    rolled out one tenant at a time.  A tier rate of 0 (or below) marks the
+    class unlimited.  Tenant and client buckets share the bounded LRU table.
+    """
 
     def __init__(
         self,
         rate: float,
         burst: float | None = None,
         *,
+        classes: dict[str, tuple[float, float]] | None = None,
         max_clients: int = 4096,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._rate = float(rate)
         self._burst = float(burst) if burst is not None else max(1.0, self._rate)
+        self._classes = {
+            str(name): (float(tier[0]), float(tier[1]))
+            for name, tier in (classes or {}).items()
+        }
         self._max_clients = max(1, int(max_clients))
         self._clock = clock
         self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
 
-    def acquire(self, client: str, cost: float = 1.0) -> float:
-        """Charge ``client``; 0.0 when admitted, else a retry-after in seconds."""
+    @property
+    def classes(self) -> dict[str, tuple[float, float]]:
+        """The configured tenant-class tiers (name → (rate, burst))."""
+        return dict(self._classes)
+
+    def acquire(self, client: str, cost: float = 1.0, tenant: str | None = None) -> float:
+        """Charge the request; 0.0 when admitted, else a retry-after in seconds.
+
+        With a ``tenant`` and configured classes the charge lands on the
+        tenant's bucket at its class tier; otherwise on the per-``client``
+        bucket at the default rate.
+        """
+        if tenant is not None and self._classes:
+            tier = self._classes.get(tenant) or self._classes.get("default")
+            if tier is not None:
+                rate, burst = tier
+                if rate <= 0.0:
+                    return 0.0
+                return self._charge(f"tenant\x00{tenant}", rate, burst, cost)
+        if self._rate <= 0.0:
+            return 0.0
+        return self._charge(client, self._rate, self._burst, cost)
+
+    def _charge(self, key: str, rate: float, burst: float, cost: float) -> float:
         now = self._clock()
-        bucket = self._buckets.get(client)
+        bucket = self._buckets.get(key)
         if bucket is None:
-            bucket = TokenBucket(self._rate, self._burst, now)
-            self._buckets[client] = bucket
+            bucket = TokenBucket(rate, burst, now)
+            self._buckets[key] = bucket
             while len(self._buckets) > self._max_clients:
                 self._buckets.popitem(last=False)
-        self._buckets.move_to_end(client)
+        self._buckets.move_to_end(key)
         return bucket.acquire(now, cost)

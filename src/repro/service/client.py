@@ -68,8 +68,13 @@ class AsyncHttpClient:
         payload=None,
         *,
         close: bool = False,
+        headers: dict | None = None,
     ) -> HttpResponse:
-        """Send one request and read its response (JSON body when given)."""
+        """Send one request and read its response (JSON body when given).
+
+        ``headers`` adds extra request headers — e.g. ``{"X-Tenant": "gold"}``
+        to exercise the per-tenant quota classes.
+        """
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
@@ -81,6 +86,8 @@ class AsyncHttpClient:
         ]
         if body:
             head.append("Content-Type: application/json")
+        if headers:
+            head.extend(f"{name}: {value}" for name, value in headers.items())
         self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
         await self._writer.drain()
         return await self._read_response()

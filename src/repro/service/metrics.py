@@ -23,6 +23,7 @@ __all__ = [
     "LATENCY_BUCKETS",
     "BATCH_SIZE_BUCKETS",
     "render_service_stats",
+    "render_cluster_stats",
 ]
 
 #: Request-latency buckets (seconds): 100µs .. 2.5s, log-ish spaced.
@@ -220,4 +221,105 @@ def render_service_stats(stats: dict, namespace: str = "repro") -> str:
     name = f"{namespace}_service_cache_enabled"
     lines.append(f"# TYPE {name} gauge")
     lines.append(f"{name} {1 if stats['cache_enabled'] else 0}")
+    return "\n".join(lines) + "\n"
+
+
+#: Per-worker series exported with a ``worker`` label from each worker's
+#: stats snapshot: (metric suffix, type, section, key).
+_CLUSTER_WORKER_SERIES = (
+    ("requests_total", "counter", "server", "requests"),
+    ("rate_limited_total", "counter", "server", "rate_limited"),
+    ("load_shed_total", "counter", "server", "shed"),
+    ("timeouts_total", "counter", "server", "timeouts"),
+    ("queries_total", "counter", "service", "queries"),
+    ("hits_total", "counter", "service", "hits"),
+    ("misses_total", "counter", "service", "misses"),
+    ("invalidations_total", "counter", "service", "invalidations"),
+)
+
+#: Cluster-wide totals summed across workers: (metric name, section, key).
+_CLUSTER_TOTALS = (
+    ("http_requests_total", "server", "requests"),
+    ("http_rate_limited_total", "server", "rate_limited"),
+    ("http_load_shed_total", "server", "shed"),
+    ("http_timeouts_total", "server", "timeouts"),
+    ("service_queries_total", "service", "queries"),
+    ("service_hits_total", "service", "hits"),
+    ("service_cache_hits_total", "service", "cache_hits"),
+    ("service_dedup_hits_total", "service", "dedup_hits"),
+    ("service_misses_total", "service", "misses"),
+    ("service_evictions_total", "service", "evictions"),
+    ("service_invalidations_total", "service", "invalidations"),
+)
+
+
+def render_cluster_stats(
+    workers: dict, supervisor: dict, namespace: str = "repro"
+) -> str:
+    """One ``/metrics`` scrape for the whole prefork cluster.
+
+    ``workers`` maps worker numbers to the per-worker stats snapshots the
+    supervisor collected (``{"service": ..., "server": ..., "memory": ...}``);
+    ``supervisor`` carries the cluster-level counters (live workers,
+    respawns, generation, applied updates).  The exposition has two layers:
+    per-worker series labelled ``worker="N"`` (so a scraper can spot one
+    worker running hot or cold) and *summed* totals under the same metric
+    names the single-process server exports — dashboards keep working when
+    ``--workers`` changes.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, samples: list[tuple[str, float]]) -> None:
+        full = f"{namespace}_{name}"
+        lines.append(f"# TYPE {full} {kind}")
+        for label_text, value in samples:
+            lines.append(f"{full}{label_text} {_format_value(float(value))}")
+
+    emit("cluster_workers", "gauge", [("", supervisor.get("workers", len(workers)))])
+    emit("cluster_respawns_total", "counter", [("", supervisor.get("respawns", 0))])
+    emit("cluster_generation", "gauge", [("", supervisor.get("generation", 0))])
+    emit("cluster_updates_total", "counter", [("", supervisor.get("updates", 0))])
+    ordered = sorted(workers.items(), key=lambda item: int(item[0]))
+    for suffix, kind, section, key in _CLUSTER_WORKER_SERIES:
+        emit(
+            f"cluster_worker_{suffix}",
+            kind,
+            [
+                (f'{{worker="{number}"}}', snapshot.get(section, {}).get(key, 0))
+                for number, snapshot in ordered
+            ],
+        )
+    memory_series = (
+        ("cluster_worker_rss_peak_bytes", "peak_rss_bytes"),
+        ("cluster_worker_shared_bytes", "shared_bytes"),
+        ("cluster_worker_private_bytes", "private_bytes"),
+    )
+    for name, key in memory_series:
+        samples = [
+            (f'{{worker="{number}"}}', snapshot["memory"][key])
+            for number, snapshot in ordered
+            if snapshot.get("memory", {}).get(key) is not None
+        ]
+        if samples:
+            emit(name, "gauge", samples)
+    for name, section, key in _CLUSTER_TOTALS:
+        total = sum(
+            snapshot.get(section, {}).get(key, 0) for _, snapshot in ordered
+        )
+        emit(name, "counter", [("", total)])
+    tenants: dict[str, float] = {}
+    for _, snapshot in ordered:
+        for tenant, count in (
+            snapshot.get("server", {}).get("rate_limited_by_tenant", {}).items()
+        ):
+            tenants[tenant] = tenants.get(tenant, 0) + count
+    if tenants:
+        emit(
+            "http_rate_limited_by_tenant_total",
+            "counter",
+            [
+                (f'{{tenant="{tenant}"}}', count)
+                for tenant, count in sorted(tenants.items())
+            ],
+        )
     return "\n".join(lines) + "\n"

@@ -20,7 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..errors import QueryError
+from ..errors import QueryError, ReproError
 from ..indexes.base import affected_pattern_starts, coerce_pattern_array
 from ..indexes.query import Query, QueryPlanner, QueryResult
 
@@ -57,6 +57,7 @@ class QueryService:
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         cache_enabled: bool = True,
+        generation: int = 0,
     ) -> None:
         self._index = index
         self._planner = QueryPlanner(index)
@@ -70,7 +71,10 @@ class QueryService:
         self._evictions = 0
         self._updates = 0
         self._invalidations = 0
-        self._generation = 0
+        # A worker respawned mid-run starts at the cluster's current
+        # generation, not 0, so its responses tag the store state they
+        # actually serve.
+        self._generation = int(generation)
 
     # -- shape ------------------------------------------------------------------
     @property
@@ -209,6 +213,98 @@ class QueryService:
                     f"1/{index_z:g} are not indexed"
                 )
         return query
+
+    def warm(self, patterns, *, top: int | None = None) -> dict:
+        """Pre-populate the cache by replaying patterns from a query log.
+
+        ``patterns`` is an iterable of raw patterns (strings or code
+        sequences) in log order, typically with repeats.  They are ranked by
+        frequency (first appearance breaks ties, so the warm set is stable
+        across runs), truncated to ``top`` — default: the cache capacity —
+        and executed through :meth:`query_many` in chunks, so after warm-up
+        the first wave of production traffic hits the cache instead of the
+        planner.  Patterns that fail validation are skipped, not fatal: a log
+        replayed against a newer index may contain patterns that no longer
+        coerce.  Returns ``{"warmed": ..., "skipped": ..., "patterns_seen": ...}``.
+        """
+        counts: OrderedDict[tuple, tuple[int, object]] = OrderedDict()
+        seen = 0
+        for pattern in patterns:
+            seen += 1
+            token = (
+                ("s", pattern)
+                if isinstance(pattern, str)
+                else ("l", tuple(np.asarray(pattern).ravel().tolist()))
+            )
+            if token in counts:
+                counts[token] = (counts[token][0] + 1, counts[token][1])
+            else:
+                counts[token] = (1, pattern)
+        limit = self._cache_size if top is None else max(0, int(top))
+        if not self._cache_enabled:
+            limit = 0
+        ranked = sorted(
+            enumerate(counts.values()), key=lambda item: (-item[1][0], item[0])
+        )
+        warm_set = []
+        skipped = 0
+        for _, (_, pattern) in ranked:
+            if len(warm_set) >= limit:
+                break
+            try:
+                warm_set.append(self.validate(pattern))
+            except (ReproError, ValueError, TypeError):
+                skipped += 1
+        for start in range(0, len(warm_set), 256):
+            self.query_many(warm_set[start : start + 256])
+        return {"warmed": len(warm_set), "skipped": skipped, "patterns_seen": seen}
+
+    def adopt_index(self, new_index, *, positions=(), generation=None) -> dict:
+        """Swap in a reloaded index, invalidating stale cache entries exactly.
+
+        Multi-worker serving applies updates in the supervisor and ships
+        workers a *reloaded* index (new store generation) instead of mutating
+        the served one in place.  This installs that index with the same
+        exactness contract as :meth:`update`: given the updated ``positions``,
+        each cached entry's occurrence probabilities over the affected
+        windows are probed on the old and new source, and only entries whose
+        answers could differ are dropped.  With unknown provenance (empty
+        ``positions`` or a changed string length) the whole cache is cleared
+        instead.  ``generation`` pins the service generation to the
+        supervisor's global counter so every worker reports the same value.
+        """
+        old_source = self._index.source
+        new_source = new_index.source
+        positions = sorted({int(p) for p in positions})
+        invalidated = 0
+        if len(new_source) != len(old_source) or not positions:
+            invalidated = len(self._cache)
+            self._cache.clear()
+        elif self._cache:
+            n = len(new_source)
+            stale = []
+            for key in self._cache:
+                codes = np.frombuffer(key[0], dtype=np.int64)
+                starts = affected_pattern_starts(len(codes), positions, n)
+                before = old_source.occurrence_log_probabilities(codes, starts)
+                after = new_source.occurrence_log_probabilities(codes, starts)
+                if not np.array_equal(before, after):
+                    stale.append(key)
+            for key in stale:
+                self._cache.pop(key, None)
+            invalidated = len(stale)
+        self._index = new_index
+        self._planner = QueryPlanner(new_index)
+        self._updates += 1
+        self._invalidations += invalidated
+        self._generation = (
+            int(generation) if generation is not None else self._generation + 1
+        )
+        return {
+            "invalidated_entries": invalidated,
+            "surviving_entries": len(self._cache),
+            "service_generation": self._generation,
+        }
 
     def _store(self, key: tuple, result: QueryResult) -> None:
         if not self._cache_enabled:

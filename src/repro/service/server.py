@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import time
 
@@ -194,10 +195,21 @@ class HttpServer:
         shed with HTTP 429 + ``Retry-After``.
     rate / burst:
         Per-client token-bucket rate limit in requests/second (0 disables).
+    tenant_classes:
+        Named quota tiers: ``{"gold": (500.0, 1000.0), "default": (50.0, 100.0)}``.
+        Requests carrying an ``X-Tenant`` header are charged against their
+        tenant's bucket at the class tier (unknown tenants use ``"default"``
+        when configured); 429s are accounted per tenant in ``/metrics``.
     request_timeout:
         Per-request execution budget in seconds (HTTP 503 on expiry).
     drain_timeout:
         Graceful-shutdown budget for in-flight requests.
+    cluster:
+        Multi-worker adapter (see :mod:`repro.service.supervisor`).  When
+        set, ``POST /update`` is forwarded to the supervisor (which applies
+        it once, persists, and fans the reload out to every worker) and
+        ``GET /metrics`` / ``GET /stats`` answer with cluster-wide
+        aggregates instead of this process's counters.
     """
 
     def __init__(
@@ -210,10 +222,13 @@ class HttpServer:
         queue_limit: int = 256,
         rate: float = 0.0,
         burst: float | None = None,
+        tenant_classes: dict | None = None,
         request_timeout: float = 10.0,
         drain_timeout: float = 5.0,
+        cluster=None,
     ) -> None:
         self._service = service
+        self._cluster = cluster
         self._write_lock = asyncio.Lock()
         self.metrics = MetricsRegistry()
         self._batch_sizes = self.metrics.histogram(
@@ -229,7 +244,11 @@ class HttpServer:
             enabled=batching,
             on_batch=self._batch_sizes.observe,
         )
-        self._limiter = RateLimiter(rate, burst) if rate > 0 else None
+        self._limiter = (
+            RateLimiter(rate, burst, classes=tenant_classes)
+            if rate > 0 or tenant_classes
+            else None
+        )
         self._queue_limit = max(1, int(queue_limit))
         self._request_timeout = float(request_timeout)
         self._drain_timeout = float(drain_timeout)
@@ -240,6 +259,7 @@ class HttpServer:
         self._requests = 0
         self._shed = 0
         self._rate_limited = 0
+        self._rate_limited_by_tenant: dict[str, int] = {}
         self._timeouts = 0
         self._stopping = False
         self.metrics.gauge(
@@ -259,14 +279,31 @@ class HttpServer:
             "Admission queue capacity (load shedding beyond it)",
         )
 
+    @property
+    def write_lock(self) -> asyncio.Lock:
+        """The single writer lock (updates, coalesced batches, index swaps)."""
+        return self._write_lock
+
     # -- lifecycle ---------------------------------------------------------------
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Bind and start serving; returns the bound ``(host, port)``."""
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0, *, sock=None
+    ) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        ``sock`` accepts an already-bound listening socket — a prefork worker
+        passes the descriptor it inherited from the supervisor, so N workers
+        accept from one shared socket and the port never rebinds.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=host, port=port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port
+            )
         bound = self._server.sockets[0].getsockname()
         return bound[0], bound[1]
 
@@ -400,14 +437,21 @@ class HttpServer:
             if path == "/healthz":
                 if method != "GET":
                     return self._method_not_allowed("GET")
-                return 200, {
+                health = {
                     "status": "ok",
                     "generation": self._service.generation,
                     "stopping": self._stopping,
-                }, "application/json", ()
+                }
+                if self._cluster is not None:
+                    health["worker"] = self._cluster.number
+                    health["pid"] = os.getpid()
+                return 200, health, "application/json", ()
             if path == "/stats":
                 if method != "GET":
                     return self._method_not_allowed("GET")
+                if self._cluster is not None:
+                    payload = await self._cluster.cluster_stats()
+                    return 200, payload, "application/json", ()
                 return 200, {
                     "service": self._service.stats(),
                     "server": self.server_stats(),
@@ -415,9 +459,12 @@ class HttpServer:
             if path == "/metrics":
                 if method != "GET":
                     return self._method_not_allowed("GET")
-                text = self.metrics.render() + render_service_stats(
-                    self._service.stats()
-                )
+                if self._cluster is not None:
+                    text = await self._cluster.scrape()
+                else:
+                    text = self.metrics.render() + render_service_stats(
+                        self._service.stats()
+                    )
                 return 200, text, "text/plain; version=0.0.4", ()
             if path == "/query":
                 if method != "POST":
@@ -446,14 +493,21 @@ class HttpServer:
             (("Allow", allowed),),
         )
 
-    def _admit(self, client: str, cost: float = 1.0) -> tuple[int, dict, str, tuple] | None:
+    def _admit(
+        self, client: str, cost: float = 1.0, tenant: str | None = None
+    ) -> tuple[int, dict, str, tuple] | None:
         """Rate-limit and load-shed checks; a response tuple when rejected."""
         if self._limiter is not None:
-            retry = self._limiter.acquire(client, cost)
+            retry = self._limiter.acquire(client, cost, tenant=tenant)
             if retry > 0.0:
                 self._rate_limited += 1
+                label = tenant if tenant is not None else "default"
+                self._rate_limited_by_tenant[label] = (
+                    self._rate_limited_by_tenant.get(label, 0) + 1
+                )
                 self.metrics.counter(
                     "http_rate_limited_total", "Requests rejected by rate limiting",
+                    tenant=label,
                 ).inc()
                 return (
                     429,
@@ -477,7 +531,7 @@ class HttpServer:
     async def _handle_query(
         self, request: Request, client: str
     ) -> tuple[int, object, str, tuple]:
-        rejected = self._admit(client)
+        rejected = self._admit(client, tenant=request.headers.get("x-tenant"))
         if rejected is not None:
             return rejected
         payload = request.json()
@@ -487,7 +541,7 @@ class HttpServer:
         self._inflight += 1
         try:
             started = time.perf_counter()
-            result, origin = await asyncio.wait_for(
+            result, origin, generation = await asyncio.wait_for(
                 self._batcher.submit(query), self._request_timeout
             )
             micros = 1e6 * (time.perf_counter() - started)
@@ -507,6 +561,7 @@ class HttpServer:
         response = result.as_dict()
         response["cached"] = origin != "miss"
         response["micros"] = round(micros, 3)
+        response["generation"] = generation
         return 200, response, "application/json", ()
 
     async def _handle_query_batch(
@@ -519,7 +574,11 @@ class HttpServer:
             entries = payload
         if not isinstance(entries, list):
             raise HttpError(400, "a batch request needs a 'queries' list")
-        rejected = self._admit(client, cost=max(1.0, float(len(entries))))
+        rejected = self._admit(
+            client,
+            cost=max(1.0, float(len(entries))),
+            tenant=request.headers.get("x-tenant"),
+        )
         if rejected is not None:
             return rejected
         # Per-item validation: invalid entries answer with their own error
@@ -547,6 +606,7 @@ class HttpServer:
                     self._service.query_many(queries, provenance=True)
                     if queries else ([], [])
                 )
+                generation = self._service.generation
         finally:
             self._inflight -= 1
         items = []
@@ -557,7 +617,11 @@ class HttpServer:
                 item = results[slot].as_dict()
                 item["cached"] = origins[slot] != "miss"
                 items.append(item)
-        return 200, {"count": len(items), "results": items}, "application/json", ()
+        return 200, {
+            "count": len(items),
+            "results": items,
+            "generation": generation,
+        }, "application/json", ()
 
     async def _handle_update(self, request: Request) -> tuple[int, object, str, tuple]:
         payload = request.json()
@@ -566,6 +630,20 @@ class HttpServer:
         else:
             entries = payload
         pairs = parse_updates(entries)
+        if self._cluster is not None:
+            # Write-path coordination: the supervisor applies the update
+            # once, persists the new store generation, and broadcasts the
+            # reload; this worker's reply arrives only after *every* worker
+            # acknowledged, so a query issued after the update response can
+            # never see the previous generation.
+            self._inflight += 1
+            try:
+                report = await self._cluster.update(pairs)
+            except _BAD_REQUEST_ERRORS as error:
+                return 400, {"error": str(error)}, "application/json", ()
+            finally:
+                self._inflight -= 1
+            return 200, {"update": report}, "application/json", ()
         self._inflight += 1
         try:
             # The single writer lock: an update never interleaves with a
@@ -589,6 +667,7 @@ class HttpServer:
             "queue_limit": self._queue_limit,
             "shed": self._shed,
             "rate_limited": self._rate_limited,
+            "rate_limited_by_tenant": dict(self._rate_limited_by_tenant),
             "timeouts": self._timeouts,
             "stopping": self._stopping,
             "batching": self._batcher.stats(),

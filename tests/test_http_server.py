@@ -350,7 +350,7 @@ class TestMicroBatching:
                 ),
                 timeout=5.0,
             )
-            assert [origin for _, origin in results].count("miss") == 1
+            assert [origin for _, origin, _ in results].count("miss") == 1
             assert batcher.stats()["largest_batch"] == 4
 
         run(scenario())
@@ -374,7 +374,7 @@ class TestMicroBatching:
                 batcher.submit(good), batcher.submit(bad), return_exceptions=True
             )
             assert isinstance(results[1], PatternError)
-            result, _ = results[0]
+            result, _, _ = results[0]
             assert result.positions == index.locate([0, 1, 0, 0])
 
         run(scenario())
@@ -642,3 +642,149 @@ class TestServeHttpCli:
         assert arguments.port == 0
         assert arguments.rate_limit == 50.0
         assert arguments.no_batching is True
+
+    def test_parser_serve_http_worker_flags(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve-http", "--dataset", "SARS", "--z", "4", "--ell", "8",
+             "--shards", "2", "--build-workers", "2", "--workers", "3",
+             "--warm-log", "patterns.log", "--warm-top", "10",
+             "--tenant-class", "gold=100:200", "--tenant-class", "default=5"]
+        )
+        assert arguments.workers == 3           # serving processes
+        assert arguments.build_workers == 2     # shard-build parallelism
+        assert arguments.warm_log == "patterns.log"
+        assert arguments.warm_top == 10
+        assert arguments.tenant_class == ["gold=100:200", "default=5"]
+
+    def test_parse_tenant_classes(self):
+        from repro.cli import _parse_tenant_classes
+
+        classes = _parse_tenant_classes(["gold=100:200", "free=2", "off=0"])
+        assert classes["gold"] == (100.0, 200.0)
+        assert classes["free"] == (2.0, 2.0)   # burst defaults to the rate
+        assert classes["off"] == (0.0, 1.0)    # rate 0 = unlimited
+        assert _parse_tenant_classes(None) is None
+        assert _parse_tenant_classes([]) is None
+        from repro.errors import ReproError
+
+        for bad in ("noequals", "=5", "gold=abc", "gold=1:x"):
+            with pytest.raises(ReproError):
+                _parse_tenant_classes([bad])
+
+    def test_load_warm_patterns(self, tmp_path):
+        from repro.cli import _load_warm_patterns
+
+        log = tmp_path / "warm.log"
+        log.write_text(
+            "ACGT\n"
+            "\n"
+            '{"pattern": [0, 1, 0, 0], "mode": "locate"}\n'
+            "[1, 0, 1, 1]\n"
+            "{broken json\n"
+            '{"no_pattern_field": 1}\n'
+        )
+        patterns = _load_warm_patterns(str(log))
+        assert patterns == ["ACGT", [0, 1, 0, 0], [1, 0, 1, 1]]
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            _load_warm_patterns(str(tmp_path / "missing.log"))
+
+
+# -- per-tenant quota classes -------------------------------------------------
+
+
+class TestTenantQuotas:
+    def test_limiter_tiers_and_default_class(self):
+        now = [0.0]
+        limiter = RateLimiter(
+            0.0,
+            classes={"gold": (1000.0, 3.0), "default": (1000.0, 1.0)},
+            clock=lambda: now[0],
+        )
+        # gold burst 3: three immediate requests pass, the fourth waits.
+        waits = [limiter.acquire("c", tenant="gold") for _ in range(4)]
+        assert waits[:3] == [0.0, 0.0, 0.0] and waits[3] > 0.0
+        # an unknown tenant falls back to the 'default' class (burst 1).
+        assert limiter.acquire("c", tenant="mystery") == 0.0
+        assert limiter.acquire("c", tenant="mystery") > 0.0
+        # tenants are isolated buckets: another tenant still has its burst.
+        assert limiter.acquire("c", tenant="other") == 0.0
+
+    def test_limiter_unlimited_class_and_per_client_fallback(self):
+        now = [0.0]
+        limiter = RateLimiter(
+            1.0, 1.0, classes={"free": (0.0, 1.0)}, clock=lambda: now[0]
+        )
+        # rate 0 in a class means unlimited for that tenant.
+        assert all(limiter.acquire("c", tenant="free") == 0.0 for _ in range(50))
+        # no tenant header: the per-client bucket still applies.
+        assert limiter.acquire("client-1") == 0.0
+        assert limiter.acquire("client-1") > 0.0
+
+    def test_http_429_accounting_per_tenant(self, index):
+        async def scenario():
+            server, service, client, _ = await started_server(
+                index,
+                # default burst 1 with a slow refill: the second request
+                # inside the same test run is reliably rejected.
+                tenant_classes={"gold": (1000.0, 100.0), "default": (0.5, 1.0)},
+            )
+            payload = {"pattern": [0, 1, 0, 0]}
+            for _ in range(5):
+                response = await client.request(
+                    "POST", "/query", payload, headers={"X-Tenant": "gold"}
+                )
+                assert response.status == 200
+            # the default class has burst 1: the second request is rejected.
+            first = await client.request(
+                "POST", "/query", payload, headers={"X-Tenant": "pleb"}
+            )
+            second = await client.request(
+                "POST", "/query", payload, headers={"X-Tenant": "pleb"}
+            )
+            assert first.status == 200
+            assert second.status == 429
+            assert "retry-after" in second.headers
+            stats = server.server_stats()
+            assert stats["rate_limited_by_tenant"] == {"pleb": 1}
+            metrics = await client.request("GET", "/metrics")
+            assert 'repro_http_rate_limited_total{tenant="pleb"} 1' in metrics.text
+            await client.close()
+            await server.shutdown()
+
+        run(scenario())
+
+
+# -- generation-tagged responses ----------------------------------------------
+
+
+class TestGenerationTags:
+    def test_query_and_batch_responses_carry_generation(self, index):
+        async def scenario():
+            server, service, client, _ = await started_server(index)
+            pattern = [0, 1, 0, 0]
+            first = await client.request("POST", "/query", {"pattern": pattern})
+            assert first.json()["generation"] == 0
+            batch = await client.request(
+                "POST", "/query/batch", {"queries": [pattern]}
+            )
+            assert batch.json()["generation"] == 0
+            update = await client.request(
+                "POST",
+                "/update",
+                {"updates": [{"position": 1, "distribution": {"A": 0.5, "B": 0.5}}]},
+            )
+            assert update.status == 200
+            after = await client.request("POST", "/query", {"pattern": pattern})
+            assert after.json()["generation"] == 1
+            batch_after = await client.request(
+                "POST", "/query/batch", {"queries": [pattern]}
+            )
+            assert batch_after.json()["generation"] == 1
+            await client.close()
+            await server.shutdown()
+
+        run(scenario())

@@ -206,3 +206,87 @@ class TestShardedDirectoryStore:
         )
         with pytest.raises(SerializationError, match="shard plan"):
             refresh_sharded_store(tmp_path / "store", resharded)
+
+
+class TestGenerationNamedRefresh:
+    """Generation-stamped shard files and the minimal re-map reload."""
+
+    def _sharded(self, stored_source):
+        return build_index(
+            stored_source, 4.0, kind="MWSA", ell=4, shards=3, max_pattern_len=8
+        )
+
+    def _store(self, tmp_path, stored_source):
+        from repro.io.store import load_sharded_store, save_sharded_store
+
+        index = self._sharded(stored_source)
+        save_sharded_store(tmp_path / "store", index)
+        # Work on the loaded copy (RAM mode: we mutate and re-save it).
+        return tmp_path / "store", load_sharded_store(tmp_path / "store", mmap=False)
+
+    def test_dirty_shards_get_new_files_and_clean_files_survive(
+        self, tmp_path, stored_source
+    ):
+        from repro.io.store import load_sharded_store, refresh_sharded_store
+
+        directory, index = self._store(tmp_path, stored_source)
+        before = {path.name: path.stat().st_mtime_ns for path in directory.iterdir()}
+        report = index.apply_updates([(1, {"A": 0.6, "C": 0.4})])
+        outcome = refresh_sharded_store(directory, index, generation_names=True)
+        assert len(outcome["rewritten"]) == 1
+        assert outcome["skipped"] == 2
+        # The dirty shard landed in a NEW generation-stamped file; the old
+        # file still exists (live mmaps!) and is listed as obsolete.
+        (dirty_number,) = outcome["rewritten"]
+        manifest = json.loads((directory / "manifest.json").read_text())
+        new_name = manifest["shards"][dirty_number]["file"]
+        assert f".g{manifest['shards'][dirty_number]['generation']}." in new_name
+        assert len(outcome["obsolete"]) == 1
+        obsolete = directory / outcome["obsolete"][0].split("/")[-1]
+        assert obsolete.exists()
+        # Clean shard files are byte-untouched.
+        untouched = {
+            name: mtime
+            for name, mtime in before.items()
+            if name != obsolete.name and name != "manifest.json"
+        }
+        for name, mtime in untouched.items():
+            assert (directory / name).stat().st_mtime_ns == mtime
+        # A fresh load follows the manifest to the new file and answers match.
+        reloaded = load_sharded_store(directory)
+        for pattern in _patterns(stored_source):
+            assert reloaded.locate(pattern) == index.locate(pattern)
+
+    def test_reload_sharded_store_remaps_only_moved_shards(
+        self, tmp_path, stored_source
+    ):
+        from repro.io.store import (
+            load_sharded_store,
+            refresh_sharded_store,
+            reload_sharded_store,
+        )
+
+        directory, authority = self._store(tmp_path, stored_source)
+        served = load_sharded_store(directory, mmap=True)
+        report = authority.apply_updates([(1, {"A": 0.6, "C": 0.4})])
+        refresh_sharded_store(directory, authority, generation_names=True)
+        reloaded, moved = reload_sharded_store(directory, served)
+        assert len(moved) == 1
+        # Untouched shards are the same objects (no re-map, no re-read).
+        for number, shard in enumerate(served.shard_indexes):
+            if number in moved:
+                assert reloaded.shard_indexes[number] is not shard
+            else:
+                assert reloaded.shard_indexes[number] is shard
+        for pattern in _patterns(stored_source):
+            assert reloaded.locate(pattern) == authority.locate(pattern)
+
+    def test_default_refresh_stays_in_place(self, tmp_path, stored_source):
+        from repro.io.store import refresh_sharded_store
+
+        directory, index = self._store(tmp_path, stored_source)
+        names_before = sorted(path.name for path in directory.iterdir())
+        index.apply_updates([(1, {"A": 0.6, "C": 0.4})])
+        outcome = refresh_sharded_store(directory, index)
+        assert outcome["obsolete"] == []
+        assert sorted(path.name for path in directory.iterdir()) == names_before

@@ -638,3 +638,103 @@ class TestServeBrokenPipe:
         monkeypatch.setattr("sys.stdin", io.StringIO("AAAA\n"))
         monkeypatch.setattr("sys.stdout", closed)
         assert cli_main(["serve", *build_args(pwm_path)]) == 0
+
+
+class TestWarm:
+    def test_warm_prefills_most_frequent_patterns(self, index):
+        service = QueryService(index, cache_size=2)
+        log = [
+            [0, 1, 0, 0], [0, 1, 0, 0], [1, 0, 1, 1],
+            [0, 0, 1, 0], [0, 1, 0, 0],
+        ]
+        report = service.warm(log)
+        assert report == {"warmed": 2, "skipped": 0, "patterns_seen": 5}
+        after_warm = service.stats()
+        # The first post-warm wave of the two most frequent patterns is all
+        # cache hits (frequency ranks first, first appearance breaks ties).
+        service.query([0, 1, 0, 0])
+        service.query([1, 0, 1, 1])
+        stats = service.stats()
+        assert stats["hits"] - after_warm["hits"] == 2
+        assert stats["misses"] == after_warm["misses"]
+
+    def test_warm_skips_invalid_patterns(self, index):
+        service = QueryService(index, cache_size=8)
+        report = service.warm([[0, 1, 0, 0], [9, 9, 9, 9], [0]])
+        assert report["warmed"] == 1
+        assert report["skipped"] == 2
+        assert report["patterns_seen"] == 3
+
+    def test_warm_top_caps_below_capacity(self, index):
+        service = QueryService(index, cache_size=100)
+        report = service.warm([[0, 1, 0, 0], [1, 0, 1, 1]], top=1)
+        assert report["warmed"] == 1
+
+    def test_warm_with_cache_disabled_is_a_noop(self, index):
+        service = QueryService(index, cache_enabled=False)
+        report = service.warm([[0, 1, 0, 0]])
+        assert report["warmed"] == 0
+        assert service.stats()["queries"] == 0
+
+
+class TestAdoptIndex:
+    def _updated_clone(self, source, updates):
+        from repro.core.weighted_string import WeightedString
+
+        # A genuinely independent source: apply_updates on the clone must
+        # not leak into the module-scoped index fixture.
+        private = WeightedString(source.matrix.copy(), source.alphabet)
+        clone = build_index(private, Z, kind="MWSA", ell=ELL)
+        report = clone.apply_updates(updates)
+        return clone, report.positions
+
+    def test_adopt_invalidates_exactly_and_swaps_answers(self, index, source):
+        service = QueryService(index)
+        distant = [0, 1, 0, 0]
+        # Prime the cache from both ends of the string: one pattern's window
+        # covers the updated position, one cannot be affected.
+        near_codes = index.source.matrix[:ELL].argmax(axis=1).tolist()
+        service.query(near_codes)
+        service.query(distant)
+        updates = [(1, {"A": 0.55, "B": 0.45})]
+        clone, positions = self._updated_clone(source, updates)
+        report = service.adopt_index(clone, positions=positions, generation=7)
+        assert report["service_generation"] == 7
+        assert service.generation == 7
+        assert report["invalidated_entries"] + report["surviving_entries"] == 2
+        # Served answers now come from the adopted index.
+        assert service.query(near_codes).positions == clone.locate(near_codes)
+        assert service.query(distant).positions == clone.locate(distant)
+        assert service.index is clone
+
+    def test_adopt_without_positions_clears_everything(self, index, source):
+        service = QueryService(index)
+        service.query([0, 1, 0, 0])
+        service.query([1, 0, 1, 1])
+        from repro.core.weighted_string import WeightedString
+
+        private = WeightedString(source.matrix.copy(), source.alphabet)
+        clone = build_index(private, Z, kind="MWSA", ell=ELL)
+        report = service.adopt_index(clone)
+        assert report["invalidated_entries"] == 2
+        assert report["surviving_entries"] == 0
+        assert service.stats()["entries"] == 0
+        # Generation advances by one when the supervisor did not pin it.
+        assert service.generation == 1
+
+    def test_adopt_keeps_unaffected_entries_hot(self, index, source):
+        service = QueryService(index)
+        distant = [0, 1, 0, 0]
+        service.query(distant)
+        updates = [(1, {"A": 0.55, "B": 0.45})]
+        clone, positions = self._updated_clone(source, updates)
+        # The pattern's occurrences cannot overlap position 1 only if its
+        # probed window is unchanged; either way the contract holds: a hit
+        # after adoption returns the adopted index's answer.
+        service.adopt_index(clone, positions=positions)
+        hits_before = service.stats()["hits"]
+        result = service.query(distant)
+        assert result.positions == clone.locate(distant)
+        if service.stats()["hits"] > hits_before:
+            # survived: the probed windows were bit-identical
+            assert result.positions == index.locate(distant)

@@ -1,0 +1,101 @@
+"""Memory-mapped loading is real, for every index variant, end to end.
+
+The multi-worker serving story rests on one physical property: after
+``load_index(..., mmap=True)`` the index's persisted arrays are views into
+:class:`numpy.memmap` objects, so N forked workers mapping the same store
+files share the page cache instead of holding N private copies.  These tests
+pin that property *after* running a query through each loaded index — a
+variant that silently materialized its arrays on first use would pass a
+naive just-after-load check and still defeat the sharing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.indexes import build_index
+from repro.io.store import (
+    load_index,
+    load_sharded_store,
+    save_index,
+    save_sharded_store,
+    stored_arrays,
+)
+
+ALL_KINDS = ("WST", "WSA", "MWST", "MWSA", "MWST-G", "MWSA-G", "MWST-SE")
+
+
+@pytest.fixture(scope="module")
+def mapped_source():
+    from repro.datasets.synthetic import sparse_uncertainty_string
+
+    return sparse_uncertainty_string(150, 4, delta=0.3, seed=11)
+
+
+def _patterns(source, count=9, seed=3):
+    rng = np.random.default_rng(seed)
+    return [
+        [int(code) for code in rng.integers(0, source.sigma, size=m)]
+        for m in (4, 5, 7)
+        for _ in range(count // 3)
+    ]
+
+
+def chains_to_memmap(array) -> bool:
+    """True when ``array`` is (a view into) a ``numpy.memmap``."""
+    node = array
+    while node is not None:
+        if isinstance(node, np.memmap):
+            return True
+        node = getattr(node, "base", None)
+    return False
+
+
+def assert_arrays_mapped(index, label: str) -> int:
+    """Every persisted, non-trivial array of ``index`` must be mmap-backed."""
+    mapped = 0
+    for name, array in stored_arrays(index).items():
+        if not isinstance(array, np.ndarray) or array.size == 0:
+            continue  # empty arrays carry no pages to share
+        if "pairs" in name:
+            continue  # re-materialized from tuples on load, documented exception
+        assert chains_to_memmap(array), f"{label}: array {name!r} is not mmap-backed"
+        mapped += 1
+    assert mapped > 0, f"{label}: no arrays checked"
+    return mapped
+
+
+class TestMmapBackedArrays:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_every_kind_serves_from_the_map(self, tmp_path, mapped_source, kind):
+        index = build_index(mapped_source, 4.0, kind=kind, ell=4)
+        path = tmp_path / f"{kind}.idx"
+        save_index(path, index)
+        loaded = load_index(path, mmap=True)
+        # Queries first: lazy re-materialization on first use would otherwise
+        # hide behind a just-after-load check.
+        for pattern in _patterns(mapped_source):
+            assert loaded.locate(pattern) == index.locate(pattern)
+        assert_arrays_mapped(loaded, kind)
+
+    def test_ram_mode_is_not_mapped(self, tmp_path, mapped_source):
+        """The control: mmap=False must NOT chain to a memmap."""
+        index = build_index(mapped_source, 4.0, kind="MWSA", ell=4)
+        path = tmp_path / "ram.idx"
+        save_index(path, index)
+        in_ram = load_index(path, mmap=False)
+        for name, array in stored_arrays(in_ram).items():
+            if isinstance(array, np.ndarray) and array.size:
+                assert not chains_to_memmap(array), name
+
+    def test_sharded_store_maps_every_shard(self, tmp_path, mapped_source):
+        index = build_index(
+            mapped_source, 4.0, kind="MWSA", ell=4, shards=3, max_pattern_len=8
+        )
+        save_sharded_store(tmp_path / "store", index)
+        loaded = load_sharded_store(tmp_path / "store", mmap=True)
+        for pattern in _patterns(mapped_source):
+            assert loaded.locate(pattern) == index.locate(pattern)
+        for number, shard in enumerate(loaded.shard_indexes):
+            assert_arrays_mapped(shard, f"shard {number}")
