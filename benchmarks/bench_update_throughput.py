@@ -10,13 +10,14 @@ with mutable weighted strings.  For a synthetic sparse-uncertainty source
 * ``sharded``   — the sharded index's dirty-shard rebuild, requery.
 
 Both update paths must answer the post-update pattern batch bit-identically
-to the from-scratch rebuild, and the best of them must beat it by at least
-the factor asserted below (the acceptance bar is 3x for update+requery at
-n = 20,000; CI runs a tiny smoke configuration that only checks agreement).
-The bar was 5x against the pre-array construction pipeline; the array-backed
-fast path made the full-rebuild baseline ~8x faster, which compresses the
-ratio even though the update paths themselves also got faster in absolute
-terms (the localized merge now re-sorts through the vectorised radix sort).
+to the from-scratch rebuild, and the *monolithic localized* path must beat
+it by at least the factor asserted below (the acceptance bar is 5x for
+update+requery at n = 20,000; CI runs a tiny smoke configuration that only
+checks agreement).  The bar had been recalibrated down to 3x when the
+array-backed construction fast path made the rebuild denominator ~8x
+faster; checkpointed z-estimation replay plus the batched leaf-merge tie
+resolution brought the localized path back over 5x against that faster
+baseline.
 Run under pytest-benchmark (``pytest benchmarks/ --benchmark-only``) or
 standalone::
 
@@ -50,11 +51,11 @@ DEFAULT_KIND = "MWSA"
 DEFAULT_SHARDS = 12
 DEFAULT_PATTERNS = 200
 DEFAULT_UPDATES = 5
-#: The acceptance bar: single-position update+requery vs full rebuild+requery.
-#: Recalibrated from 5x when the array-backed construction fast path landed:
-#: the rebuild denominator dropped ~8x, so the same absolute update cost now
-#: reads as a smaller ratio.
-REQUIRED_SPEEDUP = 3.0
+#: The acceptance bar: monolithic localized update+requery vs full
+#: rebuild+requery.  Restored to 5x (from the 3x post-array recalibration)
+#: by checkpointed z-estimation replay and the batched leaf-merge tie
+#: resolution.
+REQUIRED_SPEEDUP = 5.0
 
 
 def make_workload(length: int, pattern_count: int, z: float, ell: int):
@@ -119,7 +120,8 @@ def main(argv=None) -> int:
     parser.add_argument("--updates", type=int, default=DEFAULT_UPDATES)
     parser.add_argument(
         "--require-speedup", type=float, default=None,
-        help=f"fail unless both update paths beat the rebuild by this factor "
+        help=f"fail unless the monolithic localized path beats the rebuild "
+        f"by this factor "
         f"(default: {REQUIRED_SPEEDUP:g} at n >= {DEFAULT_LENGTH}, off below)",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable report")
@@ -205,10 +207,13 @@ def main(argv=None) -> int:
             f"({report['sharded_speedup']:.1f}x)"
         )
     if required is not None:
-        best = max(report["monolith_speedup"], report["sharded_speedup"])
-        if best < required:
+        # The monolithic localized path carries the bar: the sharded path's
+        # dirty-shard rebuild is bounded by shard size, not by the localized
+        # repair this benchmark guards.
+        if report["monolith_speedup"] < required:
             print(
-                f"FAIL: best update path is {best:.1f}x vs the full rebuild, "
+                f"FAIL: monolithic localized update is "
+                f"{report['monolith_speedup']:.1f}x vs the full rebuild, "
                 f"required {required:g}x"
             )
             return 1

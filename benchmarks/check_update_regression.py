@@ -1,0 +1,118 @@
+"""Regression gate: compare a fresh update-benchmark run to the snapshot.
+
+``BENCH_update.json`` (committed at the repository root) records the
+update-vs-rebuild speedups of ``bench_update_throughput.py`` at the
+reference workload (n = 20,000).  This checker enforces two things:
+
+* **the absolute acceptance bar on the snapshot itself** — the committed
+  reference run must show the monolithic localized path beating
+  rebuild+requery by at least 5x.  Re-snapshotting after a slowdown cannot
+  silently lower the bar;
+* **a relative band on the fresh run** — the fresh speedups (monolithic and
+  sharded) must reach a fraction of the snapshot's.  Absolute seconds are
+  never compared: the fresh run may use a much smaller ``--length`` (CI
+  does) and a different machine, and update speedups shrink with the
+  workload because the rebuild denominator grows with n while the localized
+  repair barely moves.  The default tolerance of 0.25 passes the CI smoke
+  workload (n = 3,000) with ~40% headroom while still catching the
+  localized path silently degrading into a full rebuild, which would land
+  near 1x.
+
+Usage::
+
+    python benchmarks/bench_update_throughput.py --length 3000 --shards 4 \
+        --updates 2 --patterns 60 --json > fresh.json
+    python benchmarks/check_update_regression.py \
+        --snapshot BENCH_update.json --fresh fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Speedup metrics compared snapshot-vs-fresh (relative band).
+SPEEDUP_METRICS = ("monolith_speedup", "sharded_speedup")
+DEFAULT_MIN_RATIO = 0.25
+#: Absolute floor the committed snapshot must meet on the reference workload.
+DEFAULT_SNAPSHOT_FLOOR = 5.0
+
+
+def compare(
+    snapshot: dict,
+    fresh: dict,
+    min_ratio: float,
+    snapshot_floor: float,
+) -> list[str]:
+    """Violation messages; empty when the fresh run is within the band."""
+    violations = []
+    reference_monolith = snapshot.get("monolith_speedup")
+    if reference_monolith is None:
+        violations.append("snapshot has no monolith_speedup")
+    elif reference_monolith < snapshot_floor:
+        violations.append(
+            f"snapshot monolith_speedup {reference_monolith:.2f}x is below "
+            f"the {snapshot_floor:g}x acceptance bar (re-snapshotting cannot "
+            f"lower the bar)"
+        )
+    for name in SPEEDUP_METRICS:
+        reference = snapshot.get(name)
+        if reference is None:
+            violations.append(f"{name}: missing from the snapshot")
+            continue
+        value = fresh.get(name)
+        if value is None:
+            violations.append(
+                f"{name}: missing from the fresh run (snapshot {reference:.2f}x)"
+            )
+            continue
+        floor = float(reference) * min_ratio
+        if float(value) < floor:
+            violations.append(
+                f"{name}: fresh {float(value):.2f}x < {floor:.2f}x "
+                f"(snapshot {float(reference):.2f}x * tolerance {min_ratio:g})"
+            )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--snapshot", required=True, help="committed BENCH_update.json")
+    parser.add_argument("--fresh", required=True, help="fresh --json run to check")
+    parser.add_argument(
+        "--min-ratio", type=float, default=DEFAULT_MIN_RATIO,
+        help=f"fresh speedups must reach this fraction of the snapshot "
+        f"(default {DEFAULT_MIN_RATIO:g})",
+    )
+    parser.add_argument(
+        "--snapshot-floor", type=float, default=DEFAULT_SNAPSHOT_FLOOR,
+        help=f"absolute monolithic-speedup floor the snapshot must meet "
+        f"(default {DEFAULT_SNAPSHOT_FLOOR:g}x)",
+    )
+    arguments = parser.parse_args(argv)
+    with open(arguments.snapshot, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    with open(arguments.fresh, "r", encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    violations = compare(
+        snapshot, fresh, arguments.min_ratio, arguments.snapshot_floor
+    )
+    if violations:
+        print(f"REGRESSION: {len(violations)} update metrics out of band")
+        for message in violations:
+            print(f"  {message}")
+        return 1
+    print(
+        f"OK: update speedups within the tolerance band "
+        f"(min ratio {arguments.min_ratio:g}, snapshot floor "
+        f"{arguments.snapshot_floor:g}x; snapshot n={snapshot.get('length')} "
+        f"at {snapshot.get('monolith_speedup'):.2f}x, "
+        f"fresh n={fresh.get('length')} "
+        f"at {fresh.get('monolith_speedup'):.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: build indexes, run queries, inspect datasets, serve.
 
-Installed as the ``repro-uncertain`` console script.  Seven sub-commands:
+Installed as the ``repro-uncertain`` console script.  Eight sub-commands:
 
 * ``info``        — Table 2-style characteristics of a named or PWM-file dataset;
 * ``build``       — build an index (optionally sharded via ``--shards`` /
@@ -13,9 +13,13 @@ Installed as the ``repro-uncertain`` console script.  Seven sub-commands:
 * ``query-batch`` — answer a whole pattern batch through the vectorised
   query planner (fanning out across shards for sharded indexes) and report
   throughput alongside the results;
-* ``update``      — apply point updates (new per-position distributions) to
-  a stored index and persist the repair; directory stores rewrite only the
-  dirty shards;
+* ``update``      — apply point or ranged updates (new per-position
+  distributions, or ``{"start", "rows"}`` spans) to a stored index and
+  persist the repair; directory stores rewrite only the dirty shards and
+  append each batch to the store's ``update-log.jsonl``;
+* ``compact``     — fold an updated directory store back to canonical
+  generation-0 shard files (drops superseded ``.gN`` files, truncates the
+  update log; query answers stay byte-identical);
 * ``serve``       — a line-oriented stdin/stdout JSON query loop over a
   cached :class:`~repro.service.QueryService` (one request per line, one
   JSON response per line), including an ``update`` op with exact cache
@@ -54,6 +58,8 @@ from .errors import PatternError, ReproError
 from .indexes import INDEX_CLASSES, Query, QueryMode, QueryPlanner, build_index
 from .io.pwm import read_pwm
 from .io.store import (
+    append_update_log,
+    compact_store,
     load_index,
     load_sharded_store,
     refresh_sharded_store,
@@ -284,6 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(single-file stores only)",
     )
 
+    compact = subparsers.add_parser(
+        "compact",
+        help="fold a sharded directory store back to canonical shard files "
+        "(drops generation-stamped files, truncates the update log)",
+    )
+    compact.add_argument(
+        "--store", required=True, help="sharded store directory to compact"
+    )
+    compact.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="line-oriented JSON query loop over stdin/stdout (cached serving)",
@@ -478,11 +496,35 @@ def _command_update(arguments) -> dict:
     if sharded_dir:
         report["store"] = refresh_sharded_store(arguments.store, index)
         report["store"]["path"] = arguments.store
+        append_update_log(
+            arguments.store,
+            {
+                "time": time.time(),
+                "positions": report["positions"],
+                "strategy": report["strategy"],
+                "generations": index.generations,
+                "rewritten": report["store"]["rewritten"],
+            },
+        )
     else:
         target = arguments.out or arguments.store
         save_index(target, index)
         report["store"] = {"path": target, "rewritten": "all"}
     report["store"]["seconds"] = time.perf_counter() - started
+    return report
+
+
+def _command_compact(arguments) -> dict:
+    store_path = Path(arguments.store)
+    if not store_path.is_dir():
+        raise ReproError(
+            "compact works on sharded directory stores; single-file stores "
+            "have nothing to compact"
+        )
+    started = time.perf_counter()
+    report = compact_store(store_path)
+    report["path"] = arguments.store
+    report["seconds"] = time.perf_counter() - started
     return report
 
 
@@ -896,6 +938,7 @@ def main(argv=None) -> int:
         "query": _command_query,
         "query-batch": _command_query_batch,
         "update": _command_update,
+        "compact": _command_compact,
         "serve": _command_serve,
         "serve-http": _command_serve_http,
     }

@@ -52,10 +52,30 @@ import numpy as np
 
 from ..errors import ConstructionError
 from .numerics import RELATIVE_TOLERANCE, validate_threshold
-from .properties import PropertyArray
+from .properties import (
+    GroupTreeArrays,
+    PropertyArray,
+    flatten_group_tree,
+    restore_group_tree,
+)
 from .weighted_string import WeightedString
 
-__all__ = ["ZEstimation", "build_z_estimation", "ESTIMATION_METHODS"]
+__all__ = [
+    "ZEstimation",
+    "EstimationCheckpoint",
+    "build_z_estimation",
+    "resume_z_estimation",
+    "ESTIMATION_METHODS",
+    "DEFAULT_CHECKPOINT_EVERY",
+]
+
+#: Default checkpoint granularity ``K``: builder state is snapshotted before
+#: processing every ``K``-th position.  Each checkpoint costs ``O(⌊z⌋)``
+#: memory (the alive-from vector plus the flattened group tree), so the whole
+#: trail stays a vanishing fraction of the ``Θ(n⌊z⌋)`` family it annotates.
+#: Tests shrink it (module-level, read at call time) to exercise boundary
+#: behaviour on small strings.
+DEFAULT_CHECKPOINT_EVERY = 256
 
 
 def _weight_floor(value: float) -> int:
@@ -63,6 +83,36 @@ def _weight_floor(value: float) -> int:
     if value <= 0.0:
         return 0
     return int(math.floor(value + RELATIVE_TOLERANCE * max(1.0, value)))
+
+
+@dataclass
+class EstimationCheckpoint:
+    """Builder state captured immediately before processing ``position``.
+
+    Together with the (unchanged) prefix of the materialised family this is
+    everything the left-to-right construction needs to continue: the
+    per-token alive-from levels and the laminar group tree, flattened to
+    :class:`~repro.core.properties.GroupTreeArrays` with the root's coarsest
+    segment normalised to end at ``position`` (the reference and vectorised
+    builders grow it at different times, the state is the same).  Snapshots
+    of identical states are bit-identical, which is what :meth:`matches`
+    tests — the resume path's early-convergence check.
+    """
+
+    position: int
+    alive_from: np.ndarray
+    tree: GroupTreeArrays
+
+    def matches(self, other: "EstimationCheckpoint") -> bool:
+        """Bit-exact state equality (float segment weights included)."""
+        return (
+            int(self.position) == int(other.position)
+            and np.array_equal(self.alive_from, other.alive_from)
+            and self.tree.equals(other.tree)
+        )
+
+    def nbytes(self) -> int:
+        return int(self.alive_from.nbytes) + self.tree.nbytes()
 
 
 class ZEstimation:
@@ -76,15 +126,31 @@ class ZEstimation:
         ``(⌊z⌋ × n)`` array of inclusive property ends; row ``j`` is ``π_j``.
     z:
         The weight threshold parameter.
+    checkpoints:
+        Builder-state snapshots (:class:`EstimationCheckpoint`) taken every
+        ``K`` positions during construction, ordered by position.  Point
+        updates resume the left-to-right construction from the last
+        checkpoint at-or-before the first changed position instead of
+        replaying from 0 (:func:`resume_z_estimation`).  Possibly empty —
+        estimations loaded from old stores carry none and fall back to a
+        full replay.
     """
 
-    __slots__ = ("strings", "ends", "z", "_alphabet")
+    __slots__ = ("strings", "ends", "z", "_alphabet", "checkpoints")
 
-    def __init__(self, strings: np.ndarray, ends: np.ndarray, z: float, alphabet) -> None:
+    def __init__(
+        self,
+        strings: np.ndarray,
+        ends: np.ndarray,
+        z: float,
+        alphabet,
+        checkpoints: list | None = None,
+    ) -> None:
         self.strings = strings
         self.ends = ends
         self.z = float(z)
         self._alphabet = alphabet
+        self.checkpoints = list(checkpoints) if checkpoints else []
 
     # -- basic shape -----------------------------------------------------------
     @property
@@ -195,12 +261,22 @@ class _Node:
 class _EstimationBuilder:
     """Single-use builder implementing the algorithm described in the module docstring."""
 
-    def __init__(self, source: WeightedString, z: float) -> None:
+    def __init__(
+        self,
+        source: WeightedString,
+        z: float,
+        checkpoint_every: int | None = None,
+    ) -> None:
         self.source = source
         self.z = validate_threshold(z)
         self.width = int(math.floor(self.z + RELATIVE_TOLERANCE))
         self.length = len(source)
         self.heavy = source.heavy_codes()
+        # Snapshot cadence K (None: the module default at call time; 0: off).
+        if checkpoint_every is None:
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY
+        self.checkpoint_every = max(0, int(checkpoint_every))
+        self.checkpoints: list[EstimationCheckpoint] = []
         # Per-token alive-from position.
         self.alive_from = np.zeros(self.width, dtype=np.int64)
         # Property ends, filled progressively.
@@ -218,11 +294,23 @@ class _EstimationBuilder:
         self._depths = np.zeros(self.width, dtype=np.int64)
         self._selected_nodes: list = [None] * self.width
 
+    # -- checkpoints --------------------------------------------------------------
+    def _snapshot(self, position: int) -> EstimationCheckpoint:
+        """Capture the builder state *before* processing ``position``."""
+        return EstimationCheckpoint(
+            position=int(position),
+            alive_from=self.alive_from.copy(),
+            tree=flatten_group_tree(self.root, root_hi=int(position)),
+        )
+
     # -- public ------------------------------------------------------------------
     def build(self) -> ZEstimation:
         if self.width == 0:
             raise ConstructionError("z must be at least 1 to build a z-estimation")
+        every = self.checkpoint_every
         for position in range(self.length):
+            if every and position and position % every == 0:
+                self.checkpoints.append(self._snapshot(position))
             row = np.asarray(self.source.distribution(position), dtype=np.float64)
             total = row.sum()
             if total <= 0.0:
@@ -239,7 +327,9 @@ class _EstimationBuilder:
             if start < self.length:
                 self.ends[token, start:] = self.length - 1
         strings = self._materialise_strings()
-        return ZEstimation(strings, self.ends, self.z, self.source.alphabet)
+        return ZEstimation(
+            strings, self.ends, self.z, self.source.alphabet, self.checkpoints
+        )
 
     # -- per-position steps --------------------------------------------------------
     @staticmethod
@@ -454,8 +544,17 @@ class _ArrayEstimationBuilder(_EstimationBuilder):
             uncertain_positions = np.nonzero(~certain)[0]
         else:
             uncertain_positions = np.empty(0, dtype=np.int64)
+        # Next checkpoint boundary; certain runs never change builder state,
+        # so the snapshots of all boundaries inside one run are captured
+        # lazily before the next uncertain step (normalised to the boundary
+        # position, exactly the state the reference builder has there).
+        every = self.checkpoint_every
+        next_checkpoint = every if every else n + 1
         for position in uncertain_positions:
             position = int(position)
+            while next_checkpoint <= position:
+                self.checkpoints.append(self._snapshot(next_checkpoint))
+                next_checkpoint += every
             # Fold the preceding run of certain positions into the root's
             # coarsest segment in one step (the reference builder extends it
             # one certain position at a time).
@@ -467,11 +566,16 @@ class _ArrayEstimationBuilder(_EstimationBuilder):
             self._uncertain_step(position, row)
             strings[:, position] = self.columns[-1]
             self.columns.clear()
+        while next_checkpoint < n:
+            self.checkpoints.append(self._snapshot(next_checkpoint))
+            next_checkpoint += every
         # Close the properties of tokens that are still alive.
         if n:
             alive = np.arange(n, dtype=np.int64)[None, :] >= self.alive_from[:, None]
             self.ends[alive] = n - 1
-        return ZEstimation(strings, self.ends, self.z, self.source.alphabet)
+        return ZEstimation(
+            strings, self.ends, self.z, self.source.alphabet, self.checkpoints
+        )
 
 
 #: Selectable construction paths: ``"vectorized"`` is the array-backed fast
@@ -486,7 +590,11 @@ _BUILDERS = {
 
 
 def build_z_estimation(
-    source: WeightedString, z: float, *, method: str = "vectorized"
+    source: WeightedString,
+    z: float,
+    *,
+    method: str = "vectorized",
+    checkpoint_every: int | None = None,
 ) -> ZEstimation:
     """Build a z-estimation of ``source`` for the threshold ``1/z`` (Theorem 2).
 
@@ -495,6 +603,11 @@ def build_z_estimation(
     ``i`` in ``source`` if and only if it occurs at ``i``, respecting the
     property, in at least one string of the family.  ``method`` selects one
     of :data:`ESTIMATION_METHODS`; both produce bit-identical families.
+
+    ``checkpoint_every`` sets the builder-state snapshot cadence ``K``
+    (default: :data:`DEFAULT_CHECKPOINT_EVERY`; 0 disables checkpoints).
+    Checkpoints never change the family — they only let later point updates
+    resume construction through :func:`resume_z_estimation`.
     """
     try:
         builder = _BUILDERS[method]
@@ -503,4 +616,134 @@ def build_z_estimation(
         raise ConstructionError(
             f"unknown estimation method {method!r}; known methods: {known}"
         ) from None
-    return builder(source, z).build()
+    return builder(source, z, checkpoint_every).build()
+
+
+def resume_z_estimation(
+    old: ZEstimation,
+    source: WeightedString,
+    z: float,
+    positions,
+) -> tuple[ZEstimation, dict]:
+    """Re-derive the z-estimation after point updates at ``positions``.
+
+    ``source`` must already carry the new rows; ``old`` is the estimation of
+    the pre-update string.  The construction is resumed from the last
+    checkpoint at-or-before the first changed position: the (unchanged)
+    string prefix and already-finalised property ends are copied from
+    ``old``, and the left-to-right scan replays forward from the checkpoint.
+    At every checkpoint boundary past the last changed position the replayed
+    builder state is compared bit-exactly against ``old``'s snapshot; on the
+    first match the remaining suffix (strings, open property ends and the
+    later checkpoints) is spliced from ``old`` wholesale — the update's
+    ripple has provably died out, everything downstream is identical.
+
+    Returns ``(estimation, info)`` with ``info`` describing the replay
+    (``{"estimation_replay", "replayed_from", "converged_at", ...}``).  The
+    result is always bit-identical to ``build_z_estimation(source, z)`` with
+    the same cadence; when ``old`` carries no usable checkpoint (old stores,
+    an update in the first window, cadence 0) it *is* that full build.
+    """
+    changed = sorted({int(p) for p in positions})
+    n = len(source)
+    width = int(math.floor(validate_threshold(z) + RELATIVE_TOLERANCE))
+    checkpoints = list(getattr(old, "checkpoints", ()) or ())
+    usable = (
+        changed
+        and checkpoints
+        and old.z == float(z)
+        and old.length == n
+        and old.width == width
+        and all(0 <= p < n for p in changed)
+    )
+    start = None
+    if usable:
+        candidates = [c for c in checkpoints if c.position <= changed[0]]
+        start = candidates[-1] if candidates else None
+    if start is None:
+        full = build_z_estimation(source, z)
+        return full, {"estimation_replay": "full"}
+    minimum, maximum = changed[0], changed[-1]
+    # Checkpoint positions are multiples of the capture cadence.
+    every = int(checkpoints[0].position)
+    by_position = {int(c.position): c for c in checkpoints}
+
+    builder = _ArrayEstimationBuilder(source, z, 0)
+    builder.alive_from = start.alive_from.copy()
+    builder.root = restore_group_tree(start.tree, _Node)
+    resume_at = int(start.position)
+
+    strings = np.empty((width, n), dtype=np.int64)
+    strings[:, :resume_at] = old.strings[:, :resume_at]
+    ends = builder.ends
+    columns = np.arange(n, dtype=np.int64)[None, :]
+    finalised = columns < builder.alive_from[:, None]
+    ends[finalised] = old.ends[finalised]
+
+    matrix = source.matrix
+    tail = matrix[resume_at:]
+    sums = tail.sum(axis=1)
+    bad = sums <= 0.0
+    if bad.any():
+        position = resume_at + int(np.argmax(bad))
+        raise ConstructionError(f"position {position} has zero total probability")
+    certain = np.count_nonzero(tail > 0.0, axis=1) == 1
+    strings[:, resume_at:][:, certain] = np.argmax(tail[certain], axis=1)[None, :]
+    uncertain_positions = np.nonzero(~certain)[0] + resume_at
+
+    kept = [c for c in checkpoints if c.position <= resume_at]
+    converged_at = None
+    next_checkpoint = resume_at + every
+
+    def check_boundary(boundary: int) -> bool:
+        """Snapshot one boundary; True when the replay converged there."""
+        snapshot = builder._snapshot(boundary)
+        if boundary > maximum:
+            reference = by_position.get(boundary)
+            if reference is not None and snapshot.matches(reference):
+                return True
+        kept.append(snapshot)
+        return False
+
+    for position in uncertain_positions:
+        position = int(position)
+        while next_checkpoint <= position:
+            if check_boundary(next_checkpoint):
+                converged_at = next_checkpoint
+                break
+            next_checkpoint += every
+        if converged_at is not None:
+            break
+        lo, _, weight = builder.root.segments[0]
+        builder.root.segments[0] = (lo, position, weight)
+        row = matrix[position]
+        row = row / row.sum()
+        builder._uncertain_step(position, row)
+        strings[:, position] = builder.columns[-1]
+        builder.columns.clear()
+    if converged_at is None:
+        while next_checkpoint < n:
+            if check_boundary(next_checkpoint):
+                converged_at = next_checkpoint
+                break
+            next_checkpoint += every
+
+    if converged_at is not None:
+        # Identical state at the boundary + identical suffix rows: everything
+        # the builder would produce from here on matches ``old`` bit for bit.
+        strings[:, converged_at:] = old.strings[:, converged_at:]
+        open_levels = columns >= by_position[converged_at].alive_from[:, None]
+        ends[open_levels] = old.ends[open_levels]
+        kept.extend(c for c in checkpoints if c.position >= converged_at)
+    else:
+        alive = columns >= builder.alive_from[:, None]
+        ends[alive] = n - 1
+    estimation = ZEstimation(strings, ends, z, source.alphabet, kept)
+    info = {
+        "estimation_replay": "checkpoint",
+        "replayed_from": resume_at,
+        "converged_at": converged_at,
+        "replayed_positions": (converged_at if converged_at is not None else n)
+        - resume_at,
+    }
+    return estimation, info

@@ -8,18 +8,30 @@ starting at ``i`` (or ``i - 1`` when ``i`` is in no interval).  A pattern
 plain substring and ``i + |P| - 1 <= π[i]``.
 
 The z-estimation (``core.estimation``) produces one ``(S_j, π_j)`` pair per
-string; the weighted indexes consume them through this module.
+string; the weighted indexes consume them through this module.  The
+estimation *builder* maintains a laminar family of token groups over the
+open (not-yet-finalised) property levels; :class:`GroupTreeArrays` is the
+flat-array encoding of that family — a preorder parent array plus CSR
+segment/member blocks, the same shape as the compacted-trie CSR arrays —
+used to snapshot builder state into store-persistable checkpoints.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import WeightedStringError
 
-__all__ = ["PropertyArray", "property_occurrences"]
+__all__ = [
+    "PropertyArray",
+    "property_occurrences",
+    "GroupTreeArrays",
+    "flatten_group_tree",
+    "restore_group_tree",
+]
 
 
 class PropertyArray:
@@ -135,3 +147,153 @@ def property_occurrences(
         if text[start : start + m] == pattern and prop.covers(start, start + m):
             positions.append(start)
     return positions
+
+
+# --------------------------------------------------------------------------- #
+# flat-array encoding of the builder's laminar group tree                       #
+# --------------------------------------------------------------------------- #
+@dataclass
+class GroupTreeArrays:
+    """The laminar group family of the estimation builder as flat arrays.
+
+    Nodes are numbered in preorder with sibling order preserved (the
+    builder's greedy token-pool assignment pops tokens contributed by
+    earlier children last, so sibling order is semantically load-bearing);
+    ``parent[0] == -1``.  ``seg_start``/``mem_start`` are CSR offsets: node
+    ``v`` owns segments ``seg_start[v]:seg_start[v+1]`` (each a
+    ``(lo, hi, weight)`` level run, coarsest first, in the node's list
+    order) and members ``mem_start[v]:mem_start[v+1]`` (``(level, token)``
+    pairs, stored canonically sorted — the builder only ever consumes
+    ``sorted(node.members)``).  Two snapshots of bit-identical builder
+    states therefore encode to bit-identical arrays, which is what the
+    resume path's convergence test compares.
+    """
+
+    parent: np.ndarray  # int64[count], preorder, parent[0] == -1
+    seg_start: np.ndarray  # int64[count + 1]
+    seg_lo: np.ndarray  # int64[segments]
+    seg_hi: np.ndarray  # int64[segments]
+    seg_weight: np.ndarray  # float64[segments]
+    mem_start: np.ndarray  # int64[count + 1]
+    mem_level: np.ndarray  # int64[members]
+    mem_token: np.ndarray  # int64[members]
+
+    @property
+    def node_count(self) -> int:
+        return int(len(self.parent))
+
+    def equals(self, other: "GroupTreeArrays") -> bool:
+        """Bit-exact equality (segment weights included — no tolerance)."""
+        return (
+            np.array_equal(self.parent, other.parent)
+            and np.array_equal(self.seg_start, other.seg_start)
+            and np.array_equal(self.seg_lo, other.seg_lo)
+            and np.array_equal(self.seg_hi, other.seg_hi)
+            and np.array_equal(self.seg_weight, other.seg_weight)
+            and np.array_equal(self.mem_start, other.mem_start)
+            and np.array_equal(self.mem_level, other.mem_level)
+            and np.array_equal(self.mem_token, other.mem_token)
+        )
+
+    def nbytes(self) -> int:
+        return int(
+            sum(
+                array.nbytes
+                for array in (
+                    self.parent,
+                    self.seg_start,
+                    self.seg_lo,
+                    self.seg_hi,
+                    self.seg_weight,
+                    self.mem_start,
+                    self.mem_level,
+                    self.mem_token,
+                )
+            )
+        )
+
+
+def flatten_group_tree(root, *, root_hi: int | None = None) -> GroupTreeArrays:
+    """Encode a builder group tree (``_Node`` objects) into flat arrays.
+
+    ``root`` is duck-typed on ``segments`` / ``members`` / ``children``.
+    ``root_hi`` overrides the inclusive upper level of the root's coarsest
+    segment: the reference builder extends it one certain position at a
+    time while the vectorised builder folds whole certain runs in lazily,
+    so snapshots normalise it to the snapshot position to stay comparable.
+    """
+    order = []
+    parents: list[int] = []
+    stack = [(root, -1)]
+    while stack:
+        node, parent_index = stack.pop()
+        index = len(order)
+        order.append(node)
+        parents.append(parent_index)
+        for child in reversed(node.children):
+            stack.append((child, index))
+    seg_start = [0]
+    mem_start = [0]
+    seg_lo: list[int] = []
+    seg_hi: list[int] = []
+    seg_weight: list[float] = []
+    mem_level: list[int] = []
+    mem_token: list[int] = []
+    for node in order:
+        for lo, hi, weight in node.segments:
+            seg_lo.append(int(lo))
+            seg_hi.append(int(hi))
+            seg_weight.append(float(weight))
+        seg_start.append(len(seg_lo))
+        for level, token in sorted(node.members):
+            mem_level.append(int(level))
+            mem_token.append(int(token))
+        mem_start.append(len(mem_level))
+    arrays = GroupTreeArrays(
+        parent=np.asarray(parents, dtype=np.int64),
+        seg_start=np.asarray(seg_start, dtype=np.int64),
+        seg_lo=np.asarray(seg_lo, dtype=np.int64),
+        seg_hi=np.asarray(seg_hi, dtype=np.int64),
+        seg_weight=np.asarray(seg_weight, dtype=np.float64),
+        mem_start=np.asarray(mem_start, dtype=np.int64),
+        mem_level=np.asarray(mem_level, dtype=np.int64),
+        mem_token=np.asarray(mem_token, dtype=np.int64),
+    )
+    if root_hi is not None and len(arrays.seg_hi):
+        arrays.seg_hi[0] = int(root_hi)
+    return arrays
+
+
+def restore_group_tree(tree: GroupTreeArrays, node_factory):
+    """Rebuild the live node tree from its flat encoding.
+
+    ``node_factory(segments, members, children)`` constructs one node
+    (matching the estimation builder's ``_Node`` signature).  Children are
+    appended in preorder index order, which preserves the original sibling
+    order.  Segment/member entries come back as plain Python scalars so
+    resumed arithmetic matches the live builder's bit for bit.
+    """
+    seg_start = tree.seg_start.tolist()
+    mem_start = tree.mem_start.tolist()
+    seg_lo = tree.seg_lo.tolist()
+    seg_hi = tree.seg_hi.tolist()
+    seg_weight = tree.seg_weight.tolist()
+    mem_level = tree.mem_level.tolist()
+    mem_token = tree.mem_token.tolist()
+    parents = tree.parent.tolist()
+    nodes = []
+    for index in range(tree.node_count):
+        segments = [
+            (seg_lo[s], seg_hi[s], seg_weight[s])
+            for s in range(seg_start[index], seg_start[index + 1])
+        ]
+        members = [
+            (mem_level[s], mem_token[s])
+            for s in range(mem_start[index], mem_start[index + 1])
+        ]
+        node = node_factory(segments=segments, members=members, children=[])
+        nodes.append(node)
+        parent = parents[index]
+        if parent >= 0:
+            nodes[parent].children.append(node)
+    return nodes[0] if nodes else node_factory(segments=[], members=[], children=[])

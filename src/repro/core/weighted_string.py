@@ -71,6 +71,10 @@ class WeightedString:
                 f"matrix has {probs.shape[1]} columns but alphabet has "
                 f"{alphabet.size} letters"
             )
+        if not np.isfinite(probs).all():
+            raise WeightedStringError(
+                "probabilities must be finite (no NaN or infinity)"
+            )
         if np.any(probs < 0.0):
             raise WeightedStringError("probabilities must be non-negative")
         if probs.shape[0]:
@@ -358,6 +362,12 @@ class WeightedString:
                     f"got shape {row.shape}"
                 )
             row = row.copy()
+        # NaN compares False against everything, so it would pass both the
+        # negativity and the zero-sum guard and normalize into a NaN row.
+        if not np.isfinite(row).all():
+            raise WeightedStringError(
+                "a distribution's probabilities must be finite (no NaN or infinity)"
+            )
         if np.any(row < 0.0):
             raise WeightedStringError("probabilities must be non-negative")
         total = row.sum()
@@ -450,6 +460,22 @@ class WeightedString:
     def update_position(self, position: int, distribution, *, normalize: bool = True) -> int:
         """Replace one position's distribution in place (see :meth:`apply_updates`)."""
         return self.apply_updates([(position, distribution)], normalize=normalize)[0]
+
+    def apply_range_update(self, start: int, rows, *, normalize: bool = True) -> list[int]:
+        """Replace one contiguous span of distributions (see :meth:`apply_updates`).
+
+        ``rows[i]`` becomes the new distribution of position ``start + i``.
+        Equivalent to a batch of point updates at consecutive positions, but
+        states the contiguity explicitly — downstream repair treats the span
+        as a single replay window.
+        """
+        rows = list(rows)
+        if not rows:
+            return []
+        return self.apply_updates(
+            [(start + offset, row) for offset, row in enumerate(rows)],
+            normalize=normalize,
+        )
 
     # ------------------------------------------------------------------ #
     # transformations                                                     #

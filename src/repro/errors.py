@@ -17,8 +17,13 @@ class AlphabetError(ReproError):
     """A letter or code is not part of the alphabet in use."""
 
 
-class WeightedStringError(ReproError):
-    """A weighted string (probability matrix) is malformed."""
+class WeightedStringError(ReproError, ValueError):
+    """A weighted string (probability matrix) is malformed.
+
+    Also a :class:`ValueError`: degenerate distributions (all-zero,
+    negative, non-finite) are plain bad values, and callers validating
+    update payloads commonly catch ``ValueError``.
+    """
 
 
 class InvalidThresholdError(ReproError):

@@ -248,6 +248,21 @@ class UncertainStringIndex(abc.ABC):
         """Apply one point update (see :meth:`apply_updates`)."""
         return self.apply_updates([(position, distribution)])
 
+    def apply_range_update(self, start: int, rows) -> UpdateReport:
+        """Replace one contiguous span of distributions and repair the index.
+
+        ``rows[i]`` becomes the new distribution of position ``start + i``.
+        Equivalent to :meth:`apply_updates` over consecutive positions; the
+        localized repair sees one contiguous dirty span — a single
+        estimation replay window — instead of scattered points.
+        """
+        rows = list(rows)
+        report = self.apply_updates(
+            [(start + offset, row) for offset, row in enumerate(rows)]
+        )
+        report.details["range"] = [int(start), int(start) + len(rows)]
+        return report
+
     def _rebuild_updated(self, positions: list[int]) -> dict:
         """Repair strategy hook: derived structures after source rows changed.
 

@@ -38,7 +38,7 @@ from functools import cmp_to_key
 
 import numpy as np
 
-from ..core.estimation import ZEstimation, build_z_estimation
+from ..core.estimation import ZEstimation, build_z_estimation, resume_z_estimation
 from ..core.heavy import HeavyString
 from ..core.weighted_string import WeightedString
 from ..errors import ConstructionError
@@ -1118,6 +1118,59 @@ def _iter_sampled_strings(
         yield j, string_j, ends_j, np.asarray(minimizer_positions, dtype=np.int64)
 
 
+def _derive_leaf_arrays_for_string(
+    n: int,
+    string_j: np.ndarray,
+    ends_j: np.ndarray,
+    mismatch_positions: np.ndarray,
+    qs: np.ndarray,
+    j: int,
+) -> tuple[LeafArrays, LeafArrays]:
+    """Vectorised twin of :func:`_derive_leaf_pair` for one string's positions.
+
+    Returns the forward/backward leaf blocks of the given (ascending)
+    minimizer positions of ``S_j``, row ``i`` of both blocks carrying the
+    same ``(q, j)`` label.  The construction fast path feeds it every
+    sampled position; the point-update repair feeds it only the re-derived
+    ones.
+    """
+    source_ids = np.full(len(qs), j, dtype=np.int64)
+
+    forward_ends = ends_j[qs]
+    forward_lo = np.searchsorted(mismatch_positions, qs, side="left")
+    forward_hi = np.searchsorted(mismatch_positions, forward_ends, side="right")
+    forward_flat = _concat_ranges(forward_lo, forward_hi)
+    forward_counts = forward_hi - forward_lo
+    forward = LeafArrays(
+        anchors=qs,
+        lengths=forward_ends - qs + 1,
+        positions=qs,
+        sources=source_ids,
+        mm_start=np.concatenate([[0], np.cumsum(forward_counts)]),
+        mm_offset=mismatch_positions[forward_flat] - np.repeat(qs, forward_counts),
+        mm_code=string_j[mismatch_positions[forward_flat]],
+    )
+
+    backward_starts = np.searchsorted(ends_j, qs, side="left")
+    backward_lo = np.searchsorted(mismatch_positions, backward_starts, side="left")
+    backward_hi = np.searchsorted(mismatch_positions, qs, side="right")
+    # Offsets are q - p with p ascending inside each range, so reading
+    # each range in reverse yields the ascending mismatch-offset order
+    # the scalar derivation produces.
+    backward_flat = _concat_ranges_reversed(backward_lo, backward_hi)
+    backward_counts = backward_hi - backward_lo
+    backward = LeafArrays(
+        anchors=n - 1 - qs,
+        lengths=qs - backward_starts + 1,
+        positions=qs,
+        sources=source_ids,
+        mm_start=np.concatenate([[0], np.cumsum(backward_counts)]),
+        mm_offset=np.repeat(qs, backward_counts) - mismatch_positions[backward_flat],
+        mm_code=string_j[mismatch_positions[backward_flat]],
+    )
+    return forward, backward
+
+
 def build_leaf_arrays_from_estimation(
     source: WeightedString,
     z: float,
@@ -1140,46 +1193,11 @@ def build_leaf_arrays_from_estimation(
     backward_parts: list[LeafArrays] = []
     for j, string_j, ends_j, qs in _iter_sampled_strings(source, ell, scheme, estimation):
         mismatch_positions = np.nonzero(string_j != heavy_codes)[0]
-        source_ids = np.full(len(qs), j, dtype=np.int64)
-
-        forward_ends = ends_j[qs]
-        forward_lo = np.searchsorted(mismatch_positions, qs, side="left")
-        forward_hi = np.searchsorted(mismatch_positions, forward_ends, side="right")
-        forward_flat = _concat_ranges(forward_lo, forward_hi)
-        forward_counts = forward_hi - forward_lo
-        forward_parts.append(
-            LeafArrays(
-                anchors=qs,
-                lengths=forward_ends - qs + 1,
-                positions=qs,
-                sources=source_ids,
-                mm_start=np.concatenate([[0], np.cumsum(forward_counts)]),
-                mm_offset=mismatch_positions[forward_flat]
-                - np.repeat(qs, forward_counts),
-                mm_code=string_j[mismatch_positions[forward_flat]],
-            )
+        forward, backward = _derive_leaf_arrays_for_string(
+            n, string_j, ends_j, mismatch_positions, qs, j
         )
-
-        backward_starts = np.searchsorted(ends_j, qs, side="left")
-        backward_lo = np.searchsorted(mismatch_positions, backward_starts, side="left")
-        backward_hi = np.searchsorted(mismatch_positions, qs, side="right")
-        # Offsets are q - p with p ascending inside each range, so reading
-        # each range in reverse yields the ascending mismatch-offset order
-        # the scalar derivation produces.
-        backward_flat = _concat_ranges_reversed(backward_lo, backward_hi)
-        backward_counts = backward_hi - backward_lo
-        backward_parts.append(
-            LeafArrays(
-                anchors=n - 1 - qs,
-                lengths=qs - backward_starts + 1,
-                positions=qs,
-                sources=source_ids,
-                mm_start=np.concatenate([[0], np.cumsum(backward_counts)]),
-                mm_offset=np.repeat(qs, backward_counts)
-                - mismatch_positions[backward_flat],
-                mm_code=string_j[mismatch_positions[backward_flat]],
-            )
-        )
+        forward_parts.append(forward)
+        backward_parts.append(backward)
     return LeafArrays.concatenate(forward_parts), LeafArrays.concatenate(backward_parts)
 
 
@@ -1256,24 +1274,173 @@ def build_index_data_from_estimation(
 # --------------------------------------------------------------------------- #
 # point updates: localized leaf re-derivation                                  #
 # --------------------------------------------------------------------------- #
+def _batch_leaf_less(
+    collection: LeafCollection, rows_a: np.ndarray, rows_b: np.ndarray
+) -> np.ndarray:
+    """Vectorised exact leaf order: mask of pairs with ``rows_a[i] < rows_b[i]``.
+
+    Equivalent to :meth:`LeafCollection._compare` but driven entirely by
+    :meth:`LeafCollection._content_matrix` strips (past-end ``-1`` sorts
+    proper prefixes first), so it needs no LCE index over the reference.
+    Pairs still tied after their content is exhausted — the z
+    identical-content duplicates — fall through to the (position, source)
+    tie-break.  The incremental merge resolves its packed-key ties with
+    this.
+    """
+    arrays = collection.arrays
+    count = len(rows_a)
+    verdict = np.zeros(count, dtype=np.int8)
+    lengths_a = arrays.lengths[rows_a]
+    lengths_b = arrays.lengths[rows_b]
+    pair_limits = np.maximum(lengths_a, lengths_b)
+    undecided = np.arange(count, dtype=np.int64)
+    column = 0
+    strip = 64
+    while len(undecided):
+        limit = int(pair_limits[undecided].max(initial=0))
+        if column >= limit:
+            break
+        strip_a = collection._content_matrix(rows_a[undecided], column, column + strip)
+        strip_b = collection._content_matrix(rows_b[undecided], column, column + strip)
+        differs = strip_a != strip_b
+        has_diff = differs.any(axis=1)
+        hit = np.nonzero(has_diff)[0]
+        if len(hit):
+            first_diff = np.argmax(differs[hit], axis=1)
+            letters_a = strip_a[hit, first_diff]
+            letters_b = strip_b[hit, first_diff]
+            verdict[undecided[hit]] = np.where(letters_a < letters_b, -1, 1)
+        exhausted = pair_limits[undecided] <= column + strip
+        undecided = undecided[~has_diff & ~exhausted]
+        column += strip
+    tied = verdict == 0  # identical content (and length): label tie-break
+    if tied.any():
+        positions_a = arrays.positions[rows_a[tied]]
+        positions_b = arrays.positions[rows_b[tied]]
+        sources_a = arrays.sources[rows_a[tied]]
+        sources_b = arrays.sources[rows_b[tied]]
+        less = (positions_a < positions_b) | (
+            (positions_a == positions_b) & (sources_a < sources_b)
+        )
+        verdict[tied] = np.where(less, -1, 1)
+    return verdict < 0
+
+
+def _merge_sorted_runs(
+    old_collection: LeafCollection,
+    kept_old_index: np.ndarray,
+    kept_arrays: LeafArrays,
+    fresh_arrays: LeafArrays,
+    reference: np.ndarray,
+) -> tuple[LeafCollection, np.ndarray] | None:
+    """Merge the still-sorted kept rows with a small sorted fresh block.
+
+    The kept rows keep their old relative order (slicing a sorted sequence
+    stays sorted) and the fresh block is sorted on its own, so the unique
+    total leaf order reduces to a two-run merge: each fresh leaf's rank
+    among the kept rows is found with one ``searchsorted`` over packed
+    content-prefix byte keys, and only runs tied on the whole prefix fall
+    back to the exact comparator.  Returns ``(collection, kept_target)``
+    with the merged collection built ``presorted`` (no radix re-sort), or
+    ``None`` when the packed-key path does not apply and the caller should
+    re-sort from scratch.
+    """
+    kept_count = len(kept_arrays)
+    fresh_count = len(fresh_arrays)
+    if fresh_count == 0:
+        collection = LeafCollection(kept_arrays, reference, presorted=True)
+        old_keys = old_collection._search_keys
+        if old_keys is not None and old_collection._max_letter is not None:
+            collection._seed_search_caches(
+                old_keys[kept_old_index],
+                old_collection._search_width,
+                old_collection._max_letter,
+            )
+        return collection, np.arange(kept_count, dtype=np.int64)
+    if kept_count == 0 or fresh_count > kept_count:
+        return None
+    fresh_sorted = LeafCollection(fresh_arrays, reference).arrays
+    probe = LeafCollection(
+        LeafArrays.concatenate([kept_arrays, fresh_sorted]), reference, presorted=True
+    )
+    # ``probe`` is *not* globally sorted — it only provides content access
+    # (letters, packed keys, exact comparisons) over both blocks at once.
+    if probe._max_letter_code() + 1 >= 255:
+        return None
+    old_keys = old_collection._search_keys
+    if (
+        old_keys is not None
+        and old_collection._max_letter is not None
+        and old_collection._max_letter + 1 < 255
+        and old_collection._search_width >= LeafCollection.PRESORT_PREFIX
+    ):
+        # Query-seeded keys can be narrower than the presort prefix (their
+        # width tracks the pattern pieces); narrow keys tie on most of the z
+        # near-duplicate leaves, so recompute at full width instead.
+        width = old_collection._search_width
+        kept_keys = old_keys[kept_old_index]
+    else:
+        width = LeafCollection.PRESORT_PREFIX
+        kept_matrix = (
+            probe._content_matrix(np.arange(kept_count, dtype=np.int64), 0, width) + 1
+        ).astype(np.uint8)
+        kept_keys = np.ascontiguousarray(kept_matrix).view(f"S{width}")[:, 0]
+    fresh_rows = kept_count + np.arange(fresh_count, dtype=np.int64)
+    fresh_matrix = (probe._content_matrix(fresh_rows, 0, width) + 1).astype(np.uint8)
+    fresh_keys = np.ascontiguousarray(fresh_matrix).view(f"S{width}")[:, 0]
+    ranks = np.searchsorted(kept_keys, fresh_keys, side="left").astype(np.int64)
+    upper = np.searchsorted(kept_keys, fresh_keys, side="right")
+    ties = np.nonzero(upper > ranks)[0]
+    if len(ties):
+        # Resolve all packed-key ties with one batched exact comparison: a
+        # fresh leaf's rank inside its tied kept run is the number of run
+        # rows strictly below it (the run is itself sorted).
+        counts = upper[ties] - ranks[ties]
+        pair_kept = _concat_ranges(ranks[ties], upper[ties].astype(np.int64))
+        pair_fresh = np.repeat(fresh_rows[ties], counts)
+        less = _batch_leaf_less(probe, pair_kept, pair_fresh)
+        boundaries = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        ranks[ties] += np.add.reduceat(less, boundaries)
+    if np.any(np.diff(ranks) < 0):
+        return None  # cannot happen for a correct total order; re-sort to be safe
+    merged_count = kept_count + fresh_count
+    kept_target = np.arange(kept_count, dtype=np.int64) + np.searchsorted(
+        ranks, np.arange(kept_count, dtype=np.int64), side="right"
+    )
+    fresh_target = ranks + np.arange(fresh_count, dtype=np.int64)
+    order = np.empty(merged_count, dtype=np.int64)
+    order[kept_target] = np.arange(kept_count, dtype=np.int64)
+    order[fresh_target] = fresh_rows
+    collection = LeafCollection(probe.arrays.take(order), reference, presorted=True)
+    # Seed the packed-key cache with the keys this merge just used — the
+    # next update (and prefix searches up to ``width``) reuse them instead
+    # of re-materialising the kept block's content prefix.
+    merged_keys = np.empty(merged_count, dtype=kept_keys.dtype)
+    merged_keys[kept_target] = kept_keys
+    merged_keys[fresh_target] = fresh_keys
+    collection._seed_search_caches(merged_keys, width, probe._max_letter_code())
+    return collection, kept_target
+
+
 def _merge_collection(
     old_collection: LeafCollection,
     dirty: set,
-    fresh: list[FactorLeaf],
+    fresh_arrays: LeafArrays,
     reference: np.ndarray,
 ) -> LeafCollection:
     """Merge an update's surviving and re-derived leaves into a sorted collection.
 
-    The kept rows are sliced out of the old parallel arrays, concatenated
-    with the fresh leaves' arrays and re-sorted through the same vectorised
-    radix sort a fresh build uses — the leaf order is a unique total order,
-    so this is exactly the stepwise merge, minus the per-leaf Python
-    comparisons.  Adjacent-LCP values are carried over where the old
-    neighbourhood survived intact (the LCP of two non-adjacent old leaves is
-    the min of the old adjacent LCPs between them) and recomputed directly
-    only at the seams around inserted leaves.  The cached search byte keys
-    survive the same way: kept rows keep their packed keys, only the
-    inserted rows' keys are computed.
+    The kept rows are sliced out of the old parallel arrays and merged with
+    the fresh leaves' arrays through :func:`_merge_sorted_runs` (two-run
+    merge over packed byte keys); when that fast path does not apply the
+    concatenation is re-sorted through the same vectorised radix sort a
+    fresh build uses.  The leaf order is a unique total order, so both
+    realise exactly the stepwise merge.  Adjacent-LCP values are carried
+    over where the old neighbourhood survived intact (the LCP of two
+    non-adjacent old leaves is the min of the old adjacent LCPs between
+    them) and recomputed directly only at the seams around inserted leaves.
+    The cached search byte keys survive the same way: kept rows keep their
+    packed keys, only the inserted rows' keys are computed.
     """
     old_arrays = old_collection.arrays
     count = len(old_arrays)
@@ -1297,14 +1464,17 @@ def _merge_collection(
         kept_mask = np.ones(count, dtype=bool)
     kept_old_index = np.nonzero(kept_mask)[0]
     kept_arrays = old_arrays.take(kept_old_index)
-    fresh_arrays = LeafArrays.from_leaves(fresh)
     merged_count = len(kept_arrays) + len(fresh_arrays)
-    merged = LeafCollection(
-        LeafArrays.concatenate([kept_arrays, fresh_arrays]), reference
+    fast = _merge_sorted_runs(
+        old_collection, kept_old_index, kept_arrays, fresh_arrays, reference
     )
-    # Final sorted position of every kept row and every fresh row.
-    kept_target = merged.raw_to_sorted[: len(kept_arrays)]
-    fresh_target = merged.raw_to_sorted[len(kept_arrays) :]
+    if fast is not None:
+        merged, kept_target = fast
+    else:
+        merged = LeafCollection(
+            LeafArrays.concatenate([kept_arrays, fresh_arrays]), reference
+        )
+        kept_target = merged.raw_to_sorted[: len(kept_arrays)]
     # Old sorted index of each merged row, or -1 for a fresh leaf.
     origins = np.full(merged_count, -1, dtype=np.int64)
     origins[kept_target] = kept_old_index
@@ -1336,22 +1506,95 @@ def _merge_collection(
         merged._cached_lcps = lcps
     # Carry the still-valid search caches over: kept rows keep their packed
     # byte keys, the inserted rows' keys are computed at the cached width.
+    # (The fast merge already seeded its own — usually wider — keys.)
     old_keys = old_collection._search_keys
     if (
-        old_keys is not None
+        merged._search_keys is None
+        and old_keys is not None
         and old_collection._max_letter is not None
         and old_collection._max_letter + 1 < 255
     ):
         width = old_collection._search_width
+        fresh_slots = np.nonzero(origins < 0)[0]
         fresh_matrix = (
-            merged._content_matrix(fresh_target, 0, width) + 1
+            merged._content_matrix(fresh_slots, 0, width) + 1
         ).astype(np.uint8)
         fresh_keys = np.ascontiguousarray(fresh_matrix).view(f"S{width}")[:, 0]
         merged_keys = np.empty(merged_count, dtype=old_keys.dtype)
         merged_keys[kept_target] = old_keys[kept_old_index]
-        merged_keys[fresh_target] = fresh_keys
+        merged_keys[fresh_slots] = fresh_keys
         merged._seed_search_caches(merged_keys, width, merged._max_letter_code())
     return merged
+
+
+def _updated_minimizer_positions(
+    scheme: MinimizerScheme,
+    ell: int,
+    string_new: np.ndarray,
+    valid_new: np.ndarray,
+    valid_old: np.ndarray,
+    q_old: np.ndarray,
+    changed: np.ndarray,
+) -> np.ndarray:
+    """Minimizer positions of an updated estimation string, recomputed locally.
+
+    Minimizer choice is a pure function of a window's letters, so only
+    windows whose letters or validity changed can select differently.  Every
+    position within reach of such a window is re-resolved by recomputing the
+    selections of *all* windows overlapping it; positions out of reach keep
+    their old selected/unselected status (``q_old``, the old string's exact
+    selection set).  Falls back to the full scan when the changed regions
+    cover most of the string.
+    """
+    window_count = len(valid_new)
+    if window_count <= 0:
+        return np.empty(0, dtype=np.int64)
+    flips = np.nonzero(valid_new != valid_old)[0]
+    if not len(changed) and not len(flips):
+        return q_old.astype(np.int64, copy=True)
+    lo = np.concatenate([np.maximum(changed - ell + 1, 0), flips])
+    hi = np.concatenate([np.minimum(changed, window_count - 1), flips])
+    order = np.argsort(lo, kind="stable")
+    lo, hi = lo[order], hi[order]
+    # Merge changed-window intervals, closing gaps below 2ℓ so the guard
+    # regions around distinct intervals stay disjoint.
+    intervals: list[tuple[int, int]] = []
+    current_lo, current_hi = int(lo[0]), int(hi[0])
+    for next_lo, next_hi in zip(lo[1:], hi[1:]):
+        if int(next_lo) <= current_hi + 2 * ell:
+            current_hi = max(current_hi, int(next_hi))
+        else:
+            intervals.append((current_lo, current_hi))
+            current_lo, current_hi = int(next_lo), int(next_hi)
+    intervals.append((current_lo, current_hi))
+    recompute_span = sum(
+        min(b + ell, window_count) - max(a - ell + 1, 0) for a, b in intervals
+    )
+    if 2 * recompute_span >= window_count or len(intervals) > 16:
+        # Many scattered intervals cost more in per-call overhead than one
+        # pass over the whole string.
+        return np.asarray(
+            scheme.minimizer_positions(string_new, valid_new), dtype=np.int64
+        )
+    drop = np.zeros(len(q_old), dtype=bool)
+    fresh_pieces: list[np.ndarray] = []
+    for a, b in intervals:
+        guard_lo, guard_hi = a, b + ell - 1  # positions a changed window can select
+        window_lo = max(a - ell + 1, 0)
+        window_hi = min(b + ell - 1, window_count - 1)  # windows reaching the guard
+        selected = (
+            np.asarray(
+                scheme.minimizer_positions(
+                    string_new[window_lo : window_hi + ell],
+                    valid_new[window_lo : window_hi + 1],
+                ),
+                dtype=np.int64,
+            )
+            + window_lo
+        )
+        fresh_pieces.append(selected[(selected >= guard_lo) & (selected <= guard_hi)])
+        drop |= (q_old >= guard_lo) & (q_old <= guard_hi)
+    return np.union1d(q_old[~drop], np.concatenate(fresh_pieces)).astype(np.int64)
 
 
 def apply_updates_to_data(
@@ -1363,10 +1606,11 @@ def apply_updates_to_data(
     """Localized repair of minimizer index data after point updates.
 
     ``data.source`` must already carry the new rows.  The old and new
-    derivations are diffed exactly: the z-estimation is replayed (it is a
-    sequential left-to-right construction and cannot be patched), but the
-    expensive leaf machinery — per-leaf derivation, sorting, adjacent LCPs —
-    is only re-run for leaves whose derivation actually changed: the
+    derivations are diffed exactly: the z-estimation is re-derived — resumed
+    from the last builder checkpoint at-or-before the first updated position
+    when the old estimation carries checkpoints, replayed from 0 otherwise —
+    and the expensive leaf machinery (per-leaf derivation, sorting, adjacent
+    LCPs) is only re-run for leaves whose derivation actually changed: the
     minimizer windows within ``2ℓ−1`` positions of a touched row plus
     whatever the estimation ripple reaches (property ends crossing an
     updated position, re-assigned estimation letters).  Every surviving leaf
@@ -1385,39 +1629,48 @@ def apply_updates_to_data(
     ell = data.ell
     n = len(source)
     old_estimation = data.estimation
-    new_estimation = build_z_estimation(source, data.z)
+    updated = np.asarray(sorted({int(p) for p in positions}), dtype=np.int64)
+    new_estimation, replay_info = resume_z_estimation(
+        old_estimation, source, data.z, updated
+    )
     if (
         new_estimation.width != old_estimation.width
         or new_estimation.length != old_estimation.length
     ):
         return None  # cannot happen for a fixed z; guard anyway
-    updated = np.asarray(sorted({int(p) for p in positions}), dtype=np.int64)
     new_heavy = data.heavy.updated_copy(source, updated)
+    del positions  # the deduplicated `updated` is the canonical batch from here on
 
     forward_sources = data.forward.sources
     forward_positions = data.forward.positions
-    old_labels: dict[int, np.ndarray] = {}
-    for j in range(old_estimation.width):
-        old_labels[j] = np.sort(forward_positions[forward_sources == j])
+    label_order = np.lexsort((forward_positions, forward_sources))
+    label_bounds = np.searchsorted(
+        forward_sources[label_order],
+        np.arange(old_estimation.width + 1, dtype=np.int64),
+    )
+    old_labels: dict[int, np.ndarray] = {
+        j: forward_positions[label_order[label_bounds[j] : label_bounds[j + 1]]]
+        for j in range(old_estimation.width)
+    }
 
     dirty: set[tuple[int, int]] = set()
     fresh_specs: list[tuple[int, int]] = []
+    window_starts = np.arange(max(n - ell + 1, 0), dtype=np.int64)
     for j in range(new_estimation.width):
         string_old = old_estimation.strings[j]
         string_new = new_estimation.strings[j]
         ends_old = old_estimation.ends[j]
         ends_new = new_estimation.ends[j]
         changed = np.union1d(np.nonzero(string_old != string_new)[0], updated)
+        q_old = old_labels.get(j, np.empty(0, dtype=np.int64))
         if n >= ell:
-            starts = np.arange(n - ell + 1, dtype=np.int64)
-            valid = ends_new[: n - ell + 1] >= starts + ell - 1
-            q_new_list = (
-                scheme.minimizer_positions(string_new, valid) if valid.any() else []
+            valid_old = ends_old[: n - ell + 1] >= window_starts + ell - 1
+            valid_new = ends_new[: n - ell + 1] >= window_starts + ell - 1
+            q_new = _updated_minimizer_positions(
+                scheme, ell, string_new, valid_new, valid_old, q_old, changed
             )
         else:
-            q_new_list = []
-        q_new = np.asarray(q_new_list, dtype=np.int64)
-        q_old = old_labels.get(j, np.empty(0, dtype=np.int64))
+            q_new = np.empty(0, dtype=np.int64)
         for q in np.setdiff1d(q_old, q_new, assume_unique=True):
             dirty.add((j, int(q)))
         for q in np.setdiff1d(q_new, q_old, assume_unique=True):
@@ -1445,8 +1698,8 @@ def apply_updates_to_data(
     if len(dirty) > 64 and len(dirty) > max_dirty_fraction * total_leaves:
         return None
 
-    fresh_forward: list[FactorLeaf] = []
-    fresh_backward: list[FactorLeaf] = []
+    fresh_forward_parts: list[LeafArrays] = []
+    fresh_backward_parts: list[LeafArrays] = []
     by_string: dict[int, list[int]] = {}
     for j, q in fresh_specs:
         by_string.setdefault(j, []).append(q)
@@ -1454,12 +1707,18 @@ def apply_updates_to_data(
         string_new = new_estimation.strings[j]
         ends_new = new_estimation.ends[j]
         mismatch_positions = np.nonzero(string_new != new_heavy.codes)[0]
-        for q in sorted(qs):
-            forward_leaf, backward_leaf = _derive_leaf_pair(
-                n, string_new, ends_new, mismatch_positions, q, j
-            )
-            fresh_forward.append(forward_leaf)
-            fresh_backward.append(backward_leaf)
+        forward_block, backward_block = _derive_leaf_arrays_for_string(
+            n,
+            string_new,
+            ends_new,
+            mismatch_positions,
+            np.asarray(sorted(qs), dtype=np.int64),
+            j,
+        )
+        fresh_forward_parts.append(forward_block)
+        fresh_backward_parts.append(backward_block)
+    fresh_forward = LeafArrays.concatenate(fresh_forward_parts)
+    fresh_backward = LeafArrays.concatenate(fresh_backward_parts)
 
     forward_reference = new_heavy.codes
     backward_reference = forward_reference[::-1].copy()
@@ -1469,18 +1728,16 @@ def apply_updates_to_data(
     )
     pairs = None
     if data.pairs is not None:
-        backward_slot = {
-            (int(source_id), int(position)): index
-            for index, (source_id, position) in enumerate(
-                zip(backward.sources, backward.positions)
-            )
-        }
-        pairs = [
-            (index, backward_slot[(int(source_id), int(position))])
-            for index, (source_id, position) in enumerate(
-                zip(forward.sources, forward.positions)
-            )
+        # Forward/backward blocks carry the same (source, position) label
+        # sets, so the pairing is one searchsorted over packed labels.
+        stride = n + 1
+        backward_keys = backward.sources * stride + backward.positions
+        forward_keys = forward.sources * stride + forward.positions
+        backward_order = np.argsort(backward_keys)
+        slots = backward_order[
+            np.searchsorted(backward_keys[backward_order], forward_keys)
         ]
+        pairs = list(zip(range(len(forward_keys)), slots.tolist()))
     counters = dict(data.counters)
     counters["forward_leaves"] = len(forward)
     counters["backward_leaves"] = len(backward)
@@ -1503,5 +1760,6 @@ def apply_updates_to_data(
         "rederived_leaves": len(fresh_specs),
         "dropped_leaves": len(dirty) - len(fresh_specs),
         "reused_leaves": len(forward) - len(fresh_specs),
+        **replay_info,
     }
     return new_data, details

@@ -51,10 +51,14 @@ __all__ = [
     "load_sharded_store",
     "refresh_sharded_store",
     "reload_sharded_store",
+    "append_update_log",
+    "read_update_log",
+    "compact_store",
     "STORE_FORMAT",
     "STORE_VERSION",
     "SHARDED_STORE_FORMAT",
     "SHARDED_STORE_VERSION",
+    "UPDATE_LOG_NAME",
 ]
 
 _MAGIC = b"RPROIDX\n"
@@ -68,6 +72,7 @@ SHARDED_STORE_FORMAT = "repro.sharded_store"
 SHARDED_STORE_VERSION = 1
 _SHARDED_SUPPORTED_VERSIONS = (1,)
 _MANIFEST_NAME = "manifest.json"
+UPDATE_LOG_NAME = "update-log.jsonl"
 
 
 # --------------------------------------------------------------------------- #
@@ -206,6 +211,116 @@ def _unpack_collection(container: _Container, prefix: str, reference, lcps=None)
 
 
 # --------------------------------------------------------------------------- #
+# estimation + checkpoint packing                                              #
+# --------------------------------------------------------------------------- #
+def _pack_estimation(arrays: dict, prefix: str, estimation) -> None:
+    """Persist the z-estimation family plus its builder checkpoints.
+
+    The family itself is two dense ``(⌊z⌋ × n)`` arrays.  Checkpoints are
+    variable-size (one flattened group tree each), so they are packed as one
+    CSR block over all checkpoints: per-node segment/member *counts* instead
+    of per-checkpoint offset arrays, with ``node_start`` delimiting each
+    checkpoint's node slice.  The per-checkpoint ``seg_start``/``mem_start``
+    offsets are recomputed by cumulative sums on load.
+    """
+    arrays[f"{prefix}est.strings"] = estimation.strings
+    arrays[f"{prefix}est.ends"] = estimation.ends
+    checkpoints = estimation.checkpoints
+    positions = np.asarray([c.position for c in checkpoints], dtype=np.int64)
+    arrays[f"{prefix}est.cp.position"] = positions
+    if not len(checkpoints):
+        return
+    trees = [c.tree for c in checkpoints]
+    node_counts = np.asarray([t.node_count for t in trees], dtype=np.int64)
+    zero = np.zeros(1, dtype=np.int64)
+    arrays[f"{prefix}est.cp.alive"] = np.stack([c.alive_from for c in checkpoints])
+    arrays[f"{prefix}est.cp.node_start"] = np.concatenate(
+        [zero, np.cumsum(node_counts)]
+    )
+    arrays[f"{prefix}est.cp.parent"] = np.concatenate([t.parent for t in trees])
+    arrays[f"{prefix}est.cp.seg_count"] = np.concatenate(
+        [np.diff(t.seg_start) for t in trees]
+    )
+    arrays[f"{prefix}est.cp.mem_count"] = np.concatenate(
+        [np.diff(t.mem_start) for t in trees]
+    )
+    arrays[f"{prefix}est.cp.seg_lo"] = np.concatenate([t.seg_lo for t in trees])
+    arrays[f"{prefix}est.cp.seg_hi"] = np.concatenate([t.seg_hi for t in trees])
+    arrays[f"{prefix}est.cp.seg_weight"] = np.concatenate(
+        [t.seg_weight for t in trees]
+    )
+    arrays[f"{prefix}est.cp.mem_level"] = np.concatenate([t.mem_level for t in trees])
+    arrays[f"{prefix}est.cp.mem_token"] = np.concatenate([t.mem_token for t in trees])
+
+
+def _unpack_estimation(container: _Container, prefix: str, source, z: float):
+    """Rehydrate the stored z-estimation (with checkpoints) or return None."""
+    from ..core.estimation import EstimationCheckpoint, ZEstimation
+    from ..core.properties import GroupTreeArrays
+
+    if not container.has(f"{prefix}est.strings"):
+        return None
+    strings = container.array(f"{prefix}est.strings")
+    ends = container.array(f"{prefix}est.ends")
+    checkpoints = []
+    if container.has(f"{prefix}est.cp.position"):
+        positions = container.array(f"{prefix}est.cp.position")
+        if len(positions):
+            alive = container.array(f"{prefix}est.cp.alive")
+            node_start = np.asarray(
+                container.array(f"{prefix}est.cp.node_start"), dtype=np.int64
+            )
+            parent = container.array(f"{prefix}est.cp.parent")
+            seg_count = np.asarray(
+                container.array(f"{prefix}est.cp.seg_count"), dtype=np.int64
+            )
+            mem_count = np.asarray(
+                container.array(f"{prefix}est.cp.mem_count"), dtype=np.int64
+            )
+            seg_data = tuple(
+                container.array(f"{prefix}est.cp.{name}")
+                for name in ("seg_lo", "seg_hi", "seg_weight")
+            )
+            mem_data = tuple(
+                container.array(f"{prefix}est.cp.{name}")
+                for name in ("mem_level", "mem_token")
+            )
+            zero = np.zeros(1, dtype=np.int64)
+            seg_block = np.concatenate([zero, np.cumsum(seg_count)])
+            mem_block = np.concatenate([zero, np.cumsum(mem_count)])
+            for index, position in enumerate(positions.tolist()):
+                lo, hi = int(node_start[index]), int(node_start[index + 1])
+                tree = GroupTreeArrays(
+                    parent=np.asarray(parent[lo:hi], dtype=np.int64),
+                    seg_start=np.concatenate([zero, np.cumsum(seg_count[lo:hi])]),
+                    seg_lo=np.asarray(
+                        seg_data[0][seg_block[lo] : seg_block[hi]], dtype=np.int64
+                    ),
+                    seg_hi=np.asarray(
+                        seg_data[1][seg_block[lo] : seg_block[hi]], dtype=np.int64
+                    ),
+                    seg_weight=np.asarray(
+                        seg_data[2][seg_block[lo] : seg_block[hi]], dtype=np.float64
+                    ),
+                    mem_start=np.concatenate([zero, np.cumsum(mem_count[lo:hi])]),
+                    mem_level=np.asarray(
+                        mem_data[0][mem_block[lo] : mem_block[hi]], dtype=np.int64
+                    ),
+                    mem_token=np.asarray(
+                        mem_data[1][mem_block[lo] : mem_block[hi]], dtype=np.int64
+                    ),
+                )
+                checkpoints.append(
+                    EstimationCheckpoint(
+                        position=int(position),
+                        alive_from=np.asarray(alive[index], dtype=np.int64),
+                        tree=tree,
+                    )
+                )
+    return ZEstimation(strings, ends, z, source.alphabet, checkpoints)
+
+
+# --------------------------------------------------------------------------- #
 # per-family packing                                                           #
 # --------------------------------------------------------------------------- #
 def _stats_meta(stats) -> dict:
@@ -272,6 +387,8 @@ def _pack_body(index, arrays: dict, prefix: str) -> dict:
             arrays[f"{prefix}pairs"] = np.array(data.pairs, dtype=np.int64).reshape(
                 len(data.pairs), 2
             )
+        if data.construction == "estimation" and data.estimation is not None:
+            _pack_estimation(arrays, prefix, data.estimation)
         grid_meta = None
         if index.use_grid and index.grid is not None:
             grid = index.grid
@@ -387,6 +504,9 @@ def _unpack_minimizer(container: _Container, meta: dict, prefix: str, source, z:
         pairs=pairs,
         construction=meta.get("construction", "estimation"),
         counters=dict(meta.get("counters", {})),
+        # Presence-gated: stores written before estimation persistence load
+        # with ``estimation=None`` and fall back to full-rebuild updates.
+        estimation=_unpack_estimation(container, prefix, source, z),
     )
     if cls.use_trie:
         _adopt_stored_tries(container, prefix, data)
@@ -511,9 +631,11 @@ def stored_arrays(index) -> dict[str, np.ndarray]:
     Returns the same ``{name: array}`` mapping :func:`save_index` would write,
     but referencing the index's *current* array objects — so after a
     ``load_index(..., mmap=True)`` round trip every entry should chain through
-    ``.base`` to a :class:`numpy.memmap`.  The ``pairs`` entry is the one
-    exception: it is re-materialized from Python tuples on both save and load,
-    so it is never mmap-backed.  Used by tests to pin the multi-worker RSS
+    ``.base`` to a :class:`numpy.memmap`.  The ``pairs`` entry is one
+    exception (re-materialized from Python tuples on both save and load) and
+    the ``est.cp.*`` checkpoint blocks are the other (re-concatenated from
+    the per-checkpoint objects on every pack), so neither is ever
+    mmap-backed.  Used by tests to pin the multi-worker RSS
     story (forked workers must share the page cache, not copy the arrays).
     """
     arrays: dict[str, np.ndarray] = {}
@@ -668,6 +790,82 @@ def refresh_sharded_store(directory, index, *, generation_names: bool = False) -
         "rewritten": rewritten,
         "skipped": len(stored) - len(rewritten),
         "obsolete": obsolete,
+    }
+
+
+def append_update_log(directory, entry: dict) -> None:
+    """Append one JSON line to a directory store's ``update-log.jsonl``.
+
+    The log records what update batches a long-lived store absorbed (CLI
+    ``update`` runs, serving-layer refreshes) — enough to audit why shard
+    files accumulated ``.g*`` generations.  :func:`compact_store` truncates
+    it once those generations are folded back into canonical files.
+    """
+    path = Path(directory) / UPDATE_LOG_NAME
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def read_update_log(directory) -> list[dict]:
+    """All entries of a directory store's update log (empty when absent)."""
+    path = Path(directory) / UPDATE_LOG_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return []
+    entries = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"{path} has a corrupt update-log line: {exc}"
+            ) from exc
+    return entries
+
+
+def compact_store(directory) -> dict:
+    """Fold a directory store back to its canonical, generation-free layout.
+
+    Long-lived stores accumulate generation-stamped shard files
+    (``shard-0002.g7.idx``) and update-log entries.  Compaction rewrites
+    every *moved* shard under its canonical name (``shard-0002.idx``) with
+    its generation stamp reset to 0, removes superseded shard files, and
+    truncates the update log; shards already canonical at generation 0 are
+    left byte-untouched.  Query results are byte-identical before and after
+    — only the file layout changes.  Returns
+    ``{"shards": count, "removed": [...], "log_entries_cleared": count}``.
+    """
+    directory = Path(directory)
+    # Validate format/version before touching files.
+    stored = _read_manifest(directory)["shards"]
+    index = load_sharded_store(directory, mmap=False)
+    canonical = [_shard_file_name(number) for number in range(len(index.shards))]
+    for number, shard_index in enumerate(index.shard_indexes):
+        entry = stored[number]
+        if entry["file"] == canonical[number] and int(entry["generation"]) == 0:
+            continue  # already canonical: keep the file byte-identical
+        save_index(directory / canonical[number], shard_index)
+    index._generations = [0] * len(index.shards)
+    _write_manifest(directory, _sharded_manifest(index, files=canonical))
+    keep = set(canonical) | {_MANIFEST_NAME}
+    removed = []
+    for path in sorted(directory.glob("shard-*.idx")):
+        if path.name not in keep:
+            path.unlink()
+            removed.append(path.name)
+    cleared = len(read_update_log(directory))
+    log_path = directory / UPDATE_LOG_NAME
+    if log_path.exists():
+        log_path.unlink()
+    return {
+        "shards": len(canonical),
+        "removed": removed,
+        "log_entries_cleared": cleared,
     }
 
 

@@ -53,24 +53,41 @@ def query_from_payload(payload: dict) -> Query:
 def parse_updates(payload) -> list[tuple[int, dict]]:
     """Normalize a JSON update list into ``(position, distribution)`` pairs.
 
-    Accepts ``{"position": i, "distribution": {...}}`` objects and bare
-    ``[position, distribution]`` pairs.
+    Accepts ``{"position": i, "distribution": {...}}`` objects, bare
+    ``[position, distribution]`` pairs, and *ranged* updates
+    ``{"start": s, "rows": [{...}, ...]}`` (one contiguous span of new
+    distributions, expanded to ``(s, rows[0]), (s+1, rows[1]), ...``).
     """
     if not isinstance(payload, list):
         raise ReproError("updates must be a JSON list")
     pairs = []
     for entry in payload:
-        if isinstance(entry, dict):
+        if isinstance(entry, dict) and "start" in entry:
+            unknown = set(entry) - {"start", "rows"}
+            if unknown or "rows" not in entry:
+                raise ReproError(
+                    "a ranged update carries exactly 'start' and 'rows'"
+                )
+            rows = entry["rows"]
+            if not isinstance(rows, list) or not rows:
+                raise ReproError("a ranged update's 'rows' must be a non-empty list")
+            try:
+                start = int(entry["start"])
+            except (TypeError, ValueError):
+                raise ReproError("a ranged update's 'start' must be an integer") from None
+            pairs.extend((start + offset, row) for offset, row in enumerate(rows))
+        elif isinstance(entry, dict):
             if "position" not in entry or "distribution" not in entry:
                 raise ReproError(
-                    "each update object needs 'position' and 'distribution'"
+                    "each update object needs 'position' and 'distribution' "
+                    "(or 'start' and 'rows' for a ranged update)"
                 )
             pairs.append((entry["position"], entry["distribution"]))
         elif isinstance(entry, (list, tuple)) and len(entry) == 2:
             pairs.append((entry[0], entry[1]))
         else:
             raise ReproError(
-                "each update must be an object with position/distribution "
-                "or a [position, distribution] pair"
+                "each update must be an object with position/distribution, "
+                "an object with start/rows, or a [position, distribution] pair"
             )
     return pairs

@@ -71,6 +71,12 @@ class QueryService:
         self._evictions = 0
         self._updates = 0
         self._invalidations = 0
+        self._rewarms = 0
+        # Warm-log queries remembered by ``warm(..., remember=True)`` so the
+        # cache entries an update invalidates can be re-executed immediately
+        # (see :meth:`rewarm`) instead of degrading the first post-update
+        # request wave into planner misses.
+        self._warm_set: list[Query] = []
         # A worker respawned mid-run starts at the cluster's current
         # generation, not 0, so its responses tag the store state they
         # actually serve.
@@ -214,7 +220,7 @@ class QueryService:
                 )
         return query
 
-    def warm(self, patterns, *, top: int | None = None) -> dict:
+    def warm(self, patterns, *, top: int | None = None, remember: bool = False) -> dict:
         """Pre-populate the cache by replaying patterns from a query log.
 
         ``patterns`` is an iterable of raw patterns (strings or code
@@ -226,6 +232,12 @@ class QueryService:
         planner.  Patterns that fail validation are skipped, not fatal: a log
         replayed against a newer index may contain patterns that no longer
         coerce.  Returns ``{"warmed": ..., "skipped": ..., "patterns_seen": ...}``.
+
+        With ``remember=True`` the warm set is kept, and every later update
+        that invalidates cache entries automatically re-executes the warm
+        patterns that fell out (:meth:`rewarm`) — without it, an updated hot
+        pattern would miss on its first post-update request even though the
+        operator declared it hot.
         """
         counts: OrderedDict[tuple, tuple[int, object]] = OrderedDict()
         seen = 0
@@ -257,7 +269,47 @@ class QueryService:
                 skipped += 1
         for start in range(0, len(warm_set), 256):
             self.query_many(warm_set[start : start + 256])
+        if remember:
+            self._warm_set = list(warm_set)
         return {"warmed": len(warm_set), "skipped": skipped, "patterns_seen": seen}
+
+    def rewarm(self) -> dict:
+        """Re-execute remembered warm patterns whose cache entries are gone.
+
+        Called automatically after :meth:`update` / :meth:`adopt_index`
+        invalidation when a warm set was remembered; harmless (and cheap) to
+        call by hand.  Warm patterns still cached are left alone — only the
+        invalidated ones are re-executed and re-cached, so the first
+        post-update request wave hits the cache for the whole warm set.
+        Patterns that no longer validate against the current index are
+        dropped from the warm set.
+        """
+        if not self._warm_set or not self._cache_enabled:
+            return {"rewarmed": 0, "already_cached": 0, "dropped": 0}
+        pending: list[Query] = []
+        kept: list[Query] = []
+        already = 0
+        dropped = 0
+        for query in self._warm_set:
+            try:
+                query = self.validate(query)
+            except (ReproError, ValueError, TypeError):
+                dropped += 1
+                continue
+            kept.append(query)
+            if self._key(query) in self._cache:
+                already += 1
+            else:
+                pending.append(query)
+        self._warm_set = kept
+        for start in range(0, len(pending), 256):
+            self.query_many(pending[start : start + 256])
+        self._rewarms += len(pending)
+        return {
+            "rewarmed": len(pending),
+            "already_cached": already,
+            "dropped": dropped,
+        }
 
     def adopt_index(self, new_index, *, positions=(), generation=None) -> dict:
         """Swap in a reloaded index, invalidating stale cache entries exactly.
@@ -300,9 +352,11 @@ class QueryService:
         self._generation = (
             int(generation) if generation is not None else self._generation + 1
         )
+        rewarmed = self.rewarm()["rewarmed"] if invalidated and self._warm_set else 0
         return {
             "invalidated_entries": invalidated,
             "surviving_entries": len(self._cache),
+            "rewarmed_entries": rewarmed,
             "service_generation": self._generation,
         }
 
@@ -360,9 +414,11 @@ class QueryService:
         self._updates += 1
         self._invalidations += invalidated
         self._generation += 1
+        rewarmed = self.rewarm()["rewarmed"] if invalidated and self._warm_set else 0
         response = report.as_dict()
         response["invalidated_entries"] = invalidated
         response["surviving_entries"] = len(self._cache)
+        response["rewarmed_entries"] = rewarmed
         response["service_generation"] = self._generation
         return response
 
@@ -390,6 +446,8 @@ class QueryService:
             "cache_enabled": self._cache_enabled,
             "updates": self._updates,
             "invalidations": self._invalidations,
+            "rewarms": self._rewarms,
+            "warm_set": len(self._warm_set),
             "generation": self._generation,
             "index_generation": getattr(self._index, "generation", 0),
         }

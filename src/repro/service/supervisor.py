@@ -499,7 +499,7 @@ class Supervisor:
             self._apply_update(self._update_queue.pop(0))
 
     def _apply_update(self, request: dict) -> None:
-        from ..io.store import refresh_sharded_store, save_index
+        from ..io.store import append_update_log, refresh_sharded_store, save_index
 
         requester = request["requester"]
         try:
@@ -524,6 +524,19 @@ class Supervisor:
                 "rewritten": refresh["rewritten"],
                 "skipped": refresh["skipped"],
             }
+            try:
+                append_update_log(
+                    self._current_store,
+                    {
+                        "time": time.time(),
+                        "positions": report.get("positions", []),
+                        "strategy": report.get("strategy"),
+                        "generation": self._generation,
+                        "rewritten": refresh["rewritten"],
+                    },
+                )
+            except OSError:  # pragma: no cover - the log is advisory
+                pass
         else:
             base = Path(self._store_path)
             new_path = str(base.with_name(f"{base.name}.g{self._generation}"))
@@ -788,8 +801,9 @@ async def _worker_serve(
     warm_patterns = config.get("warm_patterns") or []
     if warm_patterns:
         # Warm before accepting: the first post-warm request wave hits the
-        # cache, not the planner.
-        service.warm(warm_patterns, top=config.get("warm_top"))
+        # cache, not the planner.  ``remember=True`` keeps the warm set so
+        # adopt_index re-warms exactly the entries an update invalidates.
+        service.warm(warm_patterns, top=config.get("warm_top"), remember=True)
     reader, writer = await asyncio.open_connection(sock=ctrl_sock)
     context = _WorkerContext(number, reader, writer, store_path)
     server = HttpServer(service, cluster=context, **config.get("server", {}))

@@ -269,11 +269,14 @@ def test_merge_carries_search_caches():
     if report.strategy == "localized":
         merged = index.data.forward
         if merged._search_keys is not None:
-            assert merged._search_width == cached_width
+            # The fast two-run merge re-keys at (at least) the presort
+            # prefix width, so the carried cache can be wider than the
+            # query-seeded one — never narrower.
+            assert merged._search_width >= cached_width
             assert len(merged._search_keys) == len(merged)
             # The carried keys must equal a from-scratch recomputation.
             fresh = build_index(source, z, kind="MWSA", ell=ell).data.forward
-            fresh.prefix_range_many([piece])
+            fresh._batch_search_keys(merged._search_width)
             assert np.array_equal(merged._search_keys, fresh._search_keys)
     # Whatever the strategy, answers must stay oracle-exact.
     fresh = build_index(source, z, kind="MWSA", ell=ell)

@@ -230,6 +230,97 @@ def test_differential_fuzz(tmp_path, name, style, n, sigma, z, ell, seed, batche
     )
 
 
+def test_fuzz_checkpointed_repair_at_boundaries(tmp_path, monkeypatch):
+    """Checkpointed z-estimation replay around its own boundaries.
+
+    With the snapshot cadence forced down to K=16, a 96-position string has
+    checkpoints inside the update range.  Update waves are aimed exactly at
+    the replay edge cases — just before / at / just after a checkpoint
+    boundary, a ranged update spanning a boundary, and the string ends
+    (position 0 resumes from nothing, position n-1 replays the tail) — and
+    after every wave all 7 monolithic variants, the sharded index and both
+    store-loaded indexes must stay oracle-exact, with the minimizer family's
+    repaired leaves bit-identical to from-scratch builds on the mutated
+    string.
+    """
+    import repro.core.estimation as estimation_module
+
+    K = 16
+    monkeypatch.setattr(estimation_module, "DEFAULT_CHECKPOINT_EVERY", K)
+    n, sigma, z, ell, seed = 96, 4, 4.0, 3, 909
+    source = random_weighted_string("skewed", n, sigma, seed)
+    pipeline = ConstructionPipeline(source, z, ell=ell)
+    indexes = {kind: pipeline.build(kind) for kind in MONOLITHIC}
+    indexes["SHARDED"] = build_index(
+        source, z, kind="MWSA", ell=ell, shards=3, max_pattern_len=2 * ell
+    )
+    save_index(tmp_path / "mono.idx", indexes["MWSA-G"])
+    indexes["STORE"] = load_index(tmp_path / "mono.idx")
+    save_sharded_store(tmp_path / "sharded", indexes["SHARDED"])
+    indexes["STORE-SHARDED"] = load_sharded_store(tmp_path / "sharded")
+    # The store round-trip must preserve the (small-K) checkpoints, or the
+    # replay paths below would silently test full replay only.
+    stored_estimation = indexes["STORE"].data.estimation
+    assert stored_estimation is not None
+    assert [cp.position for cp in stored_estimation.checkpoints] == list(
+        range(K, n, K)
+    )
+
+    rng = np.random.default_rng(seed + 1)
+
+    def random_row():
+        row = rng.random(sigma) + 0.02
+        return row / row.sum()
+
+    waves = [
+        ("before-boundary", [(2 * K - 1, random_row())]),
+        ("at-boundary", [(2 * K, random_row())]),
+        ("after-boundary", [(2 * K + 1, random_row())]),
+        ("spanning-range", (3 * K - 2, [random_row() for _ in range(5)])),
+        ("position-zero", [(0, random_row())]),
+        ("last-position", [(n - 1, random_row())]),
+    ]
+    replay_modes = set()
+    for wave_number, (label, updates) in enumerate(waves):
+        for index_label, index in indexes.items():
+            if label == "spanning-range":
+                start, rows = updates
+                report = index.apply_range_update(start, [row.copy() for row in rows])
+            else:
+                report = index.apply_updates(
+                    [(position, row.copy()) for position, row in updates]
+                )
+            replay = report.details.get("estimation_replay")
+            if replay is not None:
+                replay_modes.add(replay)
+        # The monolithic indexes share ``source``, so it already carries the
+        # wave; the store-loaded copies applied the same absolute rows.
+        patterns = random_patterns(source, ell, seed + 30 + wave_number, count=8)
+        for index_label, index in indexes.items():
+            assert_index_matches_oracle(
+                index, index.source, patterns, z, f"checkpoint/{label}/{index_label}"
+            )
+            assert np.array_equal(np.asarray(index.source.matrix), source.matrix), (
+                label,
+                index_label,
+            )
+        # Leaf-level bit-identity of the repaired minimizer data against a
+        # from-scratch build over the mutated string, every wave.
+        for kind in ("MWSA", "MWST"):
+            fresh = build_index(source, z, kind=kind, ell=ell)
+            assert leaf_tuples(indexes[kind].data.forward) == leaf_tuples(
+                fresh.data.forward
+            ), (label, kind)
+            assert leaf_tuples(indexes[kind].data.backward) == leaf_tuples(
+                fresh.data.backward
+            ), (label, kind)
+        fresh_grid = build_index(source, z, kind="MWST-G", ell=ell)
+        assert set(indexes["MWST-G"].data.pairs) == set(fresh_grid.data.pairs), label
+    # The boundary waves must have exercised the checkpoint-resume path, not
+    # only full replay — otherwise this test is not testing the tentpole.
+    assert "checkpoint" in replay_modes, replay_modes
+
+
 def test_fuzz_updates_on_store_loaded_sharded_roundtrip(tmp_path):
     """Update → refresh → reload keeps the directory store oracle-exact."""
     from repro.io.store import refresh_sharded_store

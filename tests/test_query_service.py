@@ -255,6 +255,66 @@ class TestUpdateInvalidation:
         assert service.query("ABAB", mode="count").count == index.count("ABAB")
 
 
+class TestWarmRewarm:
+    """Warm-log entries invalidated by an update must be re-warmed.
+
+    Without re-warming, an updated hot pattern misses on its first
+    post-update request even though the operator declared it hot — the
+    warm-up's whole point.  ``warm(..., remember=True)`` keeps the warm set
+    and :meth:`QueryService.rewarm` re-executes exactly the invalidated
+    entries from inside ``update`` / ``adopt_index``.
+    """
+
+    def test_update_rewarms_invalidated_warm_entries(self):
+        source, index, service = fresh_update_fixture()
+        warm = service.warm(["ABAB", "CC", "ABAB"], remember=True)
+        assert warm["warmed"] == 2
+        # Breaks every ABAB occurrence; 'CC' stays probability-0 over the
+        # probed starts and survives.
+        response = service.update([(1, {"C": 1.0})])
+        assert response["invalidated_entries"] == 1
+        assert response["rewarmed_entries"] == 1
+        # First post-update wave: the unaffected pattern hits its surviving
+        # entry, the affected one hits its re-warmed entry.
+        hits_before = service.stats()["cache_hits"]
+        wave = service.query_many(["ABAB", "CC"])
+        assert service.stats()["cache_hits"] == hits_before + 2
+        # ...and the re-warmed entry is the post-update answer, not stale.
+        assert wave[0].positions == index.locate("ABAB")
+        assert service.stats()["rewarms"] == 1
+        assert service.stats()["warm_set"] == 2
+
+    def test_without_remember_no_rewarm(self):
+        source, index, service = fresh_update_fixture()
+        service.warm(["ABAB"])
+        response = service.update([(1, {"C": 1.0})])
+        assert response["invalidated_entries"] == 1
+        assert response["rewarmed_entries"] == 0
+        hits_before = service.stats()["cache_hits"]
+        service.query("ABAB")  # miss: nothing re-warmed it
+        assert service.stats()["cache_hits"] == hits_before
+
+    def test_adopt_index_rewarms_invalidated_warm_entries(self):
+        import numpy as np
+
+        from repro.core.weighted_string import WeightedString
+
+        source, index, service = fresh_update_fixture()
+        service.warm(["ABAB", "CC"], remember=True)
+        matrix = np.array(source.matrix, copy=True)
+        matrix[1] = [0.0, 0.0, 1.0]  # B -> C at position 1
+        new_source = WeightedString(matrix, source.alphabet)
+        new_index = build_index(new_source, Z, kind="MWSA", ell=2)
+        report = service.adopt_index(new_index, positions=[1], generation=5)
+        assert report["invalidated_entries"] == 1
+        assert report["rewarmed_entries"] == 1
+        assert report["service_generation"] == 5
+        hits_before = service.stats()["cache_hits"]
+        wave = service.query_many(["ABAB", "CC"])
+        assert service.stats()["cache_hits"] == hits_before + 2
+        assert wave[0].positions == new_index.locate("ABAB")
+
+
 @pytest.fixture()
 def pwm_path(tmp_path, paper_example):
     path = tmp_path / "example.pwm"

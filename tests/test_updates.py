@@ -82,6 +82,49 @@ class TestWeightedStringUpdates:
         assert np.array_equal(source.matrix, before)
         assert source.version == 0
 
+    def test_nan_and_infinite_distributions_rejected_before_mutation(self):
+        # Regression: NaN compares False against everything, so a NaN row
+        # used to sail through both the negativity and the zero-sum guard
+        # and normalize into a NaN row (poisoning the log cache with it).
+        source = skewed_source(20)
+        _ = source.log_matrix  # populate the cache so we can assert it survives
+        before = source.matrix.copy()
+        log_before = source.log_matrix.copy()
+        for bad in (
+            {"A": float("nan")},
+            [np.nan, 0.5, 0.25, 0.25],
+            [np.inf, 0.0, 0.0, 0.0],
+            {"C": float("inf")},
+        ):
+            with pytest.raises(WeightedStringError, match="finite"):
+                source.update_position(2, bad)
+        # WeightedStringError is a ValueError, so generic update-path
+        # handlers (CLI, HTTP 400 mapping) catch it without special-casing.
+        with pytest.raises(ValueError):
+            source.update_position(2, {"A": float("nan")})
+        # A batch with one bad row applies nothing at all.
+        with pytest.raises(WeightedStringError, match="finite"):
+            source.apply_updates([(0, {"A": 1.0}), (3, [np.nan] * 4)])
+        assert np.array_equal(source.matrix, before)
+        assert np.array_equal(source.log_matrix, log_before)
+        assert source.version == 0
+
+    def test_constructor_rejects_non_finite_matrix(self):
+        matrix = np.full((4, 2), 0.5)
+        matrix[1, 0] = np.nan
+        with pytest.raises(WeightedStringError, match="finite"):
+            WeightedString(matrix, Alphabet("AB"), normalize=True)
+
+    def test_apply_range_update_matches_point_batch(self):
+        ranged, pointwise = skewed_source(30), skewed_source(30)
+        rows = [{"A": 0.5, "C": 0.5}, [0.1, 0.2, 0.3, 0.4], {"T": 1.0}]
+        positions = ranged.apply_range_update(10, rows)
+        expected = pointwise.apply_updates(list(enumerate(rows, start=10)))
+        assert positions == expected == [10, 11, 12]
+        assert ranged.matrix.tobytes() == pointwise.matrix.tobytes()
+        assert ranged.apply_range_update(0, []) == []
+        assert ranged.version == 1
+
     def test_matrix_stays_read_only_and_views_copy_on_write(self):
         source = skewed_source(20)
         source.update_position(0, {"C": 1.0})
@@ -168,6 +211,30 @@ class TestMonolithicRepairStrategies:
         for pattern in heavy_patterns(source):
             assert index.locate(pattern) == fresh.locate(pattern)
 
+    def test_duplicate_positions_last_wins_through_index(self):
+        source = skewed_source()
+        index = build_index(source, Z, kind="MWSA", ell=ELL)
+        report = index.apply_updates(
+            [(12, {"A": 1.0}), (12, {"C": 0.5, "G": 0.5}), (12, {"T": 1.0})]
+        )
+        assert report.positions == [12]
+        assert np.array_equal(index.source.matrix[12], [0.0, 0.0, 0.0, 1.0])
+        fresh = build_index(index.source, Z, kind="MWSA", ell=ELL)
+        for pattern in heavy_patterns(index.source):
+            assert index.locate(pattern) == fresh.locate(pattern)
+
+    def test_apply_range_update_repairs_like_point_batch(self):
+        source_a, source_b = skewed_source(), skewed_source()
+        rows = [{"A": 0.7, "C": 0.3}, {"G": 1.0}, [0.25, 0.25, 0.25, 0.25]]
+        index_a = build_index(source_a, Z, kind="MWSA", ell=ELL)
+        index_b = build_index(source_b, Z, kind="MWSA", ell=ELL)
+        report = index_a.apply_range_update(33, rows)
+        index_b.apply_updates(list(enumerate(rows, start=33)))
+        assert report.as_dict()["range"] == [33, 36]
+        assert report.positions == [33, 34, 35]
+        for pattern in heavy_patterns(source_a):
+            assert index_a.locate(pattern) == index_b.locate(pattern)
+
 
 class TestShardedDirtyUpdates:
     def make(self, n=100, shards=4):
@@ -250,13 +317,16 @@ class TestUpdateStores:
         for pattern in heavy_patterns(source, count=30):
             assert reloaded.locate(pattern) == index.locate(pattern)
 
-    def test_store_loaded_monolithic_update_falls_back_to_full_rebuild(self, tmp_path):
+    def test_store_loaded_monolithic_update_stays_localized(self, tmp_path):
+        # The store persists the estimation + checkpoints, so a loaded index
+        # repairs in place instead of falling back to a full rebuild.
         source = skewed_source()
         index = build_index(source, Z, kind="MWSA", ell=ELL)
         save_index(tmp_path / "mono.idx", index)
         loaded = load_index(tmp_path / "mono.idx")
         report = loaded.apply_updates([(10, {"T": 1.0})])
-        assert report.strategy == "full-rebuild"
+        assert report.strategy == "localized"
+        assert report.details.get("estimation_replay") in {"checkpoint", "full"}
         fresh = build_index(
             WeightedString(np.asarray(loaded.source.matrix), source.alphabet),
             Z,
@@ -265,6 +335,122 @@ class TestUpdateStores:
         )
         for pattern in heavy_patterns(fresh.source, count=20):
             assert loaded.locate(pattern) == fresh.locate(pattern)
+
+
+class TestUpdateLogAndCompact:
+    def test_update_log_appends_and_reads_back(self, tmp_path):
+        from repro.io.store import append_update_log, read_update_log
+
+        store = tmp_path / "store"
+        store.mkdir()
+        assert read_update_log(store) == []
+        append_update_log(store, {"positions": [3], "strategy": "dirty-shards"})
+        append_update_log(store, {"positions": [9, 10], "strategy": "dirty-shards"})
+        log = read_update_log(store)
+        assert [entry["positions"] for entry in log] == [[3], [9, 10]]
+
+    def test_corrupt_update_log_raises(self, tmp_path):
+        from repro.errors import SerializationError
+        from repro.io.store import UPDATE_LOG_NAME, read_update_log
+
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / UPDATE_LOG_NAME).write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(SerializationError):
+            read_update_log(store)
+
+    def test_compact_folds_generations_and_truncates_log(self, tmp_path):
+        from repro.io.store import (
+            append_update_log,
+            compact_store,
+            read_update_log,
+        )
+
+        source, index = TestShardedDirtyUpdates().make()
+        store = tmp_path / "store"
+        save_sharded_store(store, index)
+        for batch in range(2):
+            updates = [(int(10 + 40 * batch), {"C": 0.5, "G": 0.5})]
+            report = index.apply_updates(updates)
+            refresh = refresh_sharded_store(store, index, generation_names=True)
+            append_update_log(
+                store,
+                {
+                    "positions": report.positions,
+                    "strategy": report.strategy,
+                    "rewritten": refresh["rewritten"],
+                },
+            )
+        assert list(store.glob("shard-*.g*.idx"))
+        assert len(read_update_log(store)) == 2
+        patterns = heavy_patterns(source, count=20)
+        answers_before = [index.locate(pattern) for pattern in patterns]
+
+        outcome = compact_store(store)
+        assert outcome["log_entries_cleared"] == 2
+        assert not list(store.glob("shard-*.g*.idx"))
+        assert read_update_log(store) == []
+        compacted = load_sharded_store(store)
+        assert compacted.generations == [0] * len(compacted.shards)
+        assert [compacted.locate(pattern) for pattern in patterns] == answers_before
+        # ...and the compacted store is still updatable + refreshable.
+        compacted.apply_updates([(5, {"A": 1.0})])
+        refresh_sharded_store(store, compacted)
+        assert load_sharded_store(store).generations == compacted.generations
+
+    def test_compact_on_pristine_store_is_idempotent(self, tmp_path):
+        from repro.io.store import compact_store
+
+        source, index = TestShardedDirtyUpdates().make()
+        store = tmp_path / "store"
+        save_sharded_store(store, index)
+        contents = {
+            name: (store / name).read_bytes()
+            for name in os.listdir(store)
+            if name.endswith(".idx")
+        }
+        outcome = compact_store(store)
+        assert outcome["removed"] == [] and outcome["log_entries_cleared"] == 0
+        for name, payload in contents.items():
+            assert (store / name).read_bytes() == payload, name
+
+    def test_compact_rejects_single_file_store(self, tmp_path):
+        from repro.errors import SerializationError
+        from repro.io.store import compact_store
+
+        source = skewed_source()
+        index = build_index(source, Z, kind="MWSA", ell=ELL)
+        save_index(tmp_path / "mono.idx", index)
+        with pytest.raises(SerializationError):
+            compact_store(tmp_path / "mono.idx")
+
+
+class TestRangedWireUpdates:
+    def test_parse_updates_expands_ranges(self):
+        from repro.service.protocol import parse_updates
+
+        pairs = parse_updates(
+            [
+                {"start": 3, "rows": [{"A": 0.5, "C": 0.5}, {"G": 1.0}]},
+                {"position": 10, "distribution": {"T": 1.0}},
+                [11, {"A": 1.0}],
+            ]
+        )
+        assert [position for position, _ in pairs] == [3, 4, 10, 11]
+
+    def test_parse_updates_rejects_malformed_ranges(self):
+        from repro.errors import ReproError
+        from repro.service.protocol import parse_updates
+
+        for payload in (
+            [{"start": 3}],
+            [{"start": 3, "rows": []}],
+            [{"start": 3, "rows": "AC"}],
+            [{"start": "x", "rows": [{"A": 1.0}]}],
+            [{"start": 3, "rows": [{"A": 1.0}], "extra": 1}],
+        ):
+            with pytest.raises(ReproError):
+                parse_updates(payload)
 
 
 class TestConstructionParametersSurviveRepair:
@@ -277,7 +463,9 @@ class TestConstructionParametersSurviveRepair:
         save_index(tmp_path / "custom.idx", index)
         loaded = load_index(tmp_path / "custom.idx")
         report = loaded.apply_updates([(10, {"T": 1.0})])
-        assert report.strategy == "full-rebuild"  # store-loaded: no estimation
+        # Store-loaded indexes now repair localized; either way the custom
+        # scheme must survive the update.
+        assert report.strategy in {"localized", "full-rebuild"}
         assert (loaded.data.scheme.k, loaded.data.scheme.order) == (2, "lexicographic")
         for pattern in heavy_patterns(loaded.source, count=15):
             assert loaded.locate(pattern) == brute_force_occurrences(
