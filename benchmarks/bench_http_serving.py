@@ -386,6 +386,37 @@ def multi_worker_section(arguments, index, stream) -> tuple[list, dict] | None:
     return rows, gates
 
 
+def durability_section(index, repeats: int = 5) -> dict:
+    """The checksum tax on the load path: reload with verify off vs on.
+
+    Saves the benchmark index to a throwaway store and times full RAM
+    reloads with array verification disabled and enabled (best of
+    ``repeats``, interleaved so cache state is comparable).  The overhead
+    ratio feeds the regression gate in ``check_serving_regression.py``.
+    """
+    from repro.io.store import load_index, save_index
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = os.path.join(scratch, "durability.idx")
+        save_index(path, index)
+        size = os.path.getsize(path)
+        best = {False: float("inf"), True: float("inf")}
+        for verify in (False, True):  # warm the page cache and code paths
+            load_index(path, mmap=False, verify=verify)
+        for _ in range(repeats):
+            for verify in (False, True):
+                started = time.perf_counter()
+                load_index(path, mmap=False, verify=verify)
+                best[verify] = min(best[verify], time.perf_counter() - started)
+    off, on = best[False], best[True]
+    return {
+        "store_bytes": size,
+        "reload_seconds_verify_off": off,
+        "reload_seconds_verify_on": on,
+        "verify_overhead_ratio": (on - off) / off if off > 0 else 0.0,
+    }
+
+
 @pytest.fixture(scope="module")
 def http_workload():
     source, pool, stream = make_workload(
@@ -510,6 +541,15 @@ def main(argv=None) -> int:
         print("FAIL: graceful shutdown dropped or errored in-flight requests")
         return 1
 
+    durability = durability_section(index)
+    print(
+        f"durability: reload verify-off "
+        f"{durability['reload_seconds_verify_off'] * 1e3:.1f} ms, verify-on "
+        f"{durability['reload_seconds_verify_on'] * 1e3:.1f} ms "
+        f"({durability['verify_overhead_ratio']:+.1%} overhead over a "
+        f"{durability['store_bytes']:,}-byte store)"
+    )
+
     cluster_rows: list = []
     cluster_gates: dict = {}
     if not arguments.no_cluster:
@@ -544,6 +584,7 @@ def main(argv=None) -> int:
         from repro.bench.metadata import run_metadata
 
         payload = {"metadata": run_metadata(), "rows": rows, "drain": drain,
+                   "durability": durability,
                    "cluster_rows": cluster_rows, "cluster_gates": cluster_gates,
                    "workload": {"n": len(source), "requests": len(stream),
                                 "unique_patterns": len(pool),

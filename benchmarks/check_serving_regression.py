@@ -16,7 +16,11 @@ report it is pointed at:
   stays honest on small machines without losing the gate on real ones;
 * **shared memory** — every worker's copy-on-write share of the store
   mappings must stay under ``--max-private-fraction`` (default 15% of the
-  store size): the mapped index must be shared, not copied per worker.
+  store size): the mapped index must be shared, not copied per worker;
+* **verify overhead** — the checksum pass on the store load path must add
+  at most ``--max-verify-overhead`` (default 10%) to a full reload; like
+  the batching bar this is waived at smoke scale (a tiny store's reload is
+  dominated by fixed costs) and on snapshots that predate the section.
 
 With ``--fresh`` a second report is compared against the snapshot on a
 relative band: fresh throughputs must reach ``--min-ratio`` (default 0.25)
@@ -40,6 +44,7 @@ DEFAULT_MIN_BATCHING_SPEEDUP = 2.0
 DEFAULT_MIN_SCALING = 1.7
 DEFAULT_MAX_PRIVATE_FRACTION = 0.15
 DEFAULT_MIN_RATIO = 0.25
+DEFAULT_MAX_VERIFY_OVERHEAD = 0.10
 
 
 def batching_speedup(report: dict) -> tuple[int, float] | None:
@@ -56,7 +61,9 @@ def batching_speedup(report: dict) -> tuple[int, float] | None:
 
 
 def check_report(report: dict, *, min_batching: float, min_scaling: float,
-                 max_private: float, label: str) -> list[str]:
+                 max_private: float, label: str,
+                 max_verify_overhead: float = DEFAULT_MAX_VERIFY_OVERHEAD,
+                 ) -> list[str]:
     """Absolute-bar violations of one report."""
     violations = []
     for row in (report.get("rows") or []) + (report.get("cluster_rows") or []):
@@ -82,6 +89,24 @@ def check_report(report: dict, *, min_batching: float, min_scaling: float,
                 f"{label}: micro-batching speedup {speedup:.2f}x at "
                 f"concurrency {top} is below the {min_batching:g}x bar"
             )
+    durability = report.get("durability")
+    if durability is None:
+        # Snapshots written before the durability section existed stay valid.
+        print(f"note ({label}): no durability section — verify gate skipped")
+    elif smoke:
+        # At smoke scale the store is tiny and fixed per-array costs dwarf
+        # the streaming CRC pass, so the ratio is not meaningful as a gate.
+        print(
+            f"note ({label}): smoke run — verify-overhead gate not enforced "
+            f"(recorded {durability['verify_overhead_ratio']:+.1%} over a "
+            f"{durability['store_bytes']:,}-byte store)"
+        )
+    elif durability["verify_overhead_ratio"] > max_verify_overhead:
+        violations.append(
+            f"{label}: checksum verification adds "
+            f"{durability['verify_overhead_ratio']:.1%} to the store reload, "
+            f"above the {max_verify_overhead:.0%} ceiling"
+        )
     gates = report.get("cluster_gates") or {}
     if not gates:
         violations.append(f"{label}: no multi-worker gates recorded")
@@ -161,6 +186,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_RATIO,
                         help=f"fresh throughput must reach this fraction of "
                         f"the snapshot (default {DEFAULT_MIN_RATIO:g})")
+    parser.add_argument("--max-verify-overhead", type=float,
+                        default=DEFAULT_MAX_VERIFY_OVERHEAD,
+                        help=f"checksum-verification reload overhead ceiling "
+                        f"(default {DEFAULT_MAX_VERIFY_OVERHEAD:g})")
     arguments = parser.parse_args(argv)
     with open(arguments.snapshot, "r", encoding="utf-8") as handle:
         snapshot = json.load(handle)
@@ -170,6 +199,7 @@ def main(argv=None) -> int:
         min_scaling=arguments.min_scaling,
         max_private=arguments.max_private_fraction,
         label="snapshot",
+        max_verify_overhead=arguments.max_verify_overhead,
     )
     if arguments.fresh:
         with open(arguments.fresh, "r", encoding="utf-8") as handle:
@@ -180,6 +210,7 @@ def main(argv=None) -> int:
             min_scaling=arguments.min_scaling,
             max_private=arguments.max_private_fraction,
             label="fresh",
+            max_verify_overhead=arguments.max_verify_overhead,
         )
         violations += compare_fresh(snapshot, fresh, arguments.min_ratio)
     if violations:

@@ -1,6 +1,6 @@
 """Command-line interface: build indexes, run queries, inspect datasets, serve.
 
-Installed as the ``repro-uncertain`` console script.  Eight sub-commands:
+Installed as the ``repro-uncertain`` console script.  Ten sub-commands:
 
 * ``info``        — Table 2-style characteristics of a named or PWM-file dataset;
 * ``build``       — build an index (optionally sharded via ``--shards`` /
@@ -19,7 +19,16 @@ Installed as the ``repro-uncertain`` console script.  Eight sub-commands:
   append each batch to the store's ``update-log.jsonl``;
 * ``compact``     — fold an updated directory store back to canonical
   generation-0 shard files (drops superseded ``.gN`` files, truncates the
-  update log; query answers stay byte-identical);
+  update log; query answers stay byte-identical); refuses to run on a
+  store that fails verification — run ``recover`` first;
+* ``verify-store`` — audit a store file or directory without modifying it:
+  container and per-array checksums, torn write-ahead-log tails, committed
+  but unapplied updates, leftover temp files; exit 1 when damage is found;
+* ``recover``     — bring a directory store back to a consistent state
+  after a crash: sweep temp files, truncate torn WAL tails, quarantine
+  corrupt shards and fall back to intact siblings, replay committed
+  updates (single-file stores are verified only — atomic writes leave
+  them old-or-new, never torn);
 * ``serve``       — a line-oriented stdin/stdout JSON query loop over a
   cached :class:`~repro.service.QueryService` (one request per line, one
   JSON response per line), including an ``update`` op with exact cache
@@ -59,12 +68,14 @@ from .indexes import INDEX_CLASSES, Query, QueryMode, QueryPlanner, build_index
 from .io.pwm import read_pwm
 from .io.store import (
     append_update_log,
+    apply_updates_durably,
     compact_store,
     load_index,
     load_sharded_store,
-    refresh_sharded_store,
+    recover_sharded_store,
     save_index,
     save_sharded_store,
+    verify_store,
 )
 from .service import QueryService
 from .service.protocol import parse_updates, query_from_payload
@@ -302,6 +313,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report"
     )
 
+    verify = subparsers.add_parser(
+        "verify-store",
+        help="audit a store (file or directory) without modifying it: "
+        "checksums, torn WAL tails, unapplied updates, temp leftovers",
+    )
+    verify.add_argument(
+        "--store", required=True,
+        help="index store to audit: a single-index file or a sharded "
+        "store directory",
+    )
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="bring a crashed directory store back to a consistent state "
+        "(sweep temp files, truncate torn WAL tails, quarantine corrupt "
+        "shards, replay committed updates)",
+    )
+    recover.add_argument(
+        "--store", required=True,
+        help="sharded store directory to recover (single-file stores are "
+        "verified only: atomic writes leave them old-or-new, never torn)",
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="line-oriented JSON query loop over stdin/stdout (cached serving)",
@@ -491,10 +525,15 @@ def _command_update(arguments) -> dict:
     # Read into RAM: the command rewrites store files it just loaded, which
     # must not race live memory maps of those same files.
     index = _load_store(arguments.store, mmap=False)
-    report = index.apply_updates(updates).as_dict()
     started = time.perf_counter()
     if sharded_dir:
-        report["store"] = refresh_sharded_store(arguments.store, index)
+        # WAL-first durable path: commit the batch before rewriting shards,
+        # so a crash at any point is rolled forward by ``recover``.
+        update_report, outcome, _wal_start = apply_updates_durably(
+            arguments.store, index, updates
+        )
+        report = update_report.as_dict()
+        report["store"] = outcome
         report["store"]["path"] = arguments.store
         append_update_log(
             arguments.store,
@@ -507,6 +546,7 @@ def _command_update(arguments) -> dict:
             },
         )
     else:
+        report = index.apply_updates(updates).as_dict()
         target = arguments.out or arguments.store
         save_index(target, index)
         report["store"] = {"path": target, "rewritten": "all"}
@@ -523,6 +563,46 @@ def _command_compact(arguments) -> dict:
         )
     started = time.perf_counter()
     report = compact_store(store_path)
+    report["path"] = arguments.store
+    report["seconds"] = time.perf_counter() - started
+    return report
+
+
+def _command_verify_store(arguments) -> dict:
+    report = verify_store(arguments.store)
+    if not report["ok"]:
+        # Print the full report before signalling failure so scripts can
+        # both gate on the exit code and parse the damage list.
+        print(json.dumps(report, indent=2, default=str))
+        count = len(report["problems"])
+        raise ReproError(
+            f"store {arguments.store} failed verification "
+            f"({count} problem{'s' if count != 1 else ''}; run `recover`)"
+        )
+    return report
+
+
+def _command_recover(arguments) -> dict:
+    store_path = Path(arguments.store)
+    started = time.perf_counter()
+    if not store_path.is_dir():
+        # A single-file store written atomically is old-or-new, never torn;
+        # recovery reduces to a verification pass.
+        report = verify_store(store_path)
+        if not report["ok"]:
+            print(json.dumps(report, indent=2, default=str))
+            raise ReproError(
+                f"store {arguments.store} is corrupt and single-file stores "
+                "have no WAL to roll forward; rebuild it from the source"
+            )
+        return {
+            "schema": "repro.recover.v1",
+            "path": arguments.store,
+            "status": "clean",
+            "seconds": time.perf_counter() - started,
+        }
+    _index, report = recover_sharded_store(store_path)
+    report["schema"] = "repro.recover.v1"
     report["path"] = arguments.store
     report["seconds"] = time.perf_counter() - started
     return report
@@ -939,6 +1019,8 @@ def main(argv=None) -> int:
         "query-batch": _command_query_batch,
         "update": _command_update,
         "compact": _command_compact,
+        "verify-store": _command_verify_store,
+        "recover": _command_recover,
         "serve": _command_serve,
         "serve-http": _command_serve_http,
     }

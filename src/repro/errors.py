@@ -55,5 +55,51 @@ class SerializationError(ReproError):
     """A file could not be parsed into (or written from) a library object."""
 
 
+class StoreError(SerializationError):
+    """Base class for errors raised by the on-disk index store layer."""
+
+
+class StoreFormatError(StoreError):
+    """A store file is not ours or speaks a format/version we cannot read.
+
+    Raised for bad magic bytes, foreign ``format`` identifiers, unsupported
+    versions and family mismatches — i.e. the file is structurally intact
+    but not something this reader should try to interpret.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """A store file is ours but damaged: truncated, torn or bit-flipped.
+
+    Carries enough structure for tooling (``verify-store``/``recover``) to
+    point at the damage: the file path, the failing section, and — when a
+    checksum mismatch is the evidence — the byte offset plus expected and
+    actual digests.
+    """
+
+    def __init__(
+        self,
+        path,
+        section: str,
+        message: str | None = None,
+        *,
+        offset: int | None = None,
+        expected: str | None = None,
+        actual: str | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.section = section
+        self.offset = offset
+        self.expected = expected
+        self.actual = actual
+        detail = message or "is corrupt"
+        parts = [f"{self.path}: {section} {detail}"]
+        if offset is not None:
+            parts.append(f"at offset {offset}")
+        if expected is not None or actual is not None:
+            parts.append(f"(expected {expected}, actual {actual})")
+        super().__init__(" ".join(parts))
+
+
 class DatasetError(ReproError):
     """A synthetic dataset specification is invalid."""

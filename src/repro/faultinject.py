@@ -1,0 +1,128 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+Durability-critical code paths (container saves, shard refreshes, WAL
+appends, compaction) call :func:`failpoint` at every write/rename/fsync
+boundary.  In production the calls are near-free no-ops; under test the
+``REPRO_FAILPOINTS`` environment variable arms specific points::
+
+    REPRO_FAILPOINTS="store.container.fsynced=kill,store.wal.appended=error"
+
+Supported actions:
+
+``kill``
+    ``os.kill(os.getpid(), SIGKILL)`` — simulates a crash at exactly this
+    point.  Bytes already written to the OS survive (the kernel keeps
+    them), bytes not yet written are lost, which is precisely the torn
+    state recovery must handle.
+``error``
+    Raise :class:`InjectedFault` (an ``OSError``) every time the point is
+    hit — simulates a persistently failing disk for degraded-mode tests.
+``error-once``
+    Raise :class:`InjectedFault` the first time only, then pass.
+
+Failpoint names form a closed registry: hitting or arming an unknown name
+raises immediately, so a typo in a test cannot silently disarm coverage.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+_ENV_VAR = "REPRO_FAILPOINTS"
+
+#: Every failpoint threaded through the store layer.  Tests iterate this
+#: tuple to sweep kill-points; keep it in sync with the ``failpoint()``
+#: call sites in :mod:`repro.io.store`.
+FAILPOINTS: tuple[str, ...] = (
+    # Monolithic container save (tmp write → fsync → rename).
+    "store.container.tmp_written",
+    "store.container.fsynced",
+    "store.container.replaced",
+    # Sharded-store manifest save.
+    "store.manifest.tmp_written",
+    "store.manifest.fsynced",
+    "store.manifest.replaced",
+    # Write-ahead log append.
+    "store.wal.appended",
+    "store.wal.fsynced",
+    # Sharded refresh (shard rewrites, then the manifest swap).
+    "store.refresh.shard_written",
+    "store.refresh.manifest_written",
+    # Compaction (canonical rewrites, manifest swap, obsolete unlinks).
+    "store.compact.shard_written",
+    "store.compact.manifest_written",
+    "store.compact.unlink",
+)
+
+_REGISTRY = frozenset(FAILPOINTS)
+
+_ACTIONS = ("kill", "error", "error-once")
+
+
+class InjectedFault(OSError):
+    """The artificial I/O failure raised by an ``error`` failpoint."""
+
+
+_armed: dict[str, str] | None = None
+_tripped: set[str] = set()
+
+
+def _parse(spec: str) -> dict[str, str]:
+    armed: dict[str, str] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, action = entry.partition("=")
+        name = name.strip()
+        action = action.strip() or "kill"
+        if name not in _REGISTRY:
+            raise ValueError(f"unknown failpoint {name!r} in {_ENV_VAR}")
+        if action not in _ACTIONS:
+            raise ValueError(f"unknown failpoint action {action!r} for {name}")
+        armed[name] = action
+    return armed
+
+
+def _load() -> dict[str, str]:
+    global _armed
+    if _armed is None:
+        _armed = _parse(os.environ.get(_ENV_VAR, ""))
+    return _armed
+
+
+def configure(spec: str | None) -> None:
+    """Arm failpoints in-process (tests); ``None`` or ``""`` disarms all."""
+    global _armed
+    _armed = _parse(spec) if spec else {}
+    _tripped.clear()
+
+
+def clear() -> None:
+    """Disarm every failpoint and forget ``error-once`` state."""
+    configure(None)
+
+
+def registered_failpoints() -> tuple[str, ...]:
+    """The closed registry of failpoint names, for sweep-style tests."""
+    return FAILPOINTS
+
+
+def failpoint(name: str) -> None:
+    """Trigger ``name`` if armed.  No-op (one dict lookup) otherwise."""
+    armed = _load()
+    if name not in armed:
+        if name not in _REGISTRY:
+            raise RuntimeError(f"failpoint {name!r} is not registered")
+        return
+    action = armed[name]
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "error-once":
+        if name in _tripped:
+            return
+        _tripped.add(name)
+        raise InjectedFault(f"injected fault at {name}")
+    else:
+        raise InjectedFault(f"injected fault at {name}")

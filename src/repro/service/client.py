@@ -5,14 +5,26 @@ smoke run: keep-alive connections, JSON request bodies, Content-Length
 responses.  Not a general-purpose client — it speaks exactly the subset
 :mod:`repro.service.server` emits, which keeps both ends small and tested
 against each other.
+
+Resilience knobs (all off by default, so benchmarks measure the raw server
+behavior): a connect/read ``timeout``, and ``retries`` with jittered
+exponential backoff.  Retries cover connection failures, read timeouts and
+throttle/degraded answers (HTTP 429/503), honoring the server's
+``Retry-After`` header when it is larger than the computed backoff.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 
 __all__ = ["HttpResponse", "AsyncHttpClient"]
+
+#: Status codes worth retrying: throttled (429) and degraded/overload (503).
+_RETRY_STATUSES = frozenset({429, 503})
+
+_CONNECTION_ERRORS = (ConnectionError, asyncio.IncompleteReadError, OSError)
 
 
 class HttpResponse:
@@ -33,6 +45,16 @@ class HttpResponse:
     def json(self):
         return json.loads(self.body.decode("utf-8"))
 
+    def retry_after(self) -> float | None:
+        """The ``Retry-After`` delay in seconds, when the server sent one."""
+        value = self.headers.get("retry-after")
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"HttpResponse(status={self.status}, bytes={len(self.body)})"
 
@@ -50,16 +72,86 @@ class AsyncHttpClient:
     A connection issues one request at a time (HTTP/1.1 without pipelining);
     open several clients for concurrency — that is exactly what the
     closed-loop benchmark does.
+
+    ``timeout`` bounds the connect and each response read; ``retries`` > 0
+    re-issues a failed request (connection error, timeout, 429 or 503) up
+    to that many extra times with jittered exponential backoff between
+    ``backoff`` and ``max_backoff`` seconds, reconnecting first when the
+    connection is no longer trustworthy.  Both default off so existing
+    tests and benchmarks observe every raw response.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> None:
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._backoff = float(backoff)
+        self._max_backoff = float(max_backoff)
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncHttpClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> "AsyncHttpClient":
+        reader, writer = await cls._open(host, port, timeout)
+        return cls(
+            reader,
+            writer,
+            host=host,
+            port=port,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            max_backoff=max_backoff,
+        )
+
+    @staticmethod
+    async def _open(host: str, port: int, timeout: float | None):
+        if timeout is None:
+            return await asyncio.open_connection(host, port)
+        return await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+
+    async def _reconnect(self) -> None:
+        if self._host is None or self._port is None:
+            raise ConnectionError("cannot reconnect: connection-only client")
+        try:
+            self._writer.close()
+        except Exception:  # pragma: no cover - old socket already broken
+            pass
+        self._reader, self._writer = await self._open(
+            self._host, self._port, self._timeout
+        )
+
+    def _retry_delay(self, attempt: int, response: HttpResponse | None) -> float:
+        delay = min(self._max_backoff, self._backoff * (2**attempt))
+        delay *= 1.0 + 0.25 * random.random()
+        if response is not None:
+            server_wait = response.retry_after()
+            if server_wait is not None:
+                delay = max(delay, server_wait)
+        return delay
 
     async def request(
         self,
@@ -69,12 +161,41 @@ class AsyncHttpClient:
         *,
         close: bool = False,
         headers: dict | None = None,
+        retries: int | None = None,
     ) -> HttpResponse:
         """Send one request and read its response (JSON body when given).
 
         ``headers`` adds extra request headers — e.g. ``{"X-Tenant": "gold"}``
-        to exercise the per-tenant quota classes.
+        to exercise the per-tenant quota classes.  ``retries`` overrides the
+        client-level retry budget for this request only.
         """
+        budget = self._retries if retries is None else max(0, int(retries))
+        attempt = 0
+        reconnect = False
+        while True:
+            try:
+                if reconnect:
+                    await self._reconnect()
+                    reconnect = False
+                response = await self._issue(method, path, payload, close, headers)
+            except (asyncio.TimeoutError, *_CONNECTION_ERRORS):
+                # A timed-out or broken connection may hold a half-read
+                # response; it must not be reused for the retry.
+                reconnect = True
+                if attempt >= budget:
+                    raise
+                await asyncio.sleep(self._retry_delay(attempt, None))
+                attempt += 1
+                continue
+            if response.status in _RETRY_STATUSES and attempt < budget:
+                await asyncio.sleep(self._retry_delay(attempt, response))
+                attempt += 1
+                continue
+            return response
+
+    async def _issue(
+        self, method: str, path: str, payload, close: bool, headers: dict | None
+    ) -> HttpResponse:
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
@@ -90,7 +211,9 @@ class AsyncHttpClient:
             head.extend(f"{name}: {value}" for name, value in headers.items())
         self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
         await self._writer.drain()
-        return await self._read_response()
+        if self._timeout is None:
+            return await self._read_response()
+        return await asyncio.wait_for(self._read_response(), timeout=self._timeout)
 
     async def _read_response(self) -> HttpResponse:
         line = await self._reader.readline()

@@ -279,6 +279,11 @@ def render_cluster_stats(
     emit("cluster_respawns_total", "counter", [("", supervisor.get("respawns", 0))])
     emit("cluster_generation", "gauge", [("", supervisor.get("generation", 0))])
     emit("cluster_updates_total", "counter", [("", supervisor.get("updates", 0))])
+    # 1 while the cluster serves a rolled-back generation after a persist
+    # failure (writes answer 503 until a refresh succeeds again).
+    emit(
+        "cluster_degraded", "gauge", [("", 1 if supervisor.get("degraded") else 0)]
+    )
     ordered = sorted(workers.items(), key=lambda item: int(item[0]))
     for suffix, kind, section, key in _CLUSTER_WORKER_SERIES:
         emit(

@@ -441,6 +441,10 @@ class HttpServer:
                     "status": "ok",
                     "generation": self._service.generation,
                     "stopping": self._stopping,
+                    # Degraded = the last store persist failed and the
+                    # cluster rolled back to its previous committed
+                    # generation; reads still serve, writes answer 503.
+                    "degraded": self.degraded,
                 }
                 if self._cluster is not None:
                     health["worker"] = self._cluster.number
@@ -658,6 +662,11 @@ class HttpServer:
         return 200, {"update": report}, "application/json", ()
 
     # -- introspection ----------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether this server is part of a degraded (rolled-back) cluster."""
+        return bool(getattr(self._cluster, "degraded", False))
+
     def server_stats(self) -> dict:
         """Server-side counters for ``/stats`` and tests."""
         return {
@@ -670,6 +679,7 @@ class HttpServer:
             "rate_limited_by_tenant": dict(self._rate_limited_by_tenant),
             "timeouts": self._timeouts,
             "stopping": self._stopping,
+            "degraded": self.degraded,
             "batching": self._batcher.stats(),
         }
 

@@ -48,6 +48,7 @@ import asyncio
 import errno
 import json
 import os
+import random
 import selectors
 import signal
 import socket
@@ -55,7 +56,7 @@ import sys
 import time
 from pathlib import Path
 
-from ..errors import ReproError
+from ..errors import ReproError, SerializationError
 from ..bench.measure import peak_rss_bytes, smaps_rollup_bytes
 from .metrics import render_cluster_stats
 from .query_service import QueryService
@@ -65,9 +66,20 @@ __all__ = ["Supervisor"]
 #: Errors an update payload can legitimately raise (answered as HTTP 400).
 _UPDATE_ERRORS = (ReproError, TypeError, ValueError, KeyError, OverflowError)
 
+#: Errors that mean the *store* failed, not the payload: the supervisor
+#: rolls back to the last committed generation and serves degraded.
+_PERSIST_ERRORS = (OSError, SerializationError)
+
 #: Safety valve: stop respawning after this many worker deaths (a worker
 #: that dies instantly in a loop would otherwise fork-bomb the box).
 DEFAULT_RESPAWN_LIMIT = 64
+
+#: A worker death within this many seconds of its spawn counts as a fast
+#: death; consecutive fast deaths back off exponentially (with jitter)
+#: instead of respawning in a tight fork loop.
+_FAST_DEATH_SECONDS = 5.0
+_BACKOFF_BASE_SECONDS = 0.05
+_BACKOFF_MAX_SECONDS = 5.0
 
 
 def _load_store(path, *, mmap: bool = True):
@@ -178,6 +190,11 @@ class Supervisor:
         self._generation = 0
         self._updates = 0
         self._respawns = 0
+        self._degraded = False
+        self._recovery: dict | None = None
+        self._spawn_times: dict[int, float] = {}
+        self._fast_deaths: dict[int, int] = {}
+        self._pending_respawns: list[tuple[float, int]] = []
         self._collect_ids = 0
         self._collections: dict[int, dict] = {}
         self._update_queue: list[dict] = []
@@ -190,6 +207,16 @@ class Supervisor:
         self._install_signals()
         try:
             if self._stopping:  # terminated before the load even started
+                return 0
+            if self._is_directory:
+                # Crash recovery before serving: sweep temp files, truncate a
+                # torn WAL tail, quarantine corrupt shards, roll committed
+                # updates forward.  Single-file stores are written atomically
+                # (old-or-new), so they need no repair pass.
+                from ..io.store import recover_sharded_store
+
+                _recovered, self._recovery = recover_sharded_store(self._store_path)
+            if self._stopping:  # terminated during a long recovery
                 return 0
             self._index = _load_store(self._store_path, mmap=True)
             if self._stopping:  # terminated during a long store load
@@ -217,6 +244,14 @@ class Supervisor:
             if self._got_sigchld:
                 self._got_sigchld = False
                 self._reap()
+            if self._pending_respawns and not self._stopping:
+                now = time.monotonic()
+                due = [n for (when, n) in self._pending_respawns if when <= now]
+                self._pending_respawns = [
+                    (when, n) for (when, n) in self._pending_respawns if when > now
+                ]
+                for number in due:
+                    self._spawn(number)
             if self._stopping:
                 if not self._records:
                     return
@@ -290,6 +325,7 @@ class Supervisor:
 
     # -- workers -----------------------------------------------------------------
     def _spawn(self, number: int) -> None:
+        self._spawn_times[number] = time.monotonic()
         parent_sock, child_sock = socket.socketpair()
         pid = os.fork()
         if pid == 0:  # child
@@ -361,13 +397,35 @@ class Supervisor:
             if not self._stopping:
                 if self._respawns < self._respawn_limit:
                     self._respawns += 1
-                    self._spawn(record.number)
+                    self._schedule_respawn(record.number)
                 else:  # pragma: no cover - safety valve
                     print(
                         f"worker {record.number} died; respawn limit "
                         f"({self._respawn_limit}) reached",
                         file=sys.stderr,
                     )
+
+    def _schedule_respawn(self, number: int) -> None:
+        """Respawn a dead worker, backing off on consecutive fast deaths.
+
+        The first death respawns immediately (a one-off crash should not
+        add latency); a worker that keeps dying within seconds of its spawn
+        waits ``min(5s, 0.05s · 2^(failures-1))`` plus up to 25% jitter, so
+        a persistently broken store never turns into a tight fork loop.  A
+        worker that survived past the fast-death window resets its count.
+        """
+        alive = time.monotonic() - self._spawn_times.get(number, 0.0)
+        if alive >= _FAST_DEATH_SECONDS:
+            self._fast_deaths[number] = 0
+        failures = self._fast_deaths.get(number, 0) + 1
+        self._fast_deaths[number] = failures
+        if failures <= 1:
+            self._spawn(number)
+            return
+        delay = min(
+            _BACKOFF_MAX_SECONDS, _BACKOFF_BASE_SECONDS * (2 ** (failures - 1))
+        ) * (1.0 + 0.25 * random.random())
+        self._pending_respawns.append((time.monotonic() + delay, number))
 
     def _kill(self, record: _WorkerRecord, signum) -> None:
         try:
@@ -499,7 +557,13 @@ class Supervisor:
             self._apply_update(self._update_queue.pop(0))
 
     def _apply_update(self, request: dict) -> None:
-        from ..io.store import append_update_log, refresh_sharded_store, save_index
+        from ..io.store import (
+            _wal_updates_payload,
+            append_update_log,
+            append_wal,
+            refresh_sharded_store,
+            save_index,
+        )
 
         requester = request["requester"]
         try:
@@ -515,41 +579,77 @@ class Supervisor:
         self._updates += 1
         obsolete: list[str] = []
         store_message = None
-        if self._is_directory:
-            refresh = refresh_sharded_store(
-                self._current_store, self._index, generation_names=True
-            )
-            obsolete = refresh["obsolete"]
-            report["store"] = {
-                "rewritten": refresh["rewritten"],
-                "skipped": refresh["skipped"],
-            }
-            try:
-                append_update_log(
+        wal_start: int | None = None
+        try:
+            if self._is_directory:
+                # WAL first (fsync'd commit point), then the shard rewrite:
+                # a crash after the append is rolled forward by recovery, a
+                # crash before it leaves the acknowledged pre-update state.
+                wal_start = append_wal(
                     self._current_store,
                     {
-                        "time": time.time(),
-                        "positions": report.get("positions", []),
-                        "strategy": report.get("strategy"),
+                        "type": "update",
+                        "updates": _wal_updates_payload(pairs),
                         "generation": self._generation,
-                        "rewritten": refresh["rewritten"],
                     },
                 )
-            except OSError:  # pragma: no cover - the log is advisory
-                pass
-        else:
-            base = Path(self._store_path)
-            new_path = str(base.with_name(f"{base.name}.g{self._generation}"))
-            save_index(new_path, self._index)
-            if self._current_store != self._store_path:
-                # Only files this supervisor created are ever unlinked; the
-                # user's original store is left untouched (stale, like the
-                # single-process server leaves it).
-                obsolete.append(self._current_store)
-            self._current_store = new_path
-            self._generated_files.append(new_path)
-            store_message = new_path
-            report["store"] = {"path": new_path}
+                refresh = refresh_sharded_store(
+                    self._current_store, self._index, generation_names=True
+                )
+                obsolete = refresh["obsolete"]
+                report["store"] = {
+                    "rewritten": refresh["rewritten"],
+                    "skipped": refresh["skipped"],
+                }
+                append_wal(
+                    self._current_store,
+                    {
+                        "type": "applied",
+                        "generations": list(self._index.generations),
+                    },
+                )
+                try:
+                    append_update_log(
+                        self._current_store,
+                        {
+                            "time": time.time(),
+                            "positions": report.get("positions", []),
+                            "strategy": report.get("strategy"),
+                            "generation": self._generation,
+                            "rewritten": refresh["rewritten"],
+                        },
+                    )
+                except OSError:  # pragma: no cover - the log is advisory
+                    pass
+            else:
+                base = Path(self._store_path)
+                new_path = str(base.with_name(f"{base.name}.g{self._generation}"))
+                save_index(new_path, self._index)
+                if self._current_store != self._store_path:
+                    # Only files this supervisor created are ever unlinked;
+                    # the user's original store is left untouched (stale,
+                    # like the single-process server leaves it).
+                    obsolete.append(self._current_store)
+                self._current_store = new_path
+                self._generated_files.append(new_path)
+                store_message = new_path
+                report["store"] = {"path": new_path}
+        except _PERSIST_ERRORS as error:
+            self._enter_degraded(error, wal_start)
+            self._send(
+                requester,
+                {
+                    "op": "update_done",
+                    "id": request["id"],
+                    "error": f"store persist failed, serving last committed "
+                    f"generation: {error}",
+                    "status": 503,
+                },
+            )
+            return
+        if self._degraded:
+            self._degraded = False
+            self._broadcast_degraded(False)
         report["cluster_generation"] = self._generation
         positions = report.get("positions", [])
         waiting = {pid for pid, r in self._records.items() if r.alive}
@@ -593,6 +693,44 @@ class Supervisor:
             )
         self._pump_updates()
 
+    def _enter_degraded(self, error, wal_start: int | None) -> None:
+        """Roll back to the last committed generation after a persist failure.
+
+        The update already mutated the in-memory index, so the authoritative
+        copy is reloaded from the store (whatever generation the disk holds
+        is, by construction, a committed one); the WAL record this update
+        appended — if it got that far — is truncated away so recovery never
+        replays an unacknowledged batch; workers keep serving their current
+        maps, and ``/healthz``/``/stats``/``/metrics`` flag the cluster
+        degraded until an update persists cleanly again.
+        """
+        self._generation -= 1
+        self._updates -= 1
+        if wal_start is not None:
+            try:
+                from ..io.store import _truncate_wal
+
+                _truncate_wal(self._current_store, wal_start)
+            except OSError:  # pragma: no cover - disk is already failing
+                pass
+        try:
+            self._index = _load_store(self._current_store, mmap=True)
+        except _PERSIST_ERRORS:  # pragma: no cover - disk is already failing
+            pass  # keep serving the mutated in-memory copy rather than dying
+        print(
+            f"update persist failed ({error}); serving degraded at "
+            f"generation {self._generation}",
+            file=sys.stderr,
+        )
+        if not self._degraded:
+            self._degraded = True
+            self._broadcast_degraded(True)
+
+    def _broadcast_degraded(self, value: bool) -> None:
+        message = {"op": "degraded", "value": value}
+        for record in self._records.values():
+            self._send(record, message)
+
     # -- metrics / stats aggregation ---------------------------------------------
     def _start_collection(self, record: _WorkerRecord, kind: str, reqid) -> None:
         self._collect_ids += 1
@@ -616,8 +754,11 @@ class Supervisor:
             "workers": len(self._records),
             "configured_workers": self._workers,
             "respawns": self._respawns,
+            "respawns_pending": len(self._pending_respawns),
             "generation": self._generation,
             "updates": self._updates,
+            "degraded": self._degraded,
+            "recovery": self._recovery,
             "store": self._current_store,
             "store_bytes": _store_bytes(self._current_store),
             "pid": os.getpid(),
@@ -664,6 +805,7 @@ class _WorkerContext:
 
     def __init__(self, number: int, reader, writer, store_path: str) -> None:
         self.number = number
+        self.degraded = False
         self._reader = reader
         self._writer = writer
         self._store_path = store_path
@@ -703,7 +845,15 @@ class _WorkerContext:
             {"op": "update", "updates": [[p, d] for p, d in pairs]}
         )
         if "error" in reply:
+            if reply.get("status") == 503:
+                # The store failed, not the payload: the cluster rolled back
+                # and keeps serving the last committed generation.
+                from .server import HttpError
+
+                self.degraded = True
+                raise HttpError(503, reply["error"])
             raise ReproError(reply["error"])
+        self.degraded = False
         return reply["report"]
 
     async def scrape(self) -> str:
@@ -780,6 +930,8 @@ class _WorkerContext:
                 await self.send(
                     {"op": "reload_ack", "generation": message.get("generation")}
                 )
+            elif op == "degraded":
+                self.degraded = bool(message.get("value"))
             elif op == "drain":
                 self._stop.set()
                 return

@@ -1,0 +1,639 @@
+"""Crash-consistency harness: torn files, WAL recovery, failpoint kill sweeps.
+
+The store layer promises that a process killed at *any* write/rename/fsync
+boundary leaves the index recoverable: single-file stores are old-or-new
+(never torn), and a directory store whose update batch reached the fsync'd
+WAL commit rolls forward to an index bit-identical to a fresh build on the
+post-update string.  This module checks that promise the hard way:
+
+* structured corruption detection — truncations at the magic, mid-header
+  and mid-blob, flipped array and header bytes, torn WAL frames;
+* a kill sweep: the real ``repro.cli update``/``compact`` commands run in a
+  subprocess with ``REPRO_FAILPOINTS=<name>=kill`` for every registered
+  failpoint, then ``recover_sharded_store`` must restore bit-identical
+  answers (checked against the brute-force oracle);
+* compaction refusing to run on a store a crashed refresh left dirty;
+* property-style fuzz: random update batches (from the differential-fuzz
+  generators) crashed at assorted failpoints over monolithic and sharded
+  stores;
+* cluster chaos: a live ``serve-http --workers 2`` cluster surviving a
+  SIGKILL'd worker mid-update-storm, a supervisor restart over a dirty
+  store, and a persistently failing disk (degraded 503 writes, reads keep
+  answering, flag clears once a persist succeeds).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import signal
+import struct
+import subprocess
+import sys
+import time
+import urllib.error
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from test_differential_fuzz import (
+    assert_index_matches_oracle,
+    random_patterns,
+    random_update_batch,
+    random_weighted_string,
+)
+from test_http_cluster import Cluster, _cli_env, needs_fork
+
+from repro.core.weighted_string import WeightedString
+from repro.errors import StoreCorruptionError, StoreError
+from repro.faultinject import (
+    InjectedFault,
+    clear,
+    configure,
+    failpoint,
+    registered_failpoints,
+)
+from repro.indexes import build_index, brute_force_occurrences
+from repro.io.store import (
+    WAL_NAME,
+    append_wal,
+    apply_updates_durably,
+    compact_store,
+    load_index,
+    load_sharded_store,
+    read_wal,
+    recover_sharded_store,
+    save_index,
+    save_sharded_store,
+    verify_store,
+)
+
+Z = 4.0
+ELL = 3
+
+needs_sigkill = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="kill failpoints need SIGKILL"
+)
+
+#: The canonical update batch the sweep replays: plain decimal rows so the
+#: JSON round-trip through the CLI is exactly the floats applied in-process.
+UPDATE_PAIRS = [
+    [2, [0.7, 0.1, 0.1, 0.1]],
+    [11, [0.05, 0.05, 0.85, 0.05]],
+    [37, [0.25, 0.25, 0.25, 0.25]],
+]
+
+#: Failpoints on the durable-update path (everything but compaction); the
+#: WAL commit precedes all of them, so a kill at any one must roll forward.
+UPDATE_FAILPOINTS = tuple(
+    name for name in registered_failpoints()
+    if not name.startswith("store.compact.")
+)
+
+COMPACT_FAILPOINTS = tuple(
+    name for name in registered_failpoints()
+    if name.startswith("store.compact.")
+)
+
+
+def _fresh(source: WeightedString) -> WeightedString:
+    """An independent copy: updates to one index never leak into another."""
+    return WeightedString(source.matrix.copy(), source.alphabet)
+
+
+def _run_cli(args, failpoints: str | None = None, timeout: float = 120.0):
+    env = _cli_env()
+    if failpoints:
+        env["REPRO_FAILPOINTS"] = failpoints
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=env, capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def _pairs(entries):
+    return [(int(position), list(map(float, row))) for position, row in entries]
+
+
+@pytest.fixture(scope="module")
+def crash_setup(tmp_path_factory):
+    """A 2-shard store, the post-update mirror index, and an oracle pattern mix."""
+    root = tmp_path_factory.mktemp("crash-base")
+    source = random_weighted_string("skewed", 60, 4, 7)
+    store = root / "store"
+    sharded = build_index(
+        _fresh(source), Z, kind="MWSA", ell=ELL, shards=2, max_pattern_len=2 * ELL
+    )
+    save_sharded_store(store, sharded)
+    mirror = build_index(_fresh(source), Z, kind="MWSA", ell=ELL)
+    mirror.apply_updates(_pairs(UPDATE_PAIRS))
+    patterns = random_patterns(mirror.source, ELL, 99)
+    assert patterns
+    return store, mirror, patterns
+
+
+# --------------------------------------------------------------------------- #
+# structured corruption detection (container truncations and byte flips)       #
+# --------------------------------------------------------------------------- #
+class TestContainerDamage:
+    @pytest.fixture()
+    def stored(self, tmp_path):
+        source = random_weighted_string("skewed", 40, 4, 3)
+        index = build_index(source, Z, kind="MWSA", ell=ELL)
+        path = tmp_path / "idx.bin"
+        save_index(path, index)
+        return path
+
+    @staticmethod
+    def _layout(path: Path):
+        blob = bytearray(path.read_bytes())
+        header_len = struct.unpack_from("<Q", blob, 8)[0]
+        header = json.loads(bytes(blob[20:20 + header_len]).decode("utf-8"))
+        data_start = (20 + header_len + 63) & ~63
+        return blob, header, data_start
+
+    def test_truncated_at_magic_raises_structured_error(self, stored):
+        stored.write_bytes(stored.read_bytes()[:4])
+        with pytest.raises(StoreError, match="cannot read|bad magic|truncated"):
+            load_index(stored, mmap=False)
+
+    def test_truncated_mid_header_raises_structured_error(self, stored):
+        stored.write_bytes(stored.read_bytes()[:26])
+        with pytest.raises(StoreError, match="truncated|corrupt|cannot read"):
+            load_index(stored, mmap=False)
+
+    def test_truncated_mid_blob_raises_corruption_error(self, stored):
+        blob = stored.read_bytes()
+        stored.write_bytes(blob[: len(blob) - 64])
+        with pytest.raises(StoreCorruptionError):
+            load_index(stored, mmap=False)
+
+    def test_flipped_array_byte_names_file_offset_and_digests(self, stored):
+        blob, header, data_start = self._layout(stored)
+        entry = next(
+            spec for spec in header["arrays"].values()
+            if int(np.prod(spec["shape"])) > 0
+        )
+        position = data_start + int(entry["offset"])
+        blob[position] ^= 0xFF
+        stored.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptionError) as info:
+            load_index(stored, mmap=False)  # RAM loads verify by default
+        error = info.value
+        assert error.path == str(stored)
+        assert error.offset is not None
+        assert error.expected != error.actual
+        # Checksums are an explicit opt-out for the mmap hot path.
+        index = load_index(stored, mmap=False, verify=False)
+        assert index is not None
+        audit = verify_store(stored)
+        assert not audit["ok"]
+        assert audit["problems"]
+
+    def test_flipped_header_byte_fails_the_header_checksum(self, stored):
+        blob = bytearray(stored.read_bytes())
+        blob[24] ^= 0x01  # inside the JSON header
+        stored.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptionError, match="header"):
+            load_index(stored, mmap=False, verify=False)
+
+
+# --------------------------------------------------------------------------- #
+# WAL framing                                                                  #
+# --------------------------------------------------------------------------- #
+class TestWalFraming:
+    def test_round_trip_and_commit_offsets(self, tmp_path):
+        first = append_wal(tmp_path, {"type": "update", "updates": [[1, [0.5, 0.5]]]})
+        second = append_wal(tmp_path, {"type": "applied", "generations": [1]})
+        assert first == 0 and second > 0
+        records, valid, total = read_wal(tmp_path)
+        assert [record["type"] for record in records] == ["update", "applied"]
+        assert valid == total == (tmp_path / WAL_NAME).stat().st_size
+
+    def test_torn_tail_is_discarded_not_fatal(self, tmp_path):
+        append_wal(tmp_path, {"type": "update", "updates": []})
+        with open(tmp_path / WAL_NAME, "ab") as handle:
+            handle.write(b"\x2a\x00\x00\x00torn")  # length says 42, 4 bytes follow
+        records, valid, total = read_wal(tmp_path)
+        assert len(records) == 1
+        assert valid < total
+
+    def test_corrupt_frame_stops_the_parse_at_the_damage(self, tmp_path):
+        append_wal(tmp_path, {"type": "update", "updates": []})
+        append_wal(tmp_path, {"type": "applied", "generations": []})
+        path = tmp_path / WAL_NAME
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0xFF  # inside the first record's payload
+        path.write_bytes(bytes(blob))
+        records, valid, total = read_wal(tmp_path)
+        assert records == []
+        assert valid == 0 and total == len(blob)
+
+
+# --------------------------------------------------------------------------- #
+# failpoint registry                                                           #
+# --------------------------------------------------------------------------- #
+class TestFailpointRegistry:
+    @pytest.fixture(autouse=True)
+    def _disarm(self):
+        clear()
+        yield
+        clear()
+
+    def test_unknown_name_or_action_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            configure("store.container.tmp_writen=kill")  # typo guard
+        with pytest.raises(ValueError, match="action"):
+            configure("store.wal.appended=explode")
+
+    def test_unregistered_failpoint_call_raises(self):
+        with pytest.raises(RuntimeError, match="not registered"):
+            failpoint("store.bogus.point")
+
+    def test_error_fires_every_time_error_once_fires_once(self):
+        configure("store.wal.appended=error-once")
+        with pytest.raises(InjectedFault):
+            failpoint("store.wal.appended")
+        failpoint("store.wal.appended")  # spent
+        configure("store.wal.appended=error")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                failpoint("store.wal.appended")
+
+    def test_registry_covers_every_durability_layer(self):
+        names = registered_failpoints()
+        assert len(names) >= 10
+        for prefix in ("store.container.", "store.manifest.", "store.wal.",
+                       "store.refresh.", "store.compact."):
+            assert any(name.startswith(prefix) for name in names), prefix
+
+
+# --------------------------------------------------------------------------- #
+# the kill sweep: every update-path failpoint must roll forward                #
+# --------------------------------------------------------------------------- #
+@needs_sigkill
+class TestKillSweep:
+    @pytest.mark.parametrize("name", UPDATE_FAILPOINTS)
+    def test_kill_during_update_recovers_bit_identical(
+        self, tmp_path, crash_setup, name
+    ):
+        base, mirror, patterns = crash_setup
+        store = tmp_path / "store"
+        shutil.copytree(base, store)
+        result = _run_cli(
+            ["update", "--store", str(store), "--updates", json.dumps(UPDATE_PAIRS)],
+            failpoints=f"{name}=kill",
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        recovered, report = recover_sharded_store(store)
+        # Every armed point sits at or after the WAL append, and a SIGKILL
+        # keeps bytes the process already wrote — so recovery must always
+        # roll the batch forward, never back.
+        assert np.array_equal(recovered.source.matrix, mirror.source.matrix), (
+            name, report
+        )
+        assert verify_store(store)["ok"], name
+        assert_index_matches_oracle(
+            recovered, recovered.source, patterns, Z, f"recover/{name}"
+        )
+        reloaded = load_sharded_store(store, mmap=False)
+        assert np.array_equal(reloaded.source.matrix, mirror.source.matrix), name
+        _again, second = recover_sharded_store(store)
+        assert second["status"] == "clean", (name, second)
+
+    @pytest.mark.parametrize("name", COMPACT_FAILPOINTS)
+    def test_kill_during_compaction_keeps_answers(self, tmp_path, crash_setup, name):
+        base, mirror, patterns = crash_setup
+        store = tmp_path / "store"
+        shutil.copytree(base, store)
+        # Generation-stamped files (the supervisor's refresh mode) give
+        # compaction real work at every failpoint, including the unlinks.
+        index = load_sharded_store(store, mmap=False)
+        apply_updates_durably(
+            store, index, _pairs(UPDATE_PAIRS), generation_names=True
+        )
+        assert any(".g" in path.name for path in store.glob("shard-*.idx"))
+        result = _run_cli(
+            ["compact", "--store", str(store)], failpoints=f"{name}=kill"
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        recovered, report = recover_sharded_store(store)
+        assert np.array_equal(recovered.source.matrix, mirror.source.matrix), (
+            name, report
+        )
+        assert verify_store(store)["ok"], name
+        assert_index_matches_oracle(
+            recovered, recovered.source, patterns, Z, f"compact/{name}"
+        )
+
+    def test_compact_refuses_dirty_store_until_recovered(self, tmp_path, crash_setup):
+        base, mirror, patterns = crash_setup
+        store = tmp_path / "store"
+        shutil.copytree(base, store)
+        result = _run_cli(
+            ["update", "--store", str(store), "--updates", json.dumps(UPDATE_PAIRS)],
+            failpoints="store.refresh.shard_written=kill",
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        # The crashed refresh left a committed-but-unapplied WAL record:
+        # compaction must refuse rather than drop the only recovery source.
+        with pytest.raises(StoreCorruptionError, match="refusing to compact"):
+            compact_store(store)
+        _recovered, report = recover_sharded_store(store)
+        assert report["status"] == "recovered"
+        compacted = compact_store(store)
+        assert compacted["shards"] == 2
+        assert not (store / WAL_NAME).exists()
+        final = load_sharded_store(store, mmap=False)
+        assert np.array_equal(final.source.matrix, mirror.source.matrix)
+        assert_index_matches_oracle(
+            final, final.source, patterns, Z, "compact-after-recover"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# property-style fuzz: random batches × failpoints × store layouts             #
+# --------------------------------------------------------------------------- #
+@needs_sigkill
+class TestCrashFuzz:
+    @pytest.mark.parametrize(
+        "seed,name",
+        [
+            (1301, "store.wal.appended"),
+            (1303, "store.container.replaced"),
+            (1305, "store.refresh.manifest_written"),
+        ],
+    )
+    def test_random_batches_survive_kills_on_sharded_stores(
+        self, tmp_path, seed, name
+    ):
+        source = random_weighted_string("uniform", 48, 3, seed)
+        store = tmp_path / "store"
+        sharded = build_index(
+            _fresh(source), Z, kind="MWSA", ell=ELL, shards=2,
+            max_pattern_len=2 * ELL,
+        )
+        save_sharded_store(store, sharded)
+        batch = random_update_batch(source, seed + 1, count=3)
+        payload = json.dumps(
+            [[position, [float(value) for value in row]] for position, row in batch]
+        )
+        mirror = build_index(_fresh(source), Z, kind="MWSA", ell=ELL)
+        mirror.apply_updates(_pairs(json.loads(payload)))
+        result = _run_cli(
+            ["update", "--store", str(store), "--updates", payload],
+            failpoints=f"{name}=kill",
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        recovered, _report = recover_sharded_store(store)
+        assert np.array_equal(recovered.source.matrix, mirror.source.matrix)
+        assert verify_store(store)["ok"]
+        patterns = random_patterns(mirror.source, ELL, seed + 2)
+        assert_index_matches_oracle(
+            recovered, recovered.source, patterns, Z, f"fuzz/{seed}/{name}"
+        )
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "store.container.tmp_written",
+            "store.container.fsynced",
+            "store.container.replaced",
+        ],
+    )
+    def test_single_file_store_is_old_or_new_never_torn(self, tmp_path, name):
+        source = random_weighted_string("skewed", 48, 4, 11)
+        index = build_index(_fresh(source), Z, kind="MWSA", ell=ELL)
+        path = tmp_path / "mono.idx"
+        save_index(path, index)
+        before = index.source.matrix.copy()
+        batch = random_update_batch(source, 12, count=2)
+        payload = json.dumps(
+            [[position, [float(value) for value in row]] for position, row in batch]
+        )
+        mirror = build_index(_fresh(source), Z, kind="MWSA", ell=ELL)
+        mirror.apply_updates(_pairs(json.loads(payload)))
+        result = _run_cli(
+            ["update", "--store", str(path), "--updates", payload],
+            failpoints=f"{name}=kill",
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        assert verify_store(path)["ok"], name
+        reloaded = load_index(path, mmap=False)
+        matrix = reloaded.source.matrix
+        old = np.array_equal(matrix, before)
+        new = np.array_equal(matrix, mirror.source.matrix)
+        assert old or new, name
+        if name == "store.container.replaced":
+            # The rename happened before the kill: the new bytes are live.
+            assert new
+
+
+# --------------------------------------------------------------------------- #
+# client resilience                                                            #
+# --------------------------------------------------------------------------- #
+class TestClientResilience:
+    def test_retry_delay_honors_retry_after(self):
+        from repro.service.client import AsyncHttpClient, HttpResponse
+
+        client = AsyncHttpClient(None, None, backoff=0.001, max_backoff=0.002)
+        throttled = HttpResponse(429, "Too Many", {"retry-after": "0.5"}, b"")
+        assert client._retry_delay(0, throttled) >= 0.5
+        assert client._retry_delay(0, None) <= 0.002 * 1.25
+
+    def test_request_retries_through_503_and_reconnects(self):
+        from repro.service.client import AsyncHttpClient
+
+        async def main():
+            hits = {"count": 0}
+
+            async def handler(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    length = 0
+                    while True:
+                        raw = await reader.readline()
+                        if raw in (b"\r\n", b"\n", b""):
+                            break
+                        if raw.lower().startswith(b"content-length:"):
+                            length = int(raw.split(b":", 1)[1])
+                    if length:
+                        await reader.readexactly(length)
+                    hits["count"] += 1
+                    if hits["count"] < 3:
+                        writer.write(
+                            b"HTTP/1.1 503 Unavailable\r\nRetry-After: 0\r\n"
+                            b"Content-Length: 2\r\n\r\n{}"
+                        )
+                    else:
+                        writer.write(
+                            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}"
+                        )
+                    await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await AsyncHttpClient.connect(
+                "127.0.0.1", port, timeout=5.0, retries=3, backoff=0.001
+            )
+            response = await client.request("POST", "/query", {"pattern": [0]})
+            assert response.status == 200
+            assert hits["count"] == 3
+            # Exhausted budgets surface the last throttle response as-is.
+            hits["count"] = -100
+            throttled = await client.request("GET", "/stats", retries=0)
+            assert throttled.status == 503
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+
+
+# --------------------------------------------------------------------------- #
+# cluster chaos                                                                #
+# --------------------------------------------------------------------------- #
+def _post_with_retry(cluster, path, payload, attempts=80):
+    last = None
+    for _ in range(attempts):
+        try:
+            return cluster.post(path, payload)
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            last = error
+            time.sleep(0.1)
+    raise AssertionError(f"no response after retries: {last}")
+
+
+def _build_cluster_store(tmp_path, seed=21):
+    source = random_weighted_string("skewed", 60, 4, seed)
+    store = tmp_path / "store"
+    sharded = build_index(
+        _fresh(source), Z, kind="MWSA", ell=ELL, shards=2, max_pattern_len=2 * ELL
+    )
+    save_sharded_store(store, sharded)
+    mirror = build_index(_fresh(source), Z, kind="MWSA", ell=ELL)
+    return store, mirror
+
+
+@needs_fork
+@needs_sigkill
+class TestClusterChaos:
+    def test_update_storm_survives_worker_sigkill(self, tmp_path):
+        store, mirror = _build_cluster_store(tmp_path)
+        patterns = random_patterns(mirror.source, ELL, 31)[:4]
+        cluster = Cluster(["--store", str(store), "--workers", "2", "--port", "0"])
+        try:
+            pids = set(map(int, cluster.get("/stats")["supervisor"]["pids"].values()))
+            assert len(pids) == 2
+            victim = min(pids)
+            generations = []
+            for step in range(6):
+                if step == 2:
+                    os.kill(victim, signal.SIGKILL)
+                pairs = [[(step * 7) % 60, [0.55, 0.15, 0.15, 0.15]]]
+                status, body = _post_with_retry(cluster, "/update", {"updates": pairs})
+                assert status == 200, body
+                mirror.apply_updates(_pairs(pairs))
+                generations.append(body["update"]["cluster_generation"])
+                status, answer = _post_with_retry(
+                    cluster, "/query", {"pattern": patterns[step % len(patterns)]}
+                )
+                assert status == 200, answer
+            # Updates are serialized through the supervisor: the generation
+            # is strictly monotonic straight through the worker crash.
+            assert generations == list(range(1, 7))
+            deadline = time.monotonic() + 20.0
+            supervisor = None
+            while time.monotonic() < deadline:
+                supervisor = cluster.get("/stats")["supervisor"]
+                if supervisor["respawns"] >= 1 and supervisor["workers"] == 2:
+                    break
+                time.sleep(0.1)
+            assert supervisor["respawns"] >= 1
+            assert supervisor["workers"] == 2
+            for pattern in patterns:
+                status, body = _post_with_retry(cluster, "/query", {"pattern": pattern})
+                assert status == 200
+                assert body["positions"] == brute_force_occurrences(
+                    mirror.source, pattern, Z
+                )
+            assert cluster.get("/healthz")["status"] == "ok"
+            assert cluster.terminate() == 0
+        finally:
+            cluster.kill()
+
+    def test_restart_over_dirty_store_recovers_then_serves(self, tmp_path):
+        store, mirror = _build_cluster_store(tmp_path, seed=22)
+        result = _run_cli(
+            ["update", "--store", str(store), "--updates", json.dumps(UPDATE_PAIRS)],
+            failpoints="store.refresh.shard_written=kill",
+        )
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        mirror.apply_updates(_pairs(UPDATE_PAIRS))  # committed: rolls forward
+        cluster = Cluster(["--store", str(store), "--workers", "2", "--port", "0"])
+        try:
+            health = cluster.get("/healthz")
+            assert health["status"] == "ok"
+            assert health["degraded"] is False
+            supervisor = cluster.get("/stats")["supervisor"]
+            assert supervisor["recovery"]["status"] == "recovered"
+            patterns = random_patterns(mirror.source, ELL, 33)[:4]
+            for pattern in patterns:
+                status, body = cluster.post("/query", {"pattern": pattern})
+                assert status == 200
+                assert body["positions"] == brute_force_occurrences(
+                    mirror.source, pattern, Z
+                )
+            assert cluster.terminate() == 0
+        finally:
+            cluster.kill()
+
+    def test_persist_failure_degrades_then_clears(self, tmp_path, monkeypatch):
+        store, mirror = _build_cluster_store(tmp_path, seed=23)
+        patterns = random_patterns(mirror.source, ELL, 35)[:3]
+        monkeypatch.setenv("REPRO_FAILPOINTS", "store.refresh.shard_written=error-once")
+        cluster = Cluster(["--store", str(store), "--workers", "2", "--port", "0"])
+        monkeypatch.delenv("REPRO_FAILPOINTS")
+        try:
+            pairs = [[5, [0.6, 0.2, 0.1, 0.1]]]
+            status, body = cluster.post("/update", {"updates": pairs})
+            assert status == 503, body
+            assert "persist" in body["error"]
+            health = cluster.get("/healthz")
+            assert health["status"] == "ok"  # reads still serve
+            assert health["degraded"] is True
+            assert cluster.get("/stats")["supervisor"]["degraded"] is True
+            assert "repro_cluster_degraded 1" in cluster.get_text("/metrics")
+            for pattern in patterns:
+                status, answer = cluster.post("/query", {"pattern": pattern})
+                assert status == 200
+                assert answer["generation"] == 0  # rolled back, pre-update
+                assert answer["positions"] == brute_force_occurrences(
+                    mirror.source, pattern, Z
+                )
+            # The injected fault was one-shot: the next persist succeeds and
+            # the degraded flag clears everywhere.
+            status, body = cluster.post("/update", {"updates": pairs})
+            assert status == 200, body
+            assert body["update"]["cluster_generation"] == 1
+            mirror.apply_updates(_pairs(pairs))
+            health = cluster.get("/healthz")
+            assert health["degraded"] is False
+            assert "repro_cluster_degraded 0" in cluster.get_text("/metrics")
+            for pattern in patterns:
+                status, answer = cluster.post("/query", {"pattern": pattern})
+                assert status == 200
+                assert answer["generation"] == 1
+                assert answer["positions"] == brute_force_occurrences(
+                    mirror.source, pattern, Z
+                )
+            assert verify_store(store)["ok"]
+            assert cluster.terminate() == 0
+        finally:
+            cluster.kill()
